@@ -1,0 +1,117 @@
+// Experiment E12 — the efficiency motivation of finite precision (paper,
+// Sections 5/6): "finite precision computation to speed-up the costly CAD
+// algorithm".
+//
+// In an exact pipeline, input coefficients of high precision (e.g. 53-bit
+// dyadics from measured doubles) inflate every subresultant and
+// sample-point computation. Rounding the DATA into F_k (the paper's
+// approximate-values data model) before evaluation shrinks the bit
+// lengths that flow through CAD. The harness runs the same nonlinear
+// query over the same geometric configuration represented at different
+// precisions and reports time, pipeline bit length, and answer drift.
+
+#include <cmath>
+
+#include "arith/floatk.h"
+#include "bench_util.h"
+#include "constraint/formula.h"
+#include "qe/qe.h"
+
+using namespace ccdb;
+
+namespace {
+
+// Rounds every coefficient of a polynomial into F_k.
+Polynomial RoundPoly(const Polynomial& p, const FpFormat& format) {
+  Polynomial out;
+  for (const auto& [monomial, coeff] : p.terms()) {
+    auto rounded = FloatK::FromRational(coeff, format, FpMode::kRound);
+    Rational value = rounded.ok() ? rounded->ToRational() : coeff;
+    out += Polynomial::Term(value, monomial);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ccdb_bench::Header(
+      "E12: finite precision speeds up the costly CAD (Sections 5/6)",
+      "rounding data into F_k shrinks CAD coefficient growth; low k is "
+      "faster at bounded answer drift");
+
+  // An ellipse with "measured" (full double precision) coefficients.
+  double a = 1.2345678901234567, b = 0.7654321098765432,
+         c = 2.3456789012345678;
+  Polynomial x = Polynomial::Var(0);
+  Polynomial y = Polynomial::Var(1);
+  Polynomial ellipse_exact =
+      Polynomial(FloatK::FromDouble(a).ToRational()) * x.Pow(2) +
+      Polynomial(FloatK::FromDouble(b).ToRational()) * y.Pow(2) -
+      Polynomial(FloatK::FromDouble(c).ToRational());
+
+  // Query: the x-extent of the ellipse: exists y (E(x,y) = 0).
+  auto run = [&](const Polynomial& ellipse, double* seconds,
+                 QeStats* stats) -> ConstraintRelation {
+    Formula query =
+        Formula::Exists(1, Formula::MakeAtom(Atom(ellipse, RelOp::kLe)));
+    ConstraintRelation out;
+    *seconds = ccdb_bench::TimeSeconds([&] {
+      auto result = EliminateQuantifiers(query, 1, QeOptions{}, stats);
+      CCDB_CHECK(result.ok());
+      out = *result;
+    });
+    return out;
+  };
+
+  double exact_seconds = 0.0;
+  QeStats exact_stats;
+  ConstraintRelation exact_answer =
+      run(ellipse_exact, &exact_seconds, &exact_stats);
+  double true_extent = std::sqrt(c / a);
+
+  ccdb_bench::Row("%-14s %12s %14s %16s %14s", "precision", "time [ms]",
+                  "pipeline bits", "extent boundary", "drift");
+  auto boundary_of = [](const ConstraintRelation& rel) -> double {
+    // Largest x in the answer: bisection on membership over [0, 4].
+    double lo = 0.0, hi = 4.0;
+    for (int i = 0; i < 48; ++i) {
+      double mid = 0.5 * (lo + hi);
+      if (rel.Contains({FloatK::FromDouble(mid).ToRational()})) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  double exact_boundary = boundary_of(exact_answer);
+  ccdb_bench::Row("%-14s %12.2f %14llu %16.9f %14.2e", "exact (53b)",
+                  exact_seconds * 1e3,
+                  static_cast<unsigned long long>(
+                      exact_stats.max_intermediate_bits),
+                  exact_boundary, std::abs(exact_boundary - true_extent));
+
+  for (std::uint32_t k : {24u, 16u, 12u, 8u}) {
+    FpFormat format{k, 64};
+    Polynomial rounded = RoundPoly(ellipse_exact, format);
+    double seconds = 0.0;
+    QeStats stats;
+    ConstraintRelation answer = run(rounded, &seconds, &stats);
+    double boundary = boundary_of(answer);
+    char label[32];
+    std::snprintf(label, sizeof(label), "F_%u rounded", k);
+    ccdb_bench::Row("%-14s %12.2f %14llu %16.9f %14.2e", label,
+                    seconds * 1e3,
+                    static_cast<unsigned long long>(
+                        stats.max_intermediate_bits),
+                    boundary, std::abs(boundary - true_extent));
+  }
+  ccdb_bench::Row("");
+  ccdb_bench::Row("true extent sqrt(c/a) = %.9f", true_extent);
+  ccdb_bench::Row(
+      "expected shape: pipeline bits drop with k (the resource the paper's "
+      "efficiency argument is about) while the answer drifts only by "
+      "~2^-k; wall-clock follows the bits once degrees grow");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#ifndef CCDB_BENCH_BENCH_UTIL_H_
+#define CCDB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harness: wall-clock timing, table
+// printing in the EXPERIMENTS.md format, and synthetic workload
+// generators over the class K_{d,m} of the paper (constraint databases
+// with at most m distinct polynomials of degree at most d).
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "constraint/atom.h"
+#include "poly/upoly.h"
+
+namespace ccdb_bench {
+
+inline double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline void Header(const std::string& experiment, const std::string& claim) {
+  std::printf("=======================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("=======================================================\n");
+}
+
+inline void Row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Random band relation over (x, y): a union of `tuples` generalized
+/// tuples "a*x + b*y + c <= 0 and bounds", linear, with coefficient bit
+/// length ~ `bits`.
+inline ccdb::ConstraintRelation RandomLinearRelation(int tuples, int bits,
+                                                     std::uint64_t seed,
+                                                     bool bounded = true) {
+  std::mt19937_64 rng(seed);
+  std::int64_t bound = (1ll << std::min(bits, 40)) - 1;
+  std::uniform_int_distribution<std::int64_t> dist(-bound, bound);
+  ccdb::ConstraintRelation rel(2);
+  for (int t = 0; t < tuples; ++t) {
+    ccdb::GeneralizedTuple tuple;
+    std::int64_t a = dist(rng), b = dist(rng), c = dist(rng);
+    if (a == 0 && b == 0) a = 1;
+    tuple.atoms.emplace_back(
+        ccdb::Polynomial(a) * ccdb::Polynomial::Var(0) +
+            ccdb::Polynomial(b) * ccdb::Polynomial::Var(1) +
+            ccdb::Polynomial(c),
+        ccdb::RelOp::kLe);
+    // Keep every tuple bounded so aggregates stay defined. Unbounded
+    // single-atom tuples keep DNF negation linear (for forall workloads).
+    if (bounded)
+    tuple.atoms.emplace_back(ccdb::Polynomial::Var(0).Pow(1) -
+                                 ccdb::Polynomial(100),
+                             ccdb::RelOp::kLe);
+    if (bounded) {
+      tuple.atoms.emplace_back(-ccdb::Polynomial::Var(0) -
+                                   ccdb::Polynomial(100),
+                               ccdb::RelOp::kLe);
+      tuple.atoms.emplace_back(ccdb::Polynomial::Var(1) -
+                                   ccdb::Polynomial(100),
+                               ccdb::RelOp::kLe);
+      tuple.atoms.emplace_back(-ccdb::Polynomial::Var(1) -
+                                   ccdb::Polynomial(100),
+                               ccdb::RelOp::kLe);
+    }
+    rel.AddTuple(std::move(tuple));
+  }
+  return rel;
+}
+
+/// Random univariate polynomial with `degree` and coefficients of bit
+/// length ~ `bits`, guaranteed nonzero leading coefficient.
+inline ccdb::UPoly RandomUPoly(int degree, int bits, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::int64_t bound = (1ll << std::min(bits, 40)) - 1;
+  std::uniform_int_distribution<std::int64_t> dist(-bound, bound);
+  std::vector<ccdb::Rational> coeffs;
+  for (int i = 0; i <= degree; ++i) {
+    coeffs.emplace_back(ccdb::BigInt(dist(rng)));
+  }
+  if (coeffs.back().is_zero()) coeffs.back() = ccdb::Rational(1);
+  return ccdb::UPoly(std::move(coeffs));
+}
+
+}  // namespace ccdb_bench
+
+#endif  // CCDB_BENCH_BENCH_UTIL_H_

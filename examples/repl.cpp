@@ -1,0 +1,197 @@
+// Interactive constraint-database shell.
+//
+//   $ ./example_repl
+//   ccdb> S(x, y) := 4*x^2 - y - 20*x + 25 <= 0
+//   ok: stored S/2
+//   ccdb> exists y (S(x, y) and y <= 0)
+//   x: (2*x - 5 = 0)
+//   ccdb> SURFACE[x, y](S(x, y) and y <= 9)(z)
+//   z = 18 (exact)
+//   ccdb> .solve exists y (S(x, y) and y <= 0)
+//   (5/2)
+//
+// Commands:
+//   Name(cols) := formula     define a relation
+//   <CALC_F formula>          evaluate a query (closed-form output)
+//   .solve <formula>          numerical evaluation (finite answer sets)
+//   .fp <k> <formula>         finite-precision evaluation under Z_k
+//   .list | .show <name> | .drop <name>
+//   .save <path> | .load <path>
+//   .help | .quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/database.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  Name(cols) := formula   define a relation\n"
+      "  <formula>               evaluate a CALC_F query\n"
+      "  .solve <formula>        epsilon-approximate a finite answer set\n"
+      "  .fp <k> <formula>       finite-precision query under Z_k\n"
+      "  .list                   list relations\n"
+      "  .show <name>            print a relation's constraints\n"
+      "  .drop <name>            remove a relation\n"
+      "  .save <path> / .load <path>\n"
+      "  .help / .quit\n");
+}
+
+void RunQuery(const ccdb::ConstraintDatabase& db, const std::string& text) {
+  auto result = db.Query(text);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->has_scalar) {
+    if (result->scalar.exact) {
+      std::printf("%s = %s (exact)\n", result->column_names[0].c_str(),
+                  result->scalar.exact_value.ToString().c_str());
+    } else {
+      std::printf("%s ~= %.9f (+-%.1e)\n", result->column_names[0].c_str(),
+                  result->scalar.Value(), result->scalar.error_estimate);
+    }
+    return;
+  }
+  if (result->column_names.empty()) {
+    std::printf("%s\n", result->relation.is_empty_syntactically() ? "false"
+                                                                  : "true");
+    return;
+  }
+  std::string header;
+  for (std::size_t i = 0; i < result->column_names.size(); ++i) {
+    if (i > 0) header += ", ";
+    header += result->column_names[i];
+  }
+  std::printf("%s: %s\n", header.c_str(),
+              result->relation.ToString(result->column_names).c_str());
+}
+
+void RunSolve(const ccdb::ConstraintDatabase& db, const std::string& text) {
+  ccdb::Rational epsilon(ccdb::BigInt(1), ccdb::BigInt(1000000));
+  auto solutions = db.Solve(text, epsilon);
+  if (!solutions.ok()) {
+    std::printf("error: %s\n", solutions.status().ToString().c_str());
+    return;
+  }
+  if (solutions->empty()) {
+    std::printf("no solutions\n");
+    return;
+  }
+  for (const auto& point : *solutions) {
+    std::string rendered = "(";
+    for (std::size_t i = 0; i < point.size(); ++i) {
+      if (i > 0) rendered += ", ";
+      rendered += point[i].ToString();
+    }
+    std::printf("%s)\n", rendered.c_str());
+  }
+}
+
+void RunFp(const ccdb::ConstraintDatabase& db, const std::string& rest) {
+  std::istringstream in(rest);
+  unsigned k = 0;
+  in >> k;
+  std::string formula;
+  std::getline(in, formula);
+  if (k == 0 || formula.empty()) {
+    std::printf("usage: .fp <k> <formula>\n");
+    return;
+  }
+  ccdb::FpQeStats stats;
+  auto result = db.QueryFp(formula, k, &stats);
+  if (!result.ok()) {
+    std::printf("%s (pipeline needed %llu bits)\n",
+                result.status().ToString().c_str(),
+                static_cast<unsigned long long>(stats.max_bits));
+    return;
+  }
+  std::printf("defined under Z_%u (pipeline bits: %llu)\n", k,
+              static_cast<unsigned long long>(stats.max_bits));
+  std::printf("%s\n", result->relation.ToString(result->column_names).c_str());
+}
+
+}  // namespace
+
+int main() {
+  ccdb::ConstraintDatabase db;
+  std::printf("ccdb — constraint database shell (.help for commands)\n");
+  std::string line;
+  while (true) {
+    std::printf("ccdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim.
+    std::size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    std::size_t end = line.find_last_not_of(" \t");
+    line = line.substr(begin, end - begin + 1);
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == ".list") {
+      for (const std::string& name : db.RelationNames()) {
+        auto rel = db.Relation(name);
+        std::printf("  %s/%d\n", name.c_str(),
+                    rel.ok() ? rel->arity() : -1);
+      }
+      continue;
+    }
+    if (line.rfind(".show ", 0) == 0) {
+      std::string name = line.substr(6);
+      auto rel = db.Relation(name);
+      if (!rel.ok()) {
+        std::printf("error: %s\n", rel.status().ToString().c_str());
+      } else {
+        std::printf("%s\n", rel->ToString().c_str());
+      }
+      continue;
+    }
+    if (line.rfind(".drop ", 0) == 0) {
+      ccdb::Status status = db.Drop(line.substr(6));
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".save ", 0) == 0) {
+      ccdb::Status status = db.Save(line.substr(6));
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".load ", 0) == 0) {
+      ccdb::Status status = db.Load(line.substr(6));
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".solve ", 0) == 0) {
+      RunSolve(db, line.substr(7));
+      continue;
+    }
+    if (line.rfind(".fp ", 0) == 0) {
+      RunFp(db, line.substr(4));
+      continue;
+    }
+    if (line[0] == '.') {
+      std::printf("unknown command (try .help)\n");
+      continue;
+    }
+    // Relation definition or query?
+    if (line.find(":=") != std::string::npos) {
+      ccdb::Status status = db.Define(line);
+      if (status.ok()) {
+        std::printf("ok\n");
+      } else {
+        std::printf("error: %s\n", status.ToString().c_str());
+      }
+      continue;
+    }
+    RunQuery(db, line);
+  }
+  return 0;
+}

@@ -1,0 +1,449 @@
+#include "arith/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) : negative_(value < 0) {
+  // Avoid overflow when negating INT64_MIN by working in unsigned space.
+  std::uint64_t magnitude =
+      value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  if (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    std::uint32_t high = static_cast<std::uint32_t>(magnitude >> 32);
+    if (high != 0) limbs_.push_back(high);
+  }
+}
+
+StatusOr<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty integer literal");
+  bool negative = false;
+  std::size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) {
+    return Status::InvalidArgument("integer literal has no digits");
+  }
+  BigInt result;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid digit in integer literal: " +
+                                     std::string(text));
+    }
+    result = result * BigInt(10) + BigInt(c - '0');
+  }
+  if (negative && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+BigInt BigInt::Pow2(std::uint64_t exponent) {
+  BigInt result;
+  result.limbs_.assign(exponent / 32 + 1, 0);
+  result.limbs_.back() = 1u << (exponent % 32);
+  return result;
+}
+
+std::uint64_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::uint64_t bits = static_cast<std::uint64_t>(limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t magnitude =
+      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (negative_) return magnitude <= (1ull << 63);
+  return magnitude < (1ull << 63);
+}
+
+std::int64_t BigInt::ToInt64() const {
+  CCDB_CHECK(FitsInt64());
+  std::uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (negative_) return -static_cast<std::int64_t>(magnitude - 1) - 1;
+  return static_cast<std::int64_t>(magnitude);
+}
+
+double BigInt::ToDouble() const {
+  double result = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * static_cast<double>(kBase) + limbs_[i];
+  }
+  return negative_ ? -result : result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
+                             const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(big.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    std::uint64_t sum = carry + big[i] + (i < small.size() ? small[i] : 0u);
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  CCDB_DCHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::MulMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  CCDB_CHECK_MSG(!b.empty(), "division by zero");
+  if (CompareMagnitude(a, b) < 0) return {{}, a};
+  if (b.size() == 1) {
+    // Short division.
+    std::vector<std::uint32_t> quotient(a.size(), 0);
+    std::uint64_t rem = 0;
+    std::uint64_t divisor = b[0];
+    for (std::size_t i = a.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | a[i];
+      quotient[i] = static_cast<std::uint32_t>(cur / divisor);
+      rem = cur % divisor;
+    }
+    while (!quotient.empty() && quotient.back() == 0) quotient.pop_back();
+    std::vector<std::uint32_t> remainder;
+    if (rem != 0) remainder.push_back(static_cast<std::uint32_t>(rem));
+    return {quotient, remainder};
+  }
+
+  // Knuth TAOCP vol.2 algorithm D. Normalize so the divisor's top limb has
+  // its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = b.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shl = [](const std::vector<std::uint32_t>& v, int s) {
+    std::vector<std::uint32_t> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= s == 0 ? v[i] : (v[i] << s);
+      if (s != 0) out[i + 1] |= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(v[i]) >> (32 - s));
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<std::uint32_t> u = shl(a, shift);
+  std::vector<std::uint32_t> v = shl(b, shift);
+  std::size_t n = v.size();
+  std::size_t m = u.size() - n;
+  u.resize(u.size() + 1, 0);  // u[m+n] slot
+
+  std::vector<std::uint32_t> q(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = numerator / v[n - 1];
+    std::uint64_t rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-subtract qhat*v from u[j..j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
+                          static_cast<std::int64_t>(product & 0xffffffffu);
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t diff = static_cast<std::int64_t>(u[j + n]) - borrow -
+                        static_cast<std::int64_t>(carry);
+    if (diff < 0) {
+      // qhat was one too large: add back.
+      diff += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] +
+                            add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+        add_carry = sum >> 32;
+      }
+      diff += static_cast<std::int64_t>(add_carry);
+      diff &= 0xffffffff;
+    }
+    u[j + n] = static_cast<std::uint32_t>(diff);
+    q[j] = static_cast<std::uint32_t>(qhat);
+  }
+  while (!q.empty() && q.back() == 0) q.pop_back();
+
+  // Denormalize the remainder u[0..n-1] >> shift.
+  std::vector<std::uint32_t> r(u.begin(), u.begin() + n);
+  if (shift != 0) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      r[i] >>= shift;
+      if (i + 1 < n) {
+        r[i] |= u[i + 1] << (32 - shift);
+      }
+    }
+  }
+  while (!r.empty() && r.back() == 0) r.pop_back();
+  return {q, r};
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt result;
+  if (negative_ == other.negative_) {
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    result.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp >= 0) {
+      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      result.negative_ = negative_;
+    } else {
+      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      result.negative_ = other.negative_;
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt result;
+  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  result.negative_ = !result.limbs_.empty() && (negative_ != other.negative_);
+  return result;
+}
+
+std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& divisor) const {
+  auto [qm, rm] = DivModMagnitude(limbs_, divisor.limbs_);
+  BigInt quotient, remainder;
+  quotient.limbs_ = std::move(qm);
+  quotient.negative_ = !quotient.limbs_.empty() &&
+                       (negative_ != divisor.negative_);
+  remainder.limbs_ = std::move(rm);
+  remainder.negative_ = !remainder.limbs_.empty() && negative_;
+  return {std::move(quotient), std::move(remainder)};
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  return DivMod(other).first;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  return DivMod(other).second;
+}
+
+BigInt BigInt::ShiftLeft(std::uint64_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt r = *this;
+    return r;
+  }
+  std::uint64_t limb_shift = bits / 32;
+  int bit_shift = static_cast<int>(bits % 32);
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limb_shift, 0);
+  if (bit_shift == 0) {
+    result.limbs_.insert(result.limbs_.end(), limbs_.begin(), limbs_.end());
+  } else {
+    std::uint32_t carry = 0;
+    for (std::uint32_t limb : limbs_) {
+      result.limbs_.push_back((limb << bit_shift) | carry);
+      carry = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(limb) >> (32 - bit_shift));
+    }
+    if (carry != 0) result.limbs_.push_back(carry);
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::ShiftRight(std::uint64_t bits) const {
+  std::uint64_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  int bit_shift = static_cast<int>(bits % 32);
+  BigInt result;
+  result.negative_ = negative_;
+  result.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  if (bit_shift != 0) {
+    for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
+      result.limbs_[i] >>= bit_shift;
+      if (i + 1 < result.limbs_.size()) {
+        result.limbs_[i] |= result.limbs_[i + 1] << (32 - bit_shift);
+      }
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::Pow(std::uint32_t exponent) const {
+  BigInt base = *this;
+  BigInt result(1);
+  while (exponent != 0) {
+    if (exponent & 1u) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> digits;  // base 10^9 chunks, little-endian
+  std::vector<std::uint32_t> work = limbs_;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    digits.push_back(static_cast<std::uint32_t>(rem));
+    while (!work.empty() && work.back() == 0) work.pop_back();
+  }
+  std::string out;
+  if (negative_) out.push_back('-');
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u", digits.back());
+  out += buf;
+  for (std::size_t i = digits.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof(buf), "%09u", digits[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t BigInt::Hash() const {
+  std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (std::uint32_t limb : limbs_) {
+    h = h * 1099511628211ull + limb;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,145 @@
+#ifndef CCDB_ARITH_BIGINT_H_
+#define CCDB_ARITH_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ccdb {
+
+/// Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs).
+///
+/// Implemented from scratch rather than using GMP because the paper's
+/// finite-precision structures Z_k and F_k are defined by *bit length*
+/// (Section 4, Lemmas 4.4/4.5): the reproduction instruments the bit length
+/// of every intermediate integer produced by the quantifier-elimination
+/// algorithm, so the integer type itself must expose it cheaply and the
+/// whole pipeline must route through it.
+///
+/// Invariant: limbs_ has no trailing zero limbs; zero is represented by an
+/// empty limbs_ with negative_ == false.
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() : negative_(false) {}
+  /// Implicit from machine integers: literals like BigInt(-7) are pervasive
+  /// in polynomial construction.
+  BigInt(std::int64_t value);  // NOLINT
+
+  BigInt(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  /// Parses a base-10 integer with optional leading '-'.
+  static StatusOr<BigInt> FromString(std::string_view text);
+
+  /// Returns 2^exponent.
+  static BigInt Pow2(std::uint64_t exponent);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_one() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// Returns -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  /// Number of bits in the magnitude; 0 for zero. This is the measure the
+  /// paper's Z_k structures bound.
+  std::uint64_t bit_length() const;
+
+  /// True iff the value fits in int64_t.
+  bool FitsInt64() const;
+  /// Value as int64_t; requires FitsInt64().
+  std::int64_t ToInt64() const;
+
+  /// Converts to double (may lose precision or overflow to +/-inf).
+  double ToDouble() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  /// Requires a nonzero divisor.
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  /// Returns {quotient, remainder} of truncated division in one pass.
+  std::pair<BigInt, BigInt> DivMod(const BigInt& divisor) const;
+
+  /// Left shift by `bits` (multiplication by 2^bits).
+  BigInt ShiftLeft(std::uint64_t bits) const;
+  /// Arithmetic-magnitude right shift: |x| >> bits with x's sign (truncation
+  /// toward zero).
+  BigInt ShiftRight(std::uint64_t bits) const;
+
+  /// Returns this^exponent; 0^0 == 1.
+  BigInt Pow(std::uint32_t exponent) const;
+
+  /// Greatest common divisor of magnitudes; Gcd(0,0) == 0. Always >= 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  bool operator==(const BigInt& other) const {
+    return negative_ == other.negative_ && limbs_ == other.limbs_;
+  }
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+
+  /// True iff the value is even (zero is even).
+  bool IsEven() const { return limbs_.empty() || (limbs_[0] & 1u) == 0; }
+
+  /// Base-10 rendering.
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers.
+  std::size_t Hash() const;
+
+ private:
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> AddMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> MulMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Knuth algorithm D on magnitudes; returns {quotient, remainder}.
+  static std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+  DivModMagnitude(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b);
+
+  void Normalize();
+
+  bool negative_;
+  std::vector<std::uint32_t> limbs_;  // little-endian, base 2^32
+};
+
+/// Stream output in base 10.
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace ccdb
+
+#endif  // CCDB_ARITH_BIGINT_H_

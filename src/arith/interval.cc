@@ -1,0 +1,55 @@
+#include "arith/interval.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+Interval::Interval(Rational lo, Rational hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  CCDB_CHECK_MSG(lo_ <= hi_, "interval with lo > hi");
+}
+
+int Interval::CertainSign() const {
+  if (hi_.sign() < 0) return -1;
+  if (lo_.sign() > 0) return 1;
+  if (lo_.is_zero() && hi_.is_zero()) return 0;
+  return kAmbiguousSign;
+}
+
+Interval Interval::operator*(const Interval& other) const {
+  Rational products[4] = {lo_ * other.lo_, lo_ * other.hi_, hi_ * other.lo_,
+                          hi_ * other.hi_};
+  Rational lo = products[0];
+  Rational hi = products[0];
+  for (int i = 1; i < 4; ++i) {
+    if (products[i] < lo) lo = products[i];
+    if (products[i] > hi) hi = products[i];
+  }
+  return Interval(std::move(lo), std::move(hi));
+}
+
+Interval Interval::Pow(std::uint32_t exponent) const {
+  if (exponent == 0) return Interval(Rational(1));
+  if (exponent % 2 == 1 || lo_.sign() >= 0) {
+    return Interval(lo_.Pow(exponent), hi_.Pow(exponent));
+  }
+  if (hi_.sign() <= 0) {
+    return Interval(hi_.Pow(exponent), lo_.Pow(exponent));
+  }
+  // Straddles zero with an even power: minimum is 0.
+  Rational bound = std::max(lo_.Abs(), hi_).Pow(exponent);
+  return Interval(Rational(0), std::move(bound));
+}
+
+Interval Interval::Scale(const Rational& factor) const {
+  if (factor.sign() >= 0) return Interval(lo_ * factor, hi_ * factor);
+  return Interval(hi_ * factor, lo_ * factor);
+}
+
+std::string Interval::ToString() const {
+  return "[" + lo_.ToString() + ", " + hi_.ToString() + "]";
+}
+
+}  // namespace ccdb

@@ -1,0 +1,70 @@
+#ifndef CCDB_ARITH_INTERVAL_H_
+#define CCDB_ARITH_INTERVAL_H_
+
+#include <string>
+
+#include "arith/rational.h"
+
+namespace ccdb {
+
+/// Closed interval [lo, hi] with exact rational endpoints, lo <= hi.
+///
+/// Used for isolating intervals of real algebraic numbers and for certified
+/// enclosure arithmetic during CAD lifting and numerical evaluation (the
+/// paper cites interval arithmetic [Moo66] as the canonical finite-precision
+/// arithmetic).
+class Interval {
+ public:
+  /// Constructs the degenerate interval [0, 0].
+  Interval() : lo_(0), hi_(0) {}
+  /// Constructs [point, point].
+  explicit Interval(Rational point) : lo_(point), hi_(std::move(point)) {}
+  /// Constructs [lo, hi]; requires lo <= hi.
+  Interval(Rational lo, Rational hi);
+
+  const Rational& lo() const { return lo_; }
+  const Rational& hi() const { return hi_; }
+
+  bool IsPoint() const { return lo_ == hi_; }
+  Rational Width() const { return hi_ - lo_; }
+  Rational Midpoint() const { return Rational::Midpoint(lo_, hi_); }
+
+  bool Contains(const Rational& x) const { return lo_ <= x && x <= hi_; }
+  bool ContainsZero() const { return lo_.sign() <= 0 && hi_.sign() >= 0; }
+  bool ContainsInterval(const Interval& other) const {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+  bool Intersects(const Interval& other) const {
+    return !(hi_ < other.lo_ || other.hi_ < lo_);
+  }
+
+  /// Sign if uniform over the interval: -1 if hi < 0, +1 if lo > 0,
+  /// 0 if the interval is the point 0; otherwise the sign is ambiguous and
+  /// this returns kAmbiguousSign.
+  static constexpr int kAmbiguousSign = 2;
+  int CertainSign() const;
+
+  Interval operator-() const { return Interval(-hi_, -lo_); }
+  Interval operator+(const Interval& other) const {
+    return Interval(lo_ + other.lo_, hi_ + other.hi_);
+  }
+  Interval operator-(const Interval& other) const {
+    return *this + (-other);
+  }
+  Interval operator*(const Interval& other) const;
+  /// Integer power with correct even-power tightening at zero.
+  Interval Pow(std::uint32_t exponent) const;
+
+  /// Scales by an exact rational.
+  Interval Scale(const Rational& factor) const;
+
+  std::string ToString() const;
+
+ private:
+  Rational lo_;
+  Rational hi_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_ARITH_INTERVAL_H_

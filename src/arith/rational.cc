@@ -1,0 +1,164 @@
+#include "arith/rational.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : num_(std::move(numerator)), den_(std::move(denominator)) {
+  CCDB_CHECK_MSG(!den_.is_zero(), "rational with zero denominator");
+  Canonicalize();
+}
+
+void Rational::Canonicalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+StatusOr<Rational> Rational::FromString(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash != std::string_view::npos) {
+    CCDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(text.substr(0, slash)));
+    CCDB_ASSIGN_OR_RETURN(BigInt den,
+                          BigInt::FromString(text.substr(slash + 1)));
+    if (den.is_zero()) {
+      return Status::InvalidArgument("zero denominator: " + std::string(text));
+    }
+    return Rational(std::move(num), std::move(den));
+  }
+  std::size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    std::string digits(text.substr(0, dot));
+    std::string_view frac = text.substr(dot + 1);
+    if (frac.empty()) {
+      return Status::InvalidArgument("trailing decimal point: " +
+                                     std::string(text));
+    }
+    digits += std::string(frac);
+    CCDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(digits));
+    BigInt den = BigInt(10).Pow(static_cast<std::uint32_t>(frac.size()));
+    return Rational(std::move(num), std::move(den));
+  }
+  CCDB_ASSIGN_OR_RETURN(BigInt num, BigInt::FromString(text));
+  return Rational(std::move(num));
+}
+
+Rational Rational::FromScaledInt(const BigInt& mantissa,
+                                 std::int64_t exponent) {
+  if (exponent >= 0) {
+    return Rational(mantissa.ShiftLeft(static_cast<std::uint64_t>(exponent)));
+  }
+  return Rational(mantissa,
+                  BigInt::Pow2(static_cast<std::uint64_t>(-exponent)));
+}
+
+std::uint64_t Rational::bit_length() const {
+  return std::max(num_.bit_length(), den_.bit_length());
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.num_ = -result.num_;
+  return result;
+}
+
+Rational Rational::Abs() const {
+  Rational result = *this;
+  result.num_ = result.num_.Abs();
+  return result;
+}
+
+Rational Rational::Inverse() const {
+  CCDB_CHECK_MSG(!is_zero(), "inverse of zero");
+  return Rational(den_, num_);
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  CCDB_CHECK_MSG(!other.is_zero(), "division by zero rational");
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+Rational Rational::Pow(std::int32_t exponent) const {
+  if (exponent < 0) {
+    return Inverse().Pow(-exponent);
+  }
+  return Rational(num_.Pow(static_cast<std::uint32_t>(exponent)),
+                  den_.Pow(static_cast<std::uint32_t>(exponent)));
+}
+
+int Rational::Compare(const Rational& other) const {
+  // Cross-multiply; denominators are positive.
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+BigInt Rational::Floor() const {
+  auto [q, r] = num_.DivMod(den_);
+  if (!r.is_zero() && num_.is_negative()) q -= BigInt(1);
+  return q;
+}
+
+BigInt Rational::Ceil() const {
+  auto [q, r] = num_.DivMod(den_);
+  if (!r.is_zero() && !num_.is_negative()) q += BigInt(1);
+  return q;
+}
+
+Rational Rational::Midpoint(const Rational& a, const Rational& b) {
+  return (a + b) * Rational(BigInt(1), BigInt(2));
+}
+
+double Rational::ToDouble() const {
+  // Scale so the division happens near 1.0 to avoid premature overflow.
+  std::int64_t shift = static_cast<std::int64_t>(num_.bit_length()) -
+                       static_cast<std::int64_t>(den_.bit_length());
+  if (shift > 512 || shift < -512) {
+    BigInt scaled_num = num_;
+    BigInt scaled_den = den_;
+    if (shift > 0) {
+      scaled_den = scaled_den.ShiftLeft(static_cast<std::uint64_t>(shift));
+    } else {
+      scaled_num = scaled_num.ShiftLeft(static_cast<std::uint64_t>(-shift));
+    }
+    double ratio = scaled_num.ToDouble() / scaled_den.ToDouble();
+    return ratio * std::pow(2.0, static_cast<double>(shift));
+  }
+  return num_.ToDouble() / den_.ToDouble();
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,108 @@
+#ifndef CCDB_ARITH_RATIONAL_H_
+#define CCDB_ARITH_RATIONAL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "arith/bigint.h"
+#include "base/status.h"
+
+namespace ccdb {
+
+/// Exact rational number with canonical representation: denominator > 0 and
+/// gcd(|numerator|, denominator) == 1. Zero is 0/1.
+///
+/// Rationals are the coefficient field of every polynomial in the engine and
+/// the endpoint type of isolating intervals; the quantifier-elimination
+/// pipeline stays exact in them (the paper's QE "still carries out arithmetic
+/// operations in exact values", Section 4).
+class Rational {
+ public:
+  /// Constructs zero.
+  Rational() : num_(0), den_(1) {}
+  /// Implicit from integers: polynomial coefficients are written Rational(3).
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  Rational(std::int64_t value) : num_(value), den_(1) {}       // NOLINT
+  /// Constructs numerator/denominator; requires denominator != 0.
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// Parses "a", "-a", "a/b", or a decimal like "3.25" / "-0.5".
+  static StatusOr<Rational> FromString(std::string_view text);
+
+  /// Exact conversion from a binary floating value n * 2^e.
+  static Rational FromScaledInt(const BigInt& mantissa, std::int64_t exponent);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_.is_one(); }
+  int sign() const { return num_.sign(); }
+
+  /// max(bit length of numerator, bit length of denominator): the size
+  /// measure used throughout the paper's complexity statements.
+  std::uint64_t bit_length() const;
+
+  Rational operator-() const;
+  Rational Abs() const;
+  /// Multiplicative inverse; requires nonzero.
+  Rational Inverse() const;
+
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Requires a nonzero divisor.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  /// Returns this^exponent (exponent may be negative if nonzero base).
+  Rational Pow(std::int32_t exponent) const;
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const { return Compare(other) < 0; }
+  bool operator<=(const Rational& other) const { return Compare(other) <= 0; }
+  bool operator>(const Rational& other) const { return Compare(other) > 0; }
+  bool operator>=(const Rational& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int Compare(const Rational& other) const;
+
+  /// Largest integer <= value.
+  BigInt Floor() const;
+  /// Smallest integer >= value.
+  BigInt Ceil() const;
+
+  /// Midpoint of two rationals.
+  static Rational Midpoint(const Rational& a, const Rational& b);
+
+  /// Lossy conversion to double.
+  double ToDouble() const;
+
+  /// "a" when integral, "a/b" otherwise.
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers.
+  std::size_t Hash() const {
+    return num_.Hash() * 31 + den_.Hash();
+  }
+
+ private:
+  void Canonicalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace ccdb
+
+#endif  // CCDB_ARITH_RATIONAL_H_

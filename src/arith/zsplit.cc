@@ -1,0 +1,225 @@
+#include "arith/zsplit.h"
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+PartialZk::PartialZk(std::uint32_t k) : k_(k) {
+  CCDB_CHECK_MSG(k >= 2, "PartialZk requires k >= 2");
+}
+
+bool PartialZk::InRange(const BigInt& value) const {
+  return value.bit_length() <= k_;
+}
+
+StatusOr<BigInt> PartialZk::Add(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  BigInt sum = a + b;
+  if (!InRange(sum)) return Status::Undefined("Z_k addition overflow");
+  return sum;
+}
+
+StatusOr<BigInt> PartialZk::Sub(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  BigInt diff = a - b;
+  if (!InRange(diff)) return Status::Undefined("Z_k subtraction overflow");
+  return diff;
+}
+
+StatusOr<BigInt> PartialZk::Mul(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  BigInt product = a * b;
+  if (!InRange(product)) return Status::Undefined("Z_k multiplication overflow");
+  return product;
+}
+
+bool PartialZk::Less(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  return a < b;
+}
+
+SplitZk::SplitZk(std::uint32_t k) : k_(k), modulus_(BigInt::Pow2(k)) {
+  CCDB_CHECK_MSG(k >= 1, "SplitZk requires k >= 1");
+}
+
+bool SplitZk::InRange(const BigInt& value) const {
+  return !value.is_negative() && value < modulus_;
+}
+
+BigInt SplitZk::AddL(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  BigInt sum = a + b;
+  if (sum >= modulus_) sum -= modulus_;
+  return sum;
+}
+
+BigInt SplitZk::AddU(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  return (a + b) >= modulus_ ? BigInt(1) : BigInt(0);
+}
+
+BigInt SplitZk::MulL(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  return (a * b) % modulus_;
+}
+
+BigInt SplitZk::MulU(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  return (a * b) / modulus_;
+}
+
+bool SplitZk::Less(const BigInt& a, const BigInt& b) const {
+  CCDB_DCHECK(InRange(a) && InRange(b));
+  ++op_count_;
+  return a < b;
+}
+
+DoubledSplitZk::DoubledSplitZk(const SplitZk* base) : base_(base) {
+  CCDB_CHECK(base != nullptr);
+}
+
+SplitPair DoubledSplitZk::Encode(const BigInt& value) const {
+  CCDB_CHECK_MSG(!value.is_negative() && value.bit_length() <= k(),
+                 "value outside [0, 2^{2k})");
+  BigInt modulus = BigInt::Pow2(base_->k());
+  return SplitPair{value % modulus, value / modulus};
+}
+
+BigInt DoubledSplitZk::Decode(const SplitPair& value) const {
+  return value.hi.ShiftLeft(base_->k()) + value.lo;
+}
+
+SplitPair DoubledSplitZk::AddL(const SplitPair& a, const SplitPair& b) const {
+  BigInt lo = base_->AddL(a.lo, b.lo);
+  BigInt c0 = base_->AddU(a.lo, b.lo);
+  BigInt hi1 = base_->AddL(a.hi, b.hi);
+  BigInt hi = base_->AddL(hi1, c0);
+  return SplitPair{std::move(lo), std::move(hi)};
+}
+
+SplitPair DoubledSplitZk::AddU(const SplitPair& a, const SplitPair& b) const {
+  // The bits above position 2k of a 2k+2k sum form a single bit: the carry
+  // out of the high half. Two carry sources — the high-half add itself and
+  // the low-half carry rippling through — and at most one can fire.
+  BigInt c0 = base_->AddU(a.lo, b.lo);
+  BigInt hi1 = base_->AddL(a.hi, b.hi);
+  BigInt c1 = base_->AddU(a.hi, b.hi);
+  BigInt c2 = base_->AddU(hi1, c0);
+  BigInt carry = base_->AddL(c1, c2);
+  return SplitPair{std::move(carry), BigInt(0)};
+}
+
+void DoubledSplitZk::AddWordInto(BigInt out[4], int index,
+                                 const BigInt& w) const {
+  BigInt carry = w;
+  int i = index;
+  while (!carry.is_zero()) {
+    CCDB_CHECK_MSG(i < 4, "carry out of the 4k-bit accumulator");
+    BigInt next = base_->AddU(out[i], carry);
+    out[i] = base_->AddL(out[i], carry);
+    carry = std::move(next);
+    ++i;
+  }
+}
+
+void DoubledSplitZk::FullMul(const SplitPair& a, const SplitPair& b,
+                             BigInt out[4]) const {
+  for (int i = 0; i < 4; ++i) out[i] = BigInt(0);
+  const BigInt* aw[2] = {&a.lo, &a.hi};
+  const BigInt* bw[2] = {&b.lo, &b.hi};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      BigInt low = base_->MulL(*aw[i], *bw[j]);
+      BigInt high = base_->MulU(*aw[i], *bw[j]);
+      AddWordInto(out, i + j, low);
+      AddWordInto(out, i + j + 1, high);
+    }
+  }
+}
+
+SplitPair DoubledSplitZk::MulL(const SplitPair& a, const SplitPair& b) const {
+  BigInt words[4];
+  FullMul(a, b, words);
+  return SplitPair{std::move(words[0]), std::move(words[1])};
+}
+
+SplitPair DoubledSplitZk::MulU(const SplitPair& a, const SplitPair& b) const {
+  BigInt words[4];
+  FullMul(a, b, words);
+  return SplitPair{std::move(words[2]), std::move(words[3])};
+}
+
+bool DoubledSplitZk::Less(const SplitPair& a, const SplitPair& b) const {
+  if (base_->Less(a.hi, b.hi)) return true;
+  if (base_->Less(b.hi, a.hi)) return false;
+  return base_->Less(a.lo, b.lo);
+}
+
+DoubledPartialZk::DoubledPartialZk(const PartialZk* base) : base_(base) {
+  CCDB_CHECK(base != nullptr);
+}
+
+DoubledPartialZk::Pair DoubledPartialZk::Encode(const BigInt& value) const {
+  BigInt modulus = BigInt::Pow2(base_->k());
+  // Floor-division split so lo lands in [0, 2^k).
+  BigInt hi = value / modulus;
+  BigInt lo = value % modulus;
+  if (lo.is_negative()) {
+    lo += modulus;
+    hi -= BigInt(1);
+  }
+  CCDB_CHECK_MSG(base_->InRange(hi),
+                 "value outside the pair-encodable fragment of Z_2k");
+  return Pair{std::move(hi), std::move(lo)};
+}
+
+BigInt DoubledPartialZk::Decode(const Pair& value) const {
+  return value.hi.ShiftLeft(base_->k()) + value.lo;
+}
+
+bool DoubledPartialZk::Less(const Pair& a, const Pair& b) const {
+  // Lexicographic, exactly the paper's definition:
+  // [x, x'] < [y, y'] iff x < y or (x = y and x' < y').
+  if (base_->Less(a.hi, b.hi)) return true;
+  if (base_->Less(b.hi, a.hi)) return false;
+  return base_->Less(a.lo, b.lo);
+}
+
+StatusOr<DoubledPartialZk::Pair> DoubledPartialZk::Add(const Pair& a,
+                                                       const Pair& b) const {
+  // Carry detection by *undefinedness* of the k-bit addition, exactly the
+  // trick in the paper's proof ("∀γ'((x' +_k y') ≠_k γ')" — no k-bit result
+  // exists iff the low halves carry): lo values are non-negative, so their
+  // sum leaves Z_k precisely when it is >= 2^k.
+  StatusOr<BigInt> low_sum = base_->Add(a.lo, b.lo);
+  if (low_sum.ok()) {
+    CCDB_ASSIGN_OR_RETURN(BigInt hi, base_->Add(a.hi, b.hi));
+    return Pair{std::move(hi), std::move(*low_sum)};
+  }
+  // Carry case: lo = a.lo + b.lo - 2^k computed inside Z_k by splitting the
+  // subtrahend into two copies of the constant 2^(k-1) (the paper's 1_k).
+  BigInt high_unit = base_->HighUnit();
+  CCDB_ASSIGN_OR_RETURN(BigInt a_shifted, base_->Sub(a.lo, high_unit));
+  CCDB_ASSIGN_OR_RETURN(BigInt b_shifted, base_->Sub(b.lo, high_unit));
+  CCDB_ASSIGN_OR_RETURN(BigInt lo, base_->Add(a_shifted, b_shifted));
+  // hi = a.hi + b.hi + 1 with Z_k intermediates; two association orders
+  // cover every case whose result lies in Z_k.
+  StatusOr<BigInt> hi_sum = base_->Add(a.hi, b.hi);
+  if (hi_sum.ok()) {
+    CCDB_ASSIGN_OR_RETURN(BigInt hi, base_->Add(*hi_sum, BigInt(1)));
+    return Pair{std::move(hi), std::move(lo)};
+  }
+  CCDB_ASSIGN_OR_RETURN(BigInt a_plus_one, base_->Add(a.hi, BigInt(1)));
+  CCDB_ASSIGN_OR_RETURN(BigInt hi, base_->Add(a_plus_one, b.hi));
+  return Pair{std::move(hi), std::move(lo)};
+}
+
+}  // namespace ccdb

@@ -1,0 +1,158 @@
+#ifndef CCDB_ARITH_ZSPLIT_H_
+#define CCDB_ARITH_ZSPLIT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "arith/bigint.h"
+#include "base/status.h"
+
+namespace ccdb {
+
+/// The finite structure Z_k = <Z^k, <=, +, ., 0, 1> of integers of bit
+/// length at most k (paper, Section 4). Arithmetic is *partial*: x + y and
+/// x * y are defined only when the result again has bit length <= k
+/// (footnote 1 of the paper: "they have to be seen as relations in a way
+/// similar to the arithmetic over finite segments of the integers").
+///
+/// Every operation counts its invocations so the doubling experiments
+/// (bench E7) can report the simulation overhead.
+class PartialZk {
+ public:
+  explicit PartialZk(std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+
+  /// True iff |value| < 2^k (bit length at most k).
+  bool InRange(const BigInt& value) const;
+
+  /// Partial operations: kUndefined when the exact result leaves Z_k.
+  StatusOr<BigInt> Add(const BigInt& a, const BigInt& b) const;
+  StatusOr<BigInt> Sub(const BigInt& a, const BigInt& b) const;
+  StatusOr<BigInt> Mul(const BigInt& a, const BigInt& b) const;
+
+  /// Total order on Z_k (requires both operands in range).
+  bool Less(const BigInt& a, const BigInt& b) const;
+
+  /// The paper's constant "1_k denotes 10000…0": 2^(k-1), the largest power
+  /// of two in Z_k. Used by the Theorem 4.2 doubling construction.
+  BigInt HighUnit() const { return BigInt::Pow2(k_ - 1); }
+
+  std::uint64_t op_count() const { return op_count_; }
+  void ResetOpCount() { op_count_ = 0; }
+
+ private:
+  std::uint32_t k_;
+  mutable std::uint64_t op_count_ = 0;
+};
+
+/// The structure Z^{l/u}_k = <Z^k, <=, +l, +u, *l, *u, 0, 1> of Theorem 4.3:
+/// split arithmetic where +l yields the k lower bits of the sum and +u the
+/// k higher bits (likewise *l / *u for multiplication), making every
+/// operation *total*. Words are unsigned residues in [0, 2^k).
+class SplitZk {
+ public:
+  explicit SplitZk(std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+
+  /// True iff 0 <= value < 2^k.
+  bool InRange(const BigInt& value) const;
+
+  /// (a + b) mod 2^k — the k lower bits of the sum.
+  BigInt AddL(const BigInt& a, const BigInt& b) const;
+  /// (a + b) div 2^k — the bits above position k (0 or 1 here).
+  BigInt AddU(const BigInt& a, const BigInt& b) const;
+  /// (a * b) mod 2^k.
+  BigInt MulL(const BigInt& a, const BigInt& b) const;
+  /// (a * b) div 2^k.
+  BigInt MulU(const BigInt& a, const BigInt& b) const;
+
+  bool Less(const BigInt& a, const BigInt& b) const;
+
+  std::uint64_t op_count() const { return op_count_; }
+  void ResetOpCount() { op_count_ = 0; }
+
+ private:
+  std::uint32_t k_;
+  BigInt modulus_;  // 2^k
+  mutable std::uint64_t op_count_ = 0;
+};
+
+/// A 2k-bit unsigned word represented as the pair [lo, hi] of k-bit words,
+/// value = hi * 2^k + lo. This is the encoding in the proofs of Theorem 4.2
+/// and Lemma 4.5 ("we define integers of length 2k by pairs of integers of
+/// length k").
+struct SplitPair {
+  BigInt lo;
+  BigInt hi;
+};
+
+/// The doubling construction of Lemma 4.5: implements the relations of
+/// Z^{l/u}_{2k} using ONLY the operations of an underlying Z^{l/u}_k — the
+/// effective content of "the relations of Z^{l/u}_{2k} are first-order
+/// definable in Z^{l/u}_k". Iterating it yields split arithmetic of any
+/// k·2^i bit length, which is how Theorem 4.3 evaluates polynomial queries
+/// whose intermediate integers exceed the input length by the constant
+/// factor of Lemma 4.4.
+class DoubledSplitZk {
+ public:
+  /// Builds Z^{l/u}_{2k} over `base` (not owned; must outlive this).
+  explicit DoubledSplitZk(const SplitZk* base);
+
+  std::uint32_t k() const { return 2 * base_->k(); }
+
+  /// Encodes a 2k-bit unsigned value as a pair; requires 0 <= v < 2^{2k}.
+  SplitPair Encode(const BigInt& value) const;
+  /// Decodes a pair back to its 2k-bit value.
+  BigInt Decode(const SplitPair& value) const;
+
+  /// The eight Z^{l/u}_{2k} relations, computed from k-bit primitives only.
+  SplitPair AddL(const SplitPair& a, const SplitPair& b) const;
+  SplitPair AddU(const SplitPair& a, const SplitPair& b) const;
+  SplitPair MulL(const SplitPair& a, const SplitPair& b) const;
+  SplitPair MulU(const SplitPair& a, const SplitPair& b) const;
+  bool Less(const SplitPair& a, const SplitPair& b) const;
+
+ private:
+  // Full 4k-bit product of two 2k-bit pairs, as four k-bit words
+  // (little-endian). Uses only base_ operations.
+  void FullMul(const SplitPair& a, const SplitPair& b, BigInt out[4]) const;
+  // Adds the k-bit word `w` into the word vector starting at `index`,
+  // propagating carries with base_ ops.
+  void AddWordInto(BigInt out[4], int index, const BigInt& w) const;
+
+  const SplitZk* base_;
+};
+
+/// The doubling construction in the proof of Theorem 4.2: the order and
+/// (partial) addition of Z_{2k} defined from Z_k only. Pairs are
+/// [hi (signed, |hi| < 2^k), lo (unsigned, 0 <= lo < 2^k)], value =
+/// hi * 2^k + lo, ordered lexicographically.
+class DoubledPartialZk {
+ public:
+  explicit DoubledPartialZk(const PartialZk* base);
+
+  std::uint32_t k() const { return 2 * base_->k(); }
+
+  struct Pair {
+    BigInt hi;  // signed high part
+    BigInt lo;  // unsigned low part in [0, 2^k)
+  };
+
+  /// Encodes a (2k)-bit signed value; requires |value| < 2^{2k}.
+  Pair Encode(const BigInt& value) const;
+  BigInt Decode(const Pair& value) const;
+
+  bool Less(const Pair& a, const Pair& b) const;
+  /// Partial addition of Z_{2k} from Z_k primitives (undefined iff the true
+  /// sum leaves Z_{2k}).
+  StatusOr<Pair> Add(const Pair& a, const Pair& b) const;
+
+ private:
+  const PartialZk* base_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_ARITH_ZSPLIT_H_

@@ -1,0 +1,53 @@
+#ifndef CCDB_BASE_LOGGING_H_
+#define CCDB_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ccdb {
+namespace internal_logging {
+
+/// Terminates the process after printing a fatal invariant-violation message.
+/// CHECK failures indicate programming errors (broken invariants), never
+/// recoverable conditions; recoverable conditions use Status.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace ccdb
+
+/// Aborts if `cond` is false. For internal invariants only.
+#define CCDB_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::ccdb::internal_logging::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                       \
+  } while (0)
+
+/// Aborts with a formatted message if `cond` is false.
+#define CCDB_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream _ccdb_oss;                                     \
+      _ccdb_oss << msg;                                                 \
+      ::ccdb::internal_logging::CheckFailed(__FILE__, __LINE__, #cond,  \
+                                            _ccdb_oss.str());           \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define CCDB_DCHECK(cond) CCDB_CHECK(cond)
+#else
+#define CCDB_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+#endif  // CCDB_BASE_LOGGING_H_

@@ -1,0 +1,166 @@
+#include "constraint/atom.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+RelOp NegateOp(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return RelOp::kNeq;
+    case RelOp::kNeq:
+      return RelOp::kEq;
+    case RelOp::kLt:
+      return RelOp::kGe;
+    case RelOp::kLe:
+      return RelOp::kGt;
+    case RelOp::kGt:
+      return RelOp::kLe;
+    case RelOp::kGe:
+      return RelOp::kLt;
+  }
+  CCDB_CHECK(false);
+  return RelOp::kEq;
+}
+
+bool SignSatisfies(int sign, RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return sign == 0;
+    case RelOp::kNeq:
+      return sign != 0;
+    case RelOp::kLt:
+      return sign < 0;
+    case RelOp::kLe:
+      return sign <= 0;
+    case RelOp::kGt:
+      return sign > 0;
+    case RelOp::kGe:
+      return sign >= 0;
+  }
+  CCDB_CHECK(false);
+  return false;
+}
+
+const char* RelOpToString(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNeq:
+      return "!=";
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kGt:
+      return ">";
+    case RelOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Atom::ToString(const std::vector<std::string>& names) const {
+  return poly.ToString(names) + " " + RelOpToString(op) + " 0";
+}
+
+bool GeneralizedTuple::TriviallyFalse() const {
+  for (const Atom& atom : atoms) {
+    if (atom.poly.is_constant() &&
+        !SignSatisfies(atom.poly.constant_value().sign(), atom.op)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GeneralizedTuple::SimplifyConstants() {
+  std::vector<Atom> kept;
+  for (Atom& atom : atoms) {
+    if (atom.poly.is_constant()) {
+      if (!SignSatisfies(atom.poly.constant_value().sign(), atom.op)) {
+        return false;
+      }
+      continue;  // identically true, drop
+    }
+    kept.push_back(std::move(atom));
+  }
+  atoms = std::move(kept);
+  return true;
+}
+
+std::string GeneralizedTuple::ToString(
+    const std::vector<std::string>& names) const {
+  if (atoms.empty()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += atoms[i].ToString(names);
+  }
+  return out;
+}
+
+bool ConstraintRelation::Contains(const std::vector<Rational>& point) const {
+  CCDB_CHECK_MSG(static_cast<int>(point.size()) == arity_,
+                 "point arity mismatch: " << point.size() << " vs " << arity_);
+  for (const GeneralizedTuple& tuple : tuples_) {
+    if (tuple.SatisfiedAt(point)) return true;
+  }
+  return false;
+}
+
+std::vector<Polynomial> ConstraintRelation::CollectPolynomials() const {
+  std::vector<Polynomial> polys;
+  for (const GeneralizedTuple& tuple : tuples_) {
+    for (const Atom& atom : tuple.atoms) {
+      bool seen = false;
+      for (const Polynomial& p : polys) {
+        if (p == atom.poly) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) polys.push_back(atom.poly);
+    }
+  }
+  return polys;
+}
+
+std::uint64_t ConstraintRelation::MaxCoefficientBitLength() const {
+  std::uint64_t bits = 0;
+  for (const GeneralizedTuple& tuple : tuples_) {
+    for (const Atom& atom : tuple.atoms) {
+      bits = std::max(bits, atom.poly.MaxCoefficientBitLength());
+    }
+  }
+  return bits;
+}
+
+std::size_t ConstraintRelation::DistinctPolynomialCount() const {
+  return CollectPolynomials().size();
+}
+
+std::uint32_t ConstraintRelation::MaxDegree() const {
+  std::uint32_t degree = 0;
+  for (const GeneralizedTuple& tuple : tuples_) {
+    for (const Atom& atom : tuple.atoms) {
+      degree = std::max(degree, atom.poly.TotalDegree());
+    }
+  }
+  return degree;
+}
+
+std::string ConstraintRelation::ToString(
+    const std::vector<std::string>& names) const {
+  if (tuples_.empty()) return "false";
+  std::string out;
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += " or ";
+    out += "(" + tuples_[i].ToString(names) + ")";
+  }
+  return out;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,596 @@
+#include "constraint/formula.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+struct Formula::Node {
+  Kind kind = Kind::kTrue;
+  Atom atom;
+  std::string relation_name;
+  std::vector<int> relation_args;
+  std::vector<Formula> children;
+  int var = -1;
+};
+
+Formula::Formula() : node_(std::make_shared<Node>()) {}
+
+Formula::Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Formula Formula::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTrue;
+  return Formula(std::move(node));
+}
+
+Formula Formula::False() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kFalse;
+  return Formula(std::move(node));
+}
+
+Formula Formula::MakeAtom(Atom atom) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->atom = std::move(atom);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Compare(const Polynomial& lhs, RelOp op,
+                         const Polynomial& rhs) {
+  return MakeAtom(Atom(lhs - rhs, op));
+}
+
+Formula Formula::Relation(std::string name, std::vector<int> args) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kRelation;
+  node->relation_name = std::move(name);
+  node->relation_args = std::move(args);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Not(Formula f) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->children.push_back(std::move(f));
+  return Formula(std::move(node));
+}
+
+Formula Formula::And(Formula a, Formula b) {
+  return And(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula Formula::Or(Formula a, Formula b) {
+  return Or(std::vector<Formula>{std::move(a), std::move(b)});
+}
+
+Formula Formula::And(const std::vector<Formula>& fs) {
+  std::vector<Formula> kept;
+  for (const Formula& f : fs) {
+    if (f.kind() == Kind::kFalse) return False();
+    if (f.kind() == Kind::kTrue) continue;
+    kept.push_back(f);
+  }
+  if (kept.empty()) return True();
+  if (kept.size() == 1) return kept[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->children = std::move(kept);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Or(const std::vector<Formula>& fs) {
+  std::vector<Formula> kept;
+  for (const Formula& f : fs) {
+    if (f.kind() == Kind::kTrue) return True();
+    if (f.kind() == Kind::kFalse) continue;
+    kept.push_back(f);
+  }
+  if (kept.empty()) return False();
+  if (kept.size() == 1) return kept[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->children = std::move(kept);
+  return Formula(std::move(node));
+}
+
+Formula Formula::Exists(int var, Formula body) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kExists;
+  node->var = var;
+  node->children.push_back(std::move(body));
+  return Formula(std::move(node));
+}
+
+Formula Formula::Forall(int var, Formula body) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kForall;
+  node->var = var;
+  node->children.push_back(std::move(body));
+  return Formula(std::move(node));
+}
+
+Formula::Kind Formula::kind() const { return node_->kind; }
+
+const Atom& Formula::atom() const {
+  CCDB_CHECK(node_->kind == Kind::kAtom);
+  return node_->atom;
+}
+
+const std::string& Formula::relation_name() const {
+  CCDB_CHECK(node_->kind == Kind::kRelation);
+  return node_->relation_name;
+}
+
+const std::vector<int>& Formula::relation_args() const {
+  CCDB_CHECK(node_->kind == Kind::kRelation);
+  return node_->relation_args;
+}
+
+const std::vector<Formula>& Formula::children() const {
+  return node_->children;
+}
+
+int Formula::quantified_var() const {
+  CCDB_CHECK(node_->kind == Kind::kExists || node_->kind == Kind::kForall);
+  return node_->var;
+}
+
+bool Formula::is_quantifier_free() const {
+  if (node_->kind == Kind::kExists || node_->kind == Kind::kForall) {
+    return false;
+  }
+  for (const Formula& child : node_->children) {
+    if (!child.is_quantifier_free()) return false;
+  }
+  return true;
+}
+
+bool Formula::has_relation_symbols() const {
+  if (node_->kind == Kind::kRelation) return true;
+  for (const Formula& child : node_->children) {
+    if (child.has_relation_symbols()) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void CollectVars(const Formula& f, bool free_only, std::set<int>* bound,
+                 std::set<int>* out) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kAtom: {
+      const Polynomial& p = f.atom().poly;
+      for (int v = 0; v <= p.max_var(); ++v) {
+        if (p.Mentions(v) && (!free_only || bound->count(v) == 0)) {
+          out->insert(v);
+        }
+      }
+      return;
+    }
+    case Formula::Kind::kRelation:
+      for (int v : f.relation_args()) {
+        if (!free_only || bound->count(v) == 0) out->insert(v);
+      }
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const Formula& child : f.children()) {
+        CollectVars(child, free_only, bound, out);
+      }
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      int v = f.quantified_var();
+      bool inserted = bound->insert(v).second;
+      if (!free_only) out->insert(v);
+      CollectVars(f.children()[0], free_only, bound, out);
+      if (inserted) bound->erase(v);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::set<int> Formula::FreeVars() const {
+  std::set<int> bound;
+  std::set<int> out;
+  CollectVars(*this, /*free_only=*/true, &bound, &out);
+  return out;
+}
+
+std::set<int> Formula::AllVars() const {
+  std::set<int> bound;
+  std::set<int> out;
+  CollectVars(*this, /*free_only=*/false, &bound, &out);
+  return out;
+}
+
+Formula RelationToFormula(const ConstraintRelation& relation,
+                          const std::vector<int>& column_vars) {
+  CCDB_CHECK(static_cast<int>(column_vars.size()) == relation.arity());
+  std::vector<Formula> disjuncts;
+  for (const GeneralizedTuple& tuple : relation.tuples()) {
+    std::vector<Formula> conjuncts;
+    for (const Atom& atom : tuple.atoms) {
+      CCDB_CHECK_MSG(atom.poly.max_var() < relation.arity(),
+                     "relation body mentions variable beyond its arity");
+      Polynomial renamed = atom.poly.RenameVars(column_vars);
+      conjuncts.push_back(Formula::MakeAtom(Atom(renamed, atom.op)));
+    }
+    disjuncts.push_back(Formula::And(conjuncts));
+  }
+  return Formula::Or(disjuncts);
+}
+
+StatusOr<Formula> Formula::InstantiateRelations(
+    const std::function<StatusOr<ConstraintRelation>(const std::string&)>&
+        lookup) const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+    case Kind::kAtom:
+      return *this;
+    case Kind::kRelation: {
+      CCDB_ASSIGN_OR_RETURN(ConstraintRelation relation,
+                            lookup(relation_name()));
+      if (static_cast<int>(relation_args().size()) != relation.arity()) {
+        return Status::InvalidArgument(
+            "relation " + relation_name() + " used with arity " +
+            std::to_string(relation_args().size()) + ", declared " +
+            std::to_string(relation.arity()));
+      }
+      return RelationToFormula(relation, relation_args());
+    }
+    case Kind::kNot: {
+      CCDB_ASSIGN_OR_RETURN(Formula inner,
+                            children()[0].InstantiateRelations(lookup));
+      return Not(std::move(inner));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Formula> mapped;
+      for (const Formula& child : children()) {
+        CCDB_ASSIGN_OR_RETURN(Formula m, child.InstantiateRelations(lookup));
+        mapped.push_back(std::move(m));
+      }
+      return kind() == Kind::kAnd ? And(mapped) : Or(mapped);
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      CCDB_ASSIGN_OR_RETURN(Formula inner,
+                            children()[0].InstantiateRelations(lookup));
+      return kind() == Kind::kExists ? Exists(quantified_var(), inner)
+                                     : Forall(quantified_var(), inner);
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+Formula Formula::RenameFreeVar(int from, int to) const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return *this;
+    case Kind::kAtom: {
+      const Polynomial& p = node_->atom.poly;
+      if (!p.Mentions(from)) return *this;
+      std::vector<int> mapping(std::max(p.max_var(), from) + 1);
+      for (std::size_t i = 0; i < mapping.size(); ++i) {
+        mapping[i] = static_cast<int>(i);
+      }
+      mapping[from] = to;
+      return MakeAtom(Atom(p.RenameVars(mapping), node_->atom.op));
+    }
+    case Kind::kRelation: {
+      std::vector<int> args = relation_args();
+      bool changed = false;
+      for (int& a : args) {
+        if (a == from) {
+          a = to;
+          changed = true;
+        }
+      }
+      if (!changed) return *this;
+      return Relation(relation_name(), std::move(args));
+    }
+    case Kind::kNot:
+      return Not(children()[0].RenameFreeVar(from, to));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Formula> mapped;
+      for (const Formula& child : children()) {
+        mapped.push_back(child.RenameFreeVar(from, to));
+      }
+      return kind() == Kind::kAnd ? And(mapped) : Or(mapped);
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      if (quantified_var() == from) return *this;  // bound below
+      Formula inner = children()[0].RenameFreeVar(from, to);
+      return kind() == Kind::kExists ? Exists(quantified_var(), inner)
+                                     : Forall(quantified_var(), inner);
+    }
+  }
+  CCDB_CHECK(false);
+  return *this;
+}
+
+Formula Formula::SubstituteValue(int var, const Rational& value) const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return *this;
+    case Kind::kAtom: {
+      Polynomial substituted = node_->atom.poly.Substitute(var, value);
+      Atom atom(std::move(substituted), node_->atom.op);
+      if (atom.poly.is_constant()) {
+        return SignSatisfies(atom.poly.constant_value().sign(), atom.op)
+                   ? True()
+                   : False();
+      }
+      return MakeAtom(std::move(atom));
+    }
+    case Kind::kRelation:
+      for (int a : relation_args()) {
+        CCDB_CHECK_MSG(a != var,
+                       "substitute into uninstantiated relation argument");
+      }
+      return *this;
+    case Kind::kNot:
+      return Not(children()[0].SubstituteValue(var, value));
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<Formula> mapped;
+      for (const Formula& child : children()) {
+        mapped.push_back(child.SubstituteValue(var, value));
+      }
+      return kind() == Kind::kAnd ? And(mapped) : Or(mapped);
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      if (quantified_var() == var) return *this;
+      Formula inner = children()[0].SubstituteValue(var, value);
+      return kind() == Kind::kExists ? Exists(quantified_var(), inner)
+                                     : Forall(quantified_var(), inner);
+    }
+  }
+  CCDB_CHECK(false);
+  return *this;
+}
+
+bool Formula::EvaluateAt(const std::vector<Rational>& point) const {
+  switch (kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kAtom:
+      return node_->atom.SatisfiedAt(point);
+    case Kind::kNot:
+      return !children()[0].EvaluateAt(point);
+    case Kind::kAnd:
+      for (const Formula& child : children()) {
+        if (!child.EvaluateAt(point)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const Formula& child : children()) {
+        if (child.EvaluateAt(point)) return true;
+      }
+      return false;
+    case Kind::kRelation:
+    case Kind::kExists:
+    case Kind::kForall:
+      CCDB_CHECK_MSG(false, "EvaluateAt requires quantifier/relation-free");
+  }
+  return false;
+}
+
+std::string Formula::ToString(const std::vector<std::string>& names) const {
+  auto var_name = [&names](int v) {
+    if (v >= 0 && v < static_cast<int>(names.size())) return names[v];
+    return "x" + std::to_string(v);
+  };
+  switch (kind()) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return node_->atom.ToString(names);
+    case Kind::kRelation: {
+      std::string out = relation_name() + "(";
+      for (std::size_t i = 0; i < relation_args().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += var_name(relation_args()[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "not (" + children()[0].ToString(names) + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string op = kind() == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children().size(); ++i) {
+        if (i > 0) out += op;
+        out += children()[i].ToString(names);
+      }
+      return out + ")";
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::string q = kind() == Kind::kExists ? "exists " : "forall ";
+      return q + var_name(quantified_var()) + " (" +
+             children()[0].ToString(names) + ")";
+    }
+  }
+  return "?";
+}
+
+Formula ToNnf(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kRelation:
+      return f;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<Formula> mapped;
+      for (const Formula& child : f.children()) mapped.push_back(ToNnf(child));
+      return f.kind() == Formula::Kind::kAnd ? Formula::And(mapped)
+                                             : Formula::Or(mapped);
+    }
+    case Formula::Kind::kExists:
+      return Formula::Exists(f.quantified_var(), ToNnf(f.children()[0]));
+    case Formula::Kind::kForall:
+      return Formula::Forall(f.quantified_var(), ToNnf(f.children()[0]));
+    case Formula::Kind::kNot: {
+      const Formula& inner = f.children()[0];
+      switch (inner.kind()) {
+        case Formula::Kind::kTrue:
+          return Formula::False();
+        case Formula::Kind::kFalse:
+          return Formula::True();
+        case Formula::Kind::kAtom:
+          return Formula::MakeAtom(inner.atom().Negated());
+        case Formula::Kind::kRelation:
+          // Negated relation atoms survive NNF; they are eliminated by
+          // instantiation before QE.
+          return f;
+        case Formula::Kind::kNot:
+          return ToNnf(inner.children()[0]);
+        case Formula::Kind::kAnd:
+        case Formula::Kind::kOr: {
+          std::vector<Formula> mapped;
+          for (const Formula& child : inner.children()) {
+            mapped.push_back(ToNnf(Formula::Not(child)));
+          }
+          return inner.kind() == Formula::Kind::kAnd ? Formula::Or(mapped)
+                                                     : Formula::And(mapped);
+        }
+        case Formula::Kind::kExists:
+          return Formula::Forall(
+              inner.quantified_var(),
+              ToNnf(Formula::Not(inner.children()[0])));
+        case Formula::Kind::kForall:
+          return Formula::Exists(
+              inner.quantified_var(),
+              ToNnf(Formula::Not(inner.children()[0])));
+      }
+    }
+  }
+  CCDB_CHECK(false);
+  return f;
+}
+
+PrenexForm ToPrenex(const Formula& f, int* next_fresh_var) {
+  Formula nnf = ToNnf(f);
+  std::function<PrenexForm(const Formula&)> go =
+      [&](const Formula& g) -> PrenexForm {
+    switch (g.kind()) {
+      case Formula::Kind::kTrue:
+      case Formula::Kind::kFalse:
+      case Formula::Kind::kAtom:
+      case Formula::Kind::kRelation:
+        return {{}, g};
+      case Formula::Kind::kNot:
+        // NNF guarantees the child is an atom or relation.
+        return {{}, g};
+      case Formula::Kind::kAnd:
+      case Formula::Kind::kOr: {
+        std::vector<PrenexBlock> prefix;
+        std::vector<Formula> matrices;
+        for (const Formula& child : g.children()) {
+          PrenexForm sub = go(child);
+          prefix.insert(prefix.end(), sub.prefix.begin(), sub.prefix.end());
+          matrices.push_back(sub.matrix);
+        }
+        Formula matrix = g.kind() == Formula::Kind::kAnd
+                             ? Formula::And(matrices)
+                             : Formula::Or(matrices);
+        return {std::move(prefix), std::move(matrix)};
+      }
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall: {
+        int fresh = (*next_fresh_var)++;
+        Formula body =
+            g.children()[0].RenameFreeVar(g.quantified_var(), fresh);
+        PrenexForm sub = go(body);
+        std::vector<PrenexBlock> prefix;
+        prefix.push_back({g.kind() == Formula::Kind::kExists, fresh});
+        prefix.insert(prefix.end(), sub.prefix.begin(), sub.prefix.end());
+        return {std::move(prefix), std::move(sub.matrix)};
+      }
+    }
+    CCDB_CHECK(false);
+    return {{}, g};
+  };
+  return go(nnf);
+}
+
+std::vector<GeneralizedTuple> ToDnf(const Formula& f) {
+  Formula nnf = ToNnf(f);
+  std::function<std::vector<GeneralizedTuple>(const Formula&)> go =
+      [&](const Formula& g) -> std::vector<GeneralizedTuple> {
+    switch (g.kind()) {
+      case Formula::Kind::kTrue:
+        return {GeneralizedTuple()};
+      case Formula::Kind::kFalse:
+        return {};
+      case Formula::Kind::kAtom: {
+        GeneralizedTuple tuple;
+        tuple.atoms.push_back(g.atom());
+        return {std::move(tuple)};
+      }
+      case Formula::Kind::kOr: {
+        std::vector<GeneralizedTuple> out;
+        for (const Formula& child : g.children()) {
+          auto sub = go(child);
+          out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                     std::make_move_iterator(sub.end()));
+        }
+        return out;
+      }
+      case Formula::Kind::kAnd: {
+        std::vector<GeneralizedTuple> acc{GeneralizedTuple()};
+        for (const Formula& child : g.children()) {
+          auto sub = go(child);
+          std::vector<GeneralizedTuple> next;
+          for (const GeneralizedTuple& left : acc) {
+            for (const GeneralizedTuple& right : sub) {
+              GeneralizedTuple merged = left;
+              merged.atoms.insert(merged.atoms.end(), right.atoms.begin(),
+                                  right.atoms.end());
+              next.push_back(std::move(merged));
+            }
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+      default:
+        CCDB_CHECK_MSG(false,
+                       "ToDnf requires a quantifier/relation-free formula");
+        return {};
+    }
+  };
+  std::vector<GeneralizedTuple> tuples = go(nnf);
+  std::vector<GeneralizedTuple> kept;
+  for (GeneralizedTuple& tuple : tuples) {
+    if (tuple.SimplifyConstants()) kept.push_back(std::move(tuple));
+  }
+  return kept;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,130 @@
+#ifndef CCDB_CONSTRAINT_FORMULA_H_
+#define CCDB_CONSTRAINT_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/atom.h"
+
+namespace ccdb {
+
+/// First-order formula over the real closed field extended with database
+/// relation symbols (the language L ∪ σ of the paper, Section 3).
+///
+/// Variables are global integer indices; the caller (query layer) owns the
+/// mapping from names to indices. Formulas are immutable and cheaply
+/// shareable.
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,      // polynomial constraint
+    kRelation,  // database relation symbol applied to variables
+    kNot,
+    kAnd,
+    kOr,
+    kExists,
+    kForall,
+  };
+
+  /// Constructs the formula "true".
+  Formula();
+
+  static Formula True();
+  static Formula False();
+  static Formula MakeAtom(Atom atom);
+  /// Convenience: lhs op rhs as the atom (lhs - rhs) op 0.
+  static Formula Compare(const Polynomial& lhs, RelOp op,
+                         const Polynomial& rhs);
+  /// R(args...): the named relation applied to variable indices.
+  static Formula Relation(std::string name, std::vector<int> args);
+  static Formula Not(Formula f);
+  static Formula And(Formula a, Formula b);
+  static Formula Or(Formula a, Formula b);
+  static Formula And(const std::vector<Formula>& fs);
+  static Formula Or(const std::vector<Formula>& fs);
+  static Formula Exists(int var, Formula body);
+  static Formula Forall(int var, Formula body);
+
+  Kind kind() const;
+  /// Atom payload; requires kind() == kAtom.
+  const struct Atom& atom() const;
+  /// Relation payload; requires kind() == kRelation.
+  const std::string& relation_name() const;
+  const std::vector<int>& relation_args() const;
+  /// Child formulas (1 for kNot/kExists/kForall, 2+ for kAnd/kOr).
+  const std::vector<Formula>& children() const;
+  /// Bound variable; requires a quantifier kind.
+  int quantified_var() const;
+
+  bool is_quantifier_free() const;
+  bool has_relation_symbols() const;
+
+  /// Free variable indices.
+  std::set<int> FreeVars() const;
+  /// All variable indices occurring (free or bound).
+  std::set<int> AllVars() const;
+
+  /// Replaces every occurrence of relation symbols by their definitions:
+  /// the INSTANTIATION step of query evaluation (paper, Section 2).
+  /// `lookup(name)` must return the relation's ConstraintRelation whose
+  /// columns are variables 0..arity-1; occurrences are rewritten with the
+  /// column variables renamed to the atom's argument variables.
+  StatusOr<Formula> InstantiateRelations(
+      const std::function<StatusOr<ConstraintRelation>(const std::string&)>&
+          lookup) const;
+
+  /// Renames free occurrences of `from` to `to` (capture is the caller's
+  /// responsibility; `to` should be fresh).
+  Formula RenameFreeVar(int from, int to) const;
+
+  /// Substitutes a rational value for a free variable (into atoms).
+  Formula SubstituteValue(int var, const Rational& value) const;
+
+  /// Truth of a quantifier-free, relation-free formula at a point.
+  bool EvaluateAt(const std::vector<Rational>& point) const;
+
+  std::string ToString(const std::vector<std::string>& names = {}) const;
+
+ private:
+  struct Node;
+  explicit Formula(std::shared_ptr<const Node> node);
+  std::shared_ptr<const Node> node_;
+};
+
+/// Negation-normal form: negations pushed to atoms (atoms absorb them via
+/// operator complement), quantifiers dualized.
+Formula ToNnf(const Formula& f);
+
+/// Prenex normal form of a relation-free formula: returns the quantifier
+/// prefix (outermost first) and the quantifier-free matrix. Bound variables
+/// are renamed apart using `next_fresh_var` (incremented as used).
+struct PrenexBlock {
+  bool is_exists;
+  int var;
+};
+struct PrenexForm {
+  std::vector<PrenexBlock> prefix;
+  Formula matrix;
+};
+PrenexForm ToPrenex(const Formula& f, int* next_fresh_var);
+
+/// Disjunctive normal form of a quantifier-free, relation-free formula, as
+/// a list of generalized tuples (with trivially-false disjuncts dropped and
+/// constant atoms simplified).
+std::vector<GeneralizedTuple> ToDnf(const Formula& f);
+
+/// Builds the formula of a constraint relation body (the disjunction of its
+/// generalized tuples), with relation columns already mapped to the given
+/// variable indices.
+Formula RelationToFormula(const ConstraintRelation& relation,
+                          const std::vector<int>& column_vars);
+
+}  // namespace ccdb
+
+#endif  // CCDB_CONSTRAINT_FORMULA_H_

@@ -1,0 +1,249 @@
+#include "datalog/datalog.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "qe/fourier_motzkin.h"
+
+namespace ccdb {
+
+DatalogLiteral DatalogLiteral::Rel(std::string name, std::vector<int> args,
+                                   bool negated) {
+  DatalogLiteral lit;
+  lit.is_relation = true;
+  lit.negated = negated;
+  lit.relation = std::move(name);
+  lit.args = std::move(args);
+  return lit;
+}
+
+DatalogLiteral DatalogLiteral::Constraint(Atom atom) {
+  DatalogLiteral lit;
+  lit.is_relation = false;
+  lit.constraint = std::move(atom);
+  return lit;
+}
+
+namespace {
+
+// Builds the first-order formula of one rule body, with head variables
+// renamed to 0..arity-1 and the remaining variables existentially
+// quantified.
+StatusOr<Formula> RuleToFormula(const DatalogRule& rule) {
+  // Collect rule variables.
+  std::vector<int> vars;
+  auto note = [&vars](int v) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  };
+  for (int v : rule.head_vars) note(v);
+  for (const DatalogLiteral& lit : rule.body) {
+    if (lit.is_relation) {
+      for (int v : lit.args) note(v);
+    } else {
+      for (int v = 0; v <= lit.constraint.poly.max_var(); ++v) {
+        if (lit.constraint.poly.Mentions(v)) note(v);
+      }
+    }
+  }
+  // Mapping: head var i -> i; the rest -> arity, arity+1, ...
+  int arity = static_cast<int>(rule.head_vars.size());
+  std::map<int, int> mapping;
+  for (int i = 0; i < arity; ++i) {
+    auto [it, inserted] = mapping.emplace(rule.head_vars[i], i);
+    if (!inserted) {
+      return Status::InvalidArgument(
+          "repeated head variable in rule for " + rule.head);
+    }
+  }
+  int next = arity;
+  std::vector<int> quantified;
+  for (int v : vars) {
+    if (mapping.count(v) == 0) {
+      mapping[v] = next;
+      quantified.push_back(next);
+      ++next;
+    }
+  }
+  int max_old = vars.empty() ? -1 : *std::max_element(vars.begin(), vars.end());
+  std::vector<int> dense_mapping(max_old + 1, -1);
+  for (const auto& [from, to] : mapping) dense_mapping[from] = to;
+
+  std::vector<Formula> conjuncts;
+  for (const DatalogLiteral& lit : rule.body) {
+    if (lit.is_relation) {
+      std::vector<int> args;
+      for (int v : lit.args) args.push_back(mapping.at(v));
+      Formula atom = Formula::Relation(lit.relation, std::move(args));
+      conjuncts.push_back(lit.negated ? Formula::Not(std::move(atom))
+                                      : std::move(atom));
+    } else {
+      Polynomial renamed = lit.constraint.poly.RenameVars(dense_mapping);
+      conjuncts.push_back(
+          Formula::MakeAtom(Atom(std::move(renamed), lit.constraint.op)));
+    }
+  }
+  Formula body = Formula::And(conjuncts);
+  for (auto it = quantified.rbegin(); it != quantified.rend(); ++it) {
+    body = Formula::Exists(*it, std::move(body));
+  }
+  return body;
+}
+
+// Exact containment of one generalized tuple in another:
+// not exists x (t(x) and not u(x)) — negating a single conjunction keeps
+// the DNF linear in |u|.
+StatusOr<bool> TupleInTuple(const GeneralizedTuple& t,
+                            const GeneralizedTuple& u, int arity,
+                            const QeOptions& qe, std::uint64_t* qe_calls) {
+  std::vector<Formula> t_atoms;
+  for (const Atom& atom : t.atoms) t_atoms.push_back(Formula::MakeAtom(atom));
+  std::vector<Formula> u_atoms;
+  for (const Atom& atom : u.atoms) u_atoms.push_back(Formula::MakeAtom(atom));
+  Formula witness =
+      Formula::And(Formula::And(t_atoms), Formula::Not(Formula::And(u_atoms)));
+  for (int v = arity; v-- > 0;) {
+    witness = Formula::Exists(v, std::move(witness));
+  }
+  ++*qe_calls;
+  CCDB_ASSIGN_OR_RETURN(bool has_witness, DecideSentence(witness, qe));
+  return !has_witness;
+}
+
+bool SameTuple(const GeneralizedTuple& a, const GeneralizedTuple& b) {
+  if (a.atoms.size() != b.atoms.size()) return false;
+  for (std::size_t i = 0; i < a.atoms.size(); ++i) {
+    if (!(a.atoms[i] == b.atoms[i])) return false;
+  }
+  return true;
+}
+
+// Containment test for the inflationary fixpoint: is `candidate` a subset
+// of `relation`? Checked tuple-against-tuple (sound and cheap); covering a
+// candidate by a genuine UNION of tuples is only attempted on small
+// relations (the negated-union DNF grows multiplicatively). A missed
+// containment merely costs an extra (redundant) tuple, never soundness.
+StatusOr<bool> TupleContained(const GeneralizedTuple& candidate,
+                              const ConstraintRelation& relation,
+                              const QeOptions& qe, std::uint64_t* qe_calls) {
+  for (const GeneralizedTuple& existing : relation.tuples()) {
+    if (SameTuple(candidate, existing)) return true;
+  }
+  for (const GeneralizedTuple& existing : relation.tuples()) {
+    CCDB_ASSIGN_OR_RETURN(bool inside,
+                          TupleInTuple(candidate, existing, relation.arity(),
+                                       qe, qe_calls));
+    if (inside) return true;
+  }
+  std::size_t total_atoms = 0;
+  for (const GeneralizedTuple& existing : relation.tuples()) {
+    total_atoms += existing.atoms.size();
+  }
+  if (relation.tuples().size() <= 4 && total_atoms <= 12) {
+    std::vector<Formula> cand_atoms;
+    for (const Atom& atom : candidate.atoms) {
+      cand_atoms.push_back(Formula::MakeAtom(atom));
+    }
+    std::vector<int> columns(relation.arity());
+    for (int i = 0; i < relation.arity(); ++i) columns[i] = i;
+    Formula covered = RelationToFormula(relation, columns);
+    Formula witness =
+        Formula::And(Formula::And(cand_atoms), Formula::Not(covered));
+    for (int v = relation.arity(); v-- > 0;) {
+      witness = Formula::Exists(v, std::move(witness));
+    }
+    ++*qe_calls;
+    CCDB_ASSIGN_OR_RETURN(bool has_witness, DecideSentence(witness, qe));
+    return !has_witness;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
+    const DatalogProgram& program,
+    const std::map<std::string, ConstraintRelation>& edb,
+    const DatalogOptions& options, DatalogStats* stats) {
+  DatalogStats local;
+  DatalogStats* s = stats != nullptr ? stats : &local;
+  *s = DatalogStats();
+
+  std::map<std::string, ConstraintRelation> idb;
+  for (const auto& [name, arity] : program.idb_arities) {
+    if (edb.count(name) != 0) {
+      return Status::InvalidArgument("relation " + name +
+                                     " is both EDB and IDB");
+    }
+    idb.emplace(name, ConstraintRelation(arity));
+  }
+  for (const DatalogRule& rule : program.rules) {
+    if (program.idb_arities.count(rule.head) == 0) {
+      return Status::InvalidArgument("rule head " + rule.head +
+                                     " is not a declared IDB relation");
+    }
+  }
+
+  auto lookup = [&edb, &idb](const std::string& name)
+      -> StatusOr<ConstraintRelation> {
+    auto it = idb.find(name);
+    if (it != idb.end()) return it->second;
+    auto jt = edb.find(name);
+    if (jt != edb.end()) return jt->second;
+    return Status::NotFound("unknown relation " + name);
+  };
+
+  for (int round = 0; round < options.max_iterations; ++round) {
+    ++s->iterations;
+    bool grew = false;
+    // Evaluate all rules against the CURRENT interpretation (simultaneous
+    // inflationary step), then merge.
+    std::map<std::string, std::vector<GeneralizedTuple>> derived;
+    for (const DatalogRule& rule : program.rules) {
+      CCDB_ASSIGN_OR_RETURN(Formula body, RuleToFormula(rule));
+      CCDB_ASSIGN_OR_RETURN(Formula instantiated,
+                            body.InstantiateRelations(lookup));
+      QeStats qe_stats;
+      ++s->qe_calls;
+      CCDB_ASSIGN_OR_RETURN(
+          ConstraintRelation result,
+          EliminateQuantifiers(instantiated,
+                               static_cast<int>(rule.head_vars.size()),
+                               options.qe, &qe_stats));
+      s->max_bits = std::max(s->max_bits, qe_stats.max_intermediate_bits);
+      if (options.precision_k != 0 && s->max_bits > options.precision_k) {
+        return Status::Undefined(
+            "Datalog^F_QE: iteration needs integers of bit length " +
+            std::to_string(s->max_bits) + " > k = " +
+            std::to_string(options.precision_k));
+      }
+      auto& bucket = derived[rule.head];
+      for (const GeneralizedTuple& tuple : result.tuples()) {
+        bucket.push_back(tuple);
+      }
+    }
+    for (auto& [name, tuples] : derived) {
+      ConstraintRelation& current = idb.at(name);
+      for (GeneralizedTuple& tuple : tuples) {
+        CCDB_ASSIGN_OR_RETURN(
+            bool contained,
+            TupleContained(tuple, current, options.qe, &s->qe_calls));
+        if (contained) continue;
+        current.AddTuple(std::move(tuple));
+        grew = true;
+      }
+      *current.mutable_tuples() =
+          SimplifyTuples(std::move(*current.mutable_tuples()));
+    }
+    if (!grew) {
+      s->reached_fixpoint = true;
+      return idb;
+    }
+  }
+  return Status::OutOfRange(
+      "Datalog evaluation did not reach a fixpoint within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace ccdb

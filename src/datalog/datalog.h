@@ -1,0 +1,75 @@
+#ifndef CCDB_DATALOG_DATALOG_H_
+#define CCDB_DATALOG_DATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/formula.h"
+#include "qe/qe.h"
+
+namespace ccdb {
+
+/// One literal in a Datalog rule body: either a (possibly negated) relation
+/// atom over variable indices, or a polynomial constraint atom.
+struct DatalogLiteral {
+  bool is_relation = false;
+  bool negated = false;  // relation literals only (inflationary negation)
+  std::string relation;
+  std::vector<int> args;
+  Atom constraint;
+
+  static DatalogLiteral Rel(std::string name, std::vector<int> args,
+                            bool negated = false);
+  static DatalogLiteral Constraint(Atom atom);
+};
+
+/// A rule head(head_vars) :- body. Head variables are rule-local indices;
+/// body variables not in the head are existentially quantified.
+struct DatalogRule {
+  std::string head;
+  std::vector<int> head_vars;
+  std::vector<DatalogLiteral> body;
+};
+
+/// A Datalog¬ program over constraint relations (the language
+/// Datalog¬_F,QE of Section 4): rules with inflationary negation, evaluated
+/// by calling the QE algorithm at each iteration.
+struct DatalogProgram {
+  /// Declared arities of the intensional relations.
+  std::map<std::string, int> idb_arities;
+  std::vector<DatalogRule> rules;
+};
+
+struct DatalogOptions {
+  /// Hard iteration cap (the paper's PTIME bound is enforced by the finite
+  /// precision context; this is the engineering backstop).
+  int max_iterations = 64;
+  /// When positive, the finite-precision context Z_k: evaluation is
+  /// undefined as soon as any materialized integer exceeds k bits
+  /// (Theorem 4.7's setting; guarantees termination in PTIME).
+  std::uint32_t precision_k = 0;
+  QeOptions qe;
+};
+
+struct DatalogStats {
+  int iterations = 0;
+  bool reached_fixpoint = false;
+  std::uint64_t max_bits = 0;
+  std::uint64_t qe_calls = 0;
+};
+
+/// Evaluates the program under the INFLATIONARY semantics: each iteration
+/// adds the tuples derived by every rule against the current
+/// interpretation (negation evaluated against the current interpretation),
+/// until a (semantic) fixpoint. Returns the final interpretation of all
+/// IDB relations. The EDB relations are read-only inputs.
+StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
+    const DatalogProgram& program,
+    const std::map<std::string, ConstraintRelation>& edb,
+    const DatalogOptions& options = {}, DatalogStats* stats = nullptr);
+
+}  // namespace ccdb
+
+#endif  // CCDB_DATALOG_DATALOG_H_

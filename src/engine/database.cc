@@ -1,0 +1,68 @@
+#include "engine/database.h"
+
+#include "base/logging.h"
+#include "query/lower.h"
+#include "query/parser.h"
+
+namespace ccdb {
+
+ConstraintDatabase::ConstraintDatabase(CalcFOptions options)
+    : options_(std::move(options)) {}
+
+CalcFEvaluator::RelationLookup ConstraintDatabase::MakeLookup() const {
+  const Catalog* catalog = &catalog_;
+  return [catalog](const std::string& name) -> StatusOr<ConstraintRelation> {
+    return catalog->GetRelation(name);
+  };
+}
+
+Status ConstraintDatabase::Define(const std::string& definition) {
+  return catalog_.AddRelationFromText(definition);
+}
+
+Status ConstraintDatabase::Register(const std::string& name,
+                                    ConstraintRelation relation) {
+  return catalog_.AddRelation(name, std::move(relation));
+}
+
+Status ConstraintDatabase::Drop(const std::string& name) {
+  return catalog_.DropRelation(name);
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
+  CalcFEvaluator evaluator(MakeLookup(), options_);
+  return evaluator.EvaluateText(text);
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
+                                                  std::uint32_t k,
+                                                  FpQeStats* stats) const {
+  CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
+  std::vector<std::string> columns = parsed->FreeVarNames();
+  VarEnv env;
+  for (const std::string& column : columns) env.Intern(column);
+  int arity = env.next_index;
+  CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*parsed, &env));
+  CCDB_ASSIGN_OR_RETURN(Formula instantiated,
+                        lowered.InstantiateRelations(MakeLookup()));
+  CalcFResult result;
+  CCDB_ASSIGN_OR_RETURN(
+      result.relation,
+      EliminateQuantifiersFp(instantiated, arity, FpContext{k}, stats));
+  result.column_names = std::move(columns);
+  return result;
+}
+
+StatusOr<std::vector<std::vector<Rational>>> ConstraintDatabase::Solve(
+    const std::string& text, const Rational& epsilon) const {
+  CCDB_ASSIGN_OR_RETURN(CalcFResult result, Query(text));
+  return ApproximateSolutions(result.relation, epsilon);
+}
+
+Status ConstraintDatabase::Load(const std::string& path) {
+  CCDB_ASSIGN_OR_RETURN(Catalog loaded, Catalog::LoadFromFile(path));
+  catalog_ = std::move(loaded);
+  return Status::Ok();
+}
+
+}  // namespace ccdb

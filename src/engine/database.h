@@ -1,0 +1,81 @@
+#ifndef CCDB_ENGINE_DATABASE_H_
+#define CCDB_ENGINE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fp/fp_semantics.h"
+#include "numeric/numerical_eval.h"
+#include "query/calcf.h"
+#include "storage/catalog.h"
+
+namespace ccdb {
+
+/// The public facade of the constraint database system: a catalog of
+/// finitely representable relations plus the CALC_F query processor,
+/// covering the paper's full pipeline — INSTANTIATION, QUANTIFIER
+/// ELIMINATION, NUMERICAL EVALUATION, and AGGREGATE EVALUATION (Figure 1
+/// and Section 5).
+///
+/// Example:
+///
+///   ConstraintDatabase db;
+///   db.Define("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0");
+///   auto q = db.Query("exists y (S(x, y) and y <= 0)");
+///   auto points = db.Solve("exists y (S(x, y) and y <= 0)", epsilon);
+///   auto area = db.Query("SURFACE[x, y](S(x, y) and y <= 9)(z)");
+class ConstraintDatabase {
+ public:
+  explicit ConstraintDatabase(CalcFOptions options = {});
+
+  /// Defines a relation from "Name(cols...) := quantifier-free formula".
+  Status Define(const std::string& definition);
+  /// Registers an already-built relation (e.g. a previous query's output —
+  /// the closed-form property of Theorem 5.5 makes this sound).
+  Status Register(const std::string& name, ConstraintRelation relation);
+  Status Drop(const std::string& name);
+  std::vector<std::string> RelationNames() const { return catalog_.RelationNames(); }
+  StatusOr<ConstraintRelation> Relation(const std::string& name) const {
+    return catalog_.GetRelation(name);
+  }
+
+  /// Evaluates a CALC_F query under the exact semantics; the result is a
+  /// constraint relation in closed form plus scalar/statistics extras.
+  StatusOr<CalcFResult> Query(const std::string& text) const;
+
+  /// Evaluates a pure first-order query under the finite precision
+  /// semantics FO^F_QE with bit budget k (Section 4); partial — returns
+  /// kUndefined on precision overflow. Aggregates and analytic functions
+  /// are not part of FO^F_QE.
+  StatusOr<CalcFResult> QueryFp(const std::string& text, std::uint32_t k,
+                                FpQeStats* stats = nullptr) const;
+
+  /// Full pipeline through NUMERICAL EVALUATION (Figure 1): runs the query
+  /// and, when the answer set is finite, returns epsilon-approximations of
+  /// all answer points (Theorem 3.2).
+  StatusOr<std::vector<std::vector<Rational>>> Solve(
+      const std::string& text, const Rational& epsilon) const;
+
+  /// Membership of a point in a stored relation (index-accelerated).
+  StatusOr<bool> Contains(const std::string& name,
+                          const std::vector<Rational>& point) const {
+    return catalog_.Contains(name, point);
+  }
+
+  Status Save(const std::string& path) const { return catalog_.SaveToFile(path); }
+  Status Load(const std::string& path);
+
+  const Catalog& catalog() const { return catalog_; }
+  const CalcFOptions& options() const { return options_; }
+
+ private:
+  CalcFEvaluator::RelationLookup MakeLookup() const;
+
+  CalcFOptions options_;
+  Catalog catalog_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_ENGINE_DATABASE_H_

@@ -1,0 +1,175 @@
+#include "numeric/approx.h"
+
+#include <cmath>
+
+#include "arith/floatk.h"
+#include "base/logging.h"
+
+namespace ccdb {
+
+StatusOr<AnalyticKind> AnalyticKindFromName(const std::string& name) {
+  if (name == "exp") return AnalyticKind::kExp;
+  if (name == "log") return AnalyticKind::kLog;
+  if (name == "sin") return AnalyticKind::kSin;
+  if (name == "cos") return AnalyticKind::kCos;
+  if (name == "sqrt") return AnalyticKind::kSqrt;
+  if (name == "atan") return AnalyticKind::kAtan;
+  return Status::NotFound("unknown analytic function: " + name);
+}
+
+const char* AnalyticKindName(AnalyticKind kind) {
+  switch (kind) {
+    case AnalyticKind::kExp:
+      return "exp";
+    case AnalyticKind::kLog:
+      return "log";
+    case AnalyticKind::kSin:
+      return "sin";
+    case AnalyticKind::kCos:
+      return "cos";
+    case AnalyticKind::kSqrt:
+      return "sqrt";
+    case AnalyticKind::kAtan:
+      return "atan";
+  }
+  return "?";
+}
+
+double EvalAnalytic(AnalyticKind kind, double x) {
+  switch (kind) {
+    case AnalyticKind::kExp:
+      return std::exp(x);
+    case AnalyticKind::kLog:
+      return std::log(x);
+    case AnalyticKind::kSin:
+      return std::sin(x);
+    case AnalyticKind::kCos:
+      return std::cos(x);
+    case AnalyticKind::kSqrt:
+      return std::sqrt(x);
+    case AnalyticKind::kAtan:
+      return std::atan(x);
+  }
+  return 0.0;
+}
+
+bool DefinedOn(AnalyticKind kind, const Interval& domain) {
+  switch (kind) {
+    case AnalyticKind::kLog:
+      return domain.lo().sign() > 0;
+    case AnalyticKind::kSqrt:
+      return domain.lo().sign() >= 0;
+    default:
+      return true;
+  }
+}
+
+ApproxModule::ApproxModule(int order) : order_(order) {
+  CCDB_CHECK_MSG(order >= 1, "approximation order must be >= 1");
+}
+
+namespace {
+
+// Exact rational from a finite double (binary expansion).
+Rational RationalFromDouble(double x) {
+  return FloatK::FromDouble(x).ToRational();
+}
+
+}  // namespace
+
+StatusOr<ApproxResult> ApproxModule::Approximate(AnalyticKind kind,
+                                                 const Interval& domain) const {
+  ++call_count_;
+  if (!DefinedOn(kind, domain)) {
+    return Status::InvalidArgument(
+        std::string(AnalyticKindName(kind)) + " undefined on " +
+        domain.ToString());
+  }
+  const int n = order_ + 1;  // interpolation nodes
+  double a = domain.lo().ToDouble();
+  double b = domain.hi().ToDouble();
+  double mid = 0.5 * (a + b);
+  double half = 0.5 * (b - a);
+
+  // Chebyshev nodes and values.
+  std::vector<double> nodes(n), values(n);
+  for (int j = 0; j < n; ++j) {
+    double theta = M_PI * (2.0 * j + 1.0) / (2.0 * n);
+    nodes[j] = mid + half * std::cos(theta);
+    values[j] = EvalAnalytic(kind, nodes[j]);
+  }
+
+  // Newton divided differences.
+  std::vector<double> dd = values;
+  for (int level = 1; level < n; ++level) {
+    for (int j = n - 1; j >= level; --j) {
+      dd[j] = (dd[j] - dd[j - 1]) / (nodes[j] - nodes[j - level]);
+    }
+  }
+  // Expand Newton form to monomial coefficients (in double), then make the
+  // coefficients exact dyadic rationals.
+  std::vector<double> coeffs(n, 0.0);
+  std::vector<double> basis(n, 0.0);  // running product prod (x - nodes[i])
+  basis[0] = 1.0;
+  int basis_degree = 0;
+  for (int level = 0; level < n; ++level) {
+    for (int d = 0; d <= basis_degree; ++d) {
+      coeffs[d] += dd[level] * basis[d];
+    }
+    if (level + 1 < n) {
+      // basis *= (x - nodes[level]).
+      for (int d = basis_degree + 1; d >= 1; --d) {
+        basis[d] = (d - 1 <= basis_degree ? basis[d - 1] : 0.0) -
+                   nodes[level] * (d <= basis_degree ? basis[d] : 0.0);
+      }
+      basis[0] = -nodes[level] * basis[0];
+      ++basis_degree;
+    }
+  }
+
+  std::vector<Rational> exact_coeffs;
+  exact_coeffs.reserve(n);
+  for (double c : coeffs) {
+    if (!std::isfinite(c)) {
+      return Status::NumericalFailure("non-finite interpolation coefficient");
+    }
+    exact_coeffs.push_back(RationalFromDouble(c));
+  }
+  ApproxResult result;
+  result.poly = UPoly(std::move(exact_coeffs));
+
+  // A-posteriori error estimate on a sampling grid.
+  double max_err = 0.0;
+  const int samples = 64;
+  for (int i = 0; i <= samples; ++i) {
+    double x = a + (b - a) * i / samples;
+    double approx = 0.0;
+    for (int d = static_cast<int>(coeffs.size()) - 1; d >= 0; --d) {
+      approx = approx * x + coeffs[d];
+    }
+    double err = std::abs(approx - EvalAnalytic(kind, x));
+    if (err > max_err) max_err = err;
+  }
+  result.max_error_estimate = max_err;
+  return result;
+}
+
+ABase ABase::Uniform(const Rational& lo, const Rational& hi, int pieces) {
+  CCDB_CHECK_MSG(pieces >= 1 && lo < hi, "invalid uniform a-base");
+  ABase base;
+  Rational width = (hi - lo) / Rational(pieces);
+  for (int i = 0; i <= pieces; ++i) {
+    base.breakpoints.push_back(lo + width * Rational(i));
+  }
+  return base;
+}
+
+std::vector<Interval> ABase::Intervals() const {
+  std::vector<Interval> out;
+  for (std::size_t i = 0; i + 1 < breakpoints.size(); ++i) {
+    out.emplace_back(breakpoints[i], breakpoints[i + 1]);
+  }
+  return out;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,82 @@
+#ifndef CCDB_NUMERIC_APPROX_H_
+#define CCDB_NUMERIC_APPROX_H_
+
+#include <string>
+#include <vector>
+
+#include "arith/interval.h"
+#include "base/status.h"
+#include "poly/upoly.h"
+
+namespace ccdb {
+
+/// The analytical (non semi-algebraic) functions CALC_F admits (paper,
+/// Section 5: "polynomial, exponential, logarithmic, trigonometric
+/// functions, etc."). By Van den Dries's theorem ([Dr82], discussed in the
+/// paper's Section 3 remark) these make quantifier elimination impossible,
+/// which is exactly why they enter only through polynomial approximation.
+enum class AnalyticKind {
+  kExp,
+  kLog,
+  kSin,
+  kCos,
+  kSqrt,
+  kAtan,
+};
+
+/// Parses "exp", "log", "sin", "cos", "sqrt", "atan".
+StatusOr<AnalyticKind> AnalyticKindFromName(const std::string& name);
+const char* AnalyticKindName(AnalyticKind kind);
+/// Double-precision evaluation (the reference the approximation targets).
+double EvalAnalytic(AnalyticKind kind, double x);
+/// True iff the function is defined on the whole interval.
+bool DefinedOn(AnalyticKind kind, const Interval& domain);
+
+/// A produced approximation: a degree <= order polynomial with rational
+/// coefficients, plus an a-posteriori max-error estimate over the domain.
+struct ApproxResult {
+  UPoly poly;
+  double max_error_estimate = 0.0;
+};
+
+/// A k-order approximation module (paper, Definition 5.2): maps a function
+/// and an interval to a degree-k polynomial over F[X] approximating it.
+/// Implemented by Chebyshev interpolation (near-minimax); coefficients are
+/// materialized as exact dyadic rationals so the downstream QE stays exact.
+class ApproxModule {
+ public:
+  explicit ApproxModule(int order);
+
+  int order() const { return order_; }
+  /// Number of approximation calls served (Theorem 5.5 counts these).
+  std::uint64_t call_count() const { return call_count_; }
+  void ResetCallCount() const { call_count_ = 0; }
+
+  /// Approximates `kind` over `domain`; kInvalidArgument when the function
+  /// is undefined somewhere on the domain (e.g. log on [-1,1] — the paper's
+  /// singular-point caveat in Section 5).
+  StatusOr<ApproxResult> Approximate(AnalyticKind kind,
+                                     const Interval& domain) const;
+
+ private:
+  int order_;
+  mutable std::uint64_t call_count_ = 0;
+};
+
+/// An approximation base (paper, Section 5): an increasing list of
+/// breakpoints b_1 < ... < b_{l-1} splitting the line into intervals over
+/// which functions are approximated piecewise.
+struct ABase {
+  std::vector<Rational> breakpoints;
+
+  /// Uniform a-base with `pieces` intervals across [lo, hi].
+  static ABase Uniform(const Rational& lo, const Rational& hi, int pieces);
+
+  /// The finite intervals [b_i, b_{i+1}] (the unbounded outer pieces are
+  /// the query layer's responsibility).
+  std::vector<Interval> Intervals() const;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_NUMERIC_APPROX_H_

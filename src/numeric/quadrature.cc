@@ -1,0 +1,82 @@
+#include "numeric/quadrature.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+namespace {
+
+struct SimpsonState {
+  const std::function<double(double)>* f;
+  std::uint64_t evaluations = 0;
+  // Residual |delta| accumulated on subintervals whose recursion budget ran
+  // out (integrable endpoint singularities); reported as extra error.
+  double unconverged_error = 0.0;
+};
+
+double Eval(SimpsonState* state, double x) {
+  ++state->evaluations;
+  return (*state->f)(x);
+}
+
+// Classic adaptive Simpson with Richardson correction.
+double Recurse(SimpsonState* state, double a, double b, double fa, double fm,
+               double fb, double whole, double tol, int depth) {
+  double m = 0.5 * (a + b);
+  double lm = 0.5 * (a + m);
+  double rm = 0.5 * (m + b);
+  double flm = Eval(state, lm);
+  double frm = Eval(state, rm);
+  double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  double delta = left + right - whole;
+  if (std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  if (depth <= 0) {
+    state->unconverged_error += std::abs(delta);
+    return left + right + delta / 15.0;
+  }
+  return Recurse(state, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         Recurse(state, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+StatusOr<QuadratureResult> AdaptiveSimpson(
+    const std::function<double(double)>& f, double a, double b, double tol,
+    int max_depth) {
+  CCDB_CHECK_MSG(tol > 0.0, "tolerance must be positive");
+  if (a == b) return QuadratureResult{0.0, 0.0, 0};
+  SimpsonState state{&f};
+  double fa = Eval(&state, a);
+  double fb = Eval(&state, b);
+  double fm = Eval(&state, 0.5 * (a + b));
+  double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  double value = Recurse(&state, a, b, fa, fm, fb, whole, tol, max_depth);
+  if (!std::isfinite(value)) {
+    return Status::NumericalFailure("non-finite integral value");
+  }
+  return QuadratureResult{value, tol + state.unconverged_error,
+                          state.evaluations};
+}
+
+UPoly AntiDerivative(const UPoly& p) {
+  if (p.is_zero()) return UPoly();
+  std::vector<Rational> coeffs(p.coefficients().size() + 1, Rational(0));
+  for (std::size_t i = 0; i < p.coefficients().size(); ++i) {
+    coeffs[i + 1] =
+        p.coefficients()[i] / Rational(static_cast<std::int64_t>(i + 1));
+  }
+  return UPoly(std::move(coeffs));
+}
+
+Rational IntegratePolynomial(const UPoly& p, const Rational& a,
+                             const Rational& b) {
+  UPoly primitive = AntiDerivative(p);
+  return primitive.Evaluate(b) - primitive.Evaluate(a);
+}
+
+}  // namespace ccdb

@@ -1,0 +1,36 @@
+#ifndef CCDB_NUMERIC_QUADRATURE_H_
+#define CCDB_NUMERIC_QUADRATURE_H_
+
+#include <functional>
+
+#include "arith/rational.h"
+#include "base/status.h"
+#include "poly/upoly.h"
+
+namespace ccdb {
+
+/// Result of a numerical integration.
+struct QuadratureResult {
+  double value = 0.0;
+  double error_estimate = 0.0;
+  std::uint64_t evaluations = 0;
+};
+
+/// Adaptive Simpson integration of f over [a, b] to absolute tolerance
+/// `tol`. The workhorse of the numerical aggregate modules (the paper cites
+/// [BF85, PTVF92] for these; we implement our own). Fails with
+/// kNumericalFailure if the recursion budget is exhausted.
+StatusOr<QuadratureResult> AdaptiveSimpson(
+    const std::function<double(double)>& f, double a, double b, double tol,
+    int max_depth = 40);
+
+/// Exact antiderivative of a univariate polynomial (constant term 0).
+UPoly AntiDerivative(const UPoly& p);
+
+/// Exact integral of a polynomial over [a, b].
+Rational IntegratePolynomial(const UPoly& p, const Rational& a,
+                             const Rational& b);
+
+}  // namespace ccdb
+
+#endif  // CCDB_NUMERIC_QUADRATURE_H_

@@ -1,0 +1,408 @@
+#include "poly/polynomial.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+Monomial::Monomial(std::vector<std::uint32_t> exponents)
+    : exponents_(std::move(exponents)) {
+  Trim();
+}
+
+void Monomial::Trim() {
+  while (!exponents_.empty() && exponents_.back() == 0) exponents_.pop_back();
+}
+
+Monomial Monomial::Var(int var, std::uint32_t exponent) {
+  CCDB_CHECK(var >= 0);
+  if (exponent == 0) return Monomial();
+  std::vector<std::uint32_t> exps(var + 1, 0);
+  exps[var] = exponent;
+  return Monomial(std::move(exps));
+}
+
+std::uint32_t Monomial::exponent(int var) const {
+  if (var < 0 || var >= static_cast<int>(exponents_.size())) return 0;
+  return exponents_[var];
+}
+
+std::uint32_t Monomial::total_degree() const {
+  std::uint32_t sum = 0;
+  for (std::uint32_t e : exponents_) sum += e;
+  return sum;
+}
+
+Monomial Monomial::operator*(const Monomial& other) const {
+  std::vector<std::uint32_t> exps(
+      std::max(exponents_.size(), other.exponents_.size()), 0);
+  for (std::size_t i = 0; i < exponents_.size(); ++i) exps[i] += exponents_[i];
+  for (std::size_t i = 0; i < other.exponents_.size(); ++i) {
+    exps[i] += other.exponents_[i];
+  }
+  return Monomial(std::move(exps));
+}
+
+StatusOr<Monomial> Monomial::Divide(const Monomial& other) const {
+  if (!other.Divides(*this)) {
+    return Status::InvalidArgument("monomial does not divide");
+  }
+  std::vector<std::uint32_t> exps = exponents_;
+  for (std::size_t i = 0; i < other.exponents_.size(); ++i) {
+    exps[i] -= other.exponents_[i];
+  }
+  return Monomial(std::move(exps));
+}
+
+bool Monomial::Divides(const Monomial& into) const {
+  if (exponents_.size() > into.exponents_.size()) return false;
+  for (std::size_t i = 0; i < exponents_.size(); ++i) {
+    if (exponents_[i] > into.exponents_[i]) return false;
+  }
+  return true;
+}
+
+Monomial Monomial::Pow(std::uint32_t exponent) const {
+  std::vector<std::uint32_t> exps = exponents_;
+  for (auto& e : exps) e *= exponent;
+  return Monomial(std::move(exps));
+}
+
+bool Monomial::operator<(const Monomial& other) const {
+  // Lex with higher variable indices more significant.
+  std::size_t n = std::max(exponents_.size(), other.exponents_.size());
+  for (std::size_t i = n; i-- > 0;) {
+    std::uint32_t a = i < exponents_.size() ? exponents_[i] : 0;
+    std::uint32_t b = i < other.exponents_.size() ? other.exponents_[i] : 0;
+    if (a != b) return a < b;
+  }
+  return false;
+}
+
+std::string Monomial::ToString(const std::vector<std::string>& names) const {
+  if (is_one()) return "1";
+  std::string out;
+  for (std::size_t i = 0; i < exponents_.size(); ++i) {
+    if (exponents_[i] == 0) continue;
+    if (!out.empty()) out += "*";
+    if (i < names.size()) {
+      out += names[i];
+    } else {
+      out += "x" + std::to_string(i);
+    }
+    if (exponents_[i] > 1) out += "^" + std::to_string(exponents_[i]);
+  }
+  return out;
+}
+
+Polynomial::Polynomial(Rational constant) {
+  if (!constant.is_zero()) terms_.emplace(Monomial(), std::move(constant));
+}
+
+Polynomial::Polynomial(std::int64_t constant) : Polynomial(Rational(constant)) {}
+
+Polynomial Polynomial::Var(int var) {
+  return Term(Rational(1), Monomial::Var(var));
+}
+
+Polynomial Polynomial::Term(Rational coefficient, Monomial monomial) {
+  Polynomial p;
+  if (!coefficient.is_zero()) {
+    p.terms_.emplace(std::move(monomial), std::move(coefficient));
+  }
+  return p;
+}
+
+Rational Polynomial::constant_value() const {
+  auto it = terms_.find(Monomial());
+  return it == terms_.end() ? Rational(0) : it->second;
+}
+
+int Polynomial::max_var() const {
+  int result = -1;
+  for (const auto& [monomial, coeff] : terms_) {
+    result = std::max(result, monomial.max_var());
+  }
+  return result;
+}
+
+std::uint32_t Polynomial::TotalDegree() const {
+  std::uint32_t degree = 0;
+  for (const auto& [monomial, coeff] : terms_) {
+    degree = std::max(degree, monomial.total_degree());
+  }
+  return degree;
+}
+
+std::uint32_t Polynomial::DegreeIn(int var) const {
+  std::uint32_t degree = 0;
+  for (const auto& [monomial, coeff] : terms_) {
+    degree = std::max(degree, monomial.exponent(var));
+  }
+  return degree;
+}
+
+void Polynomial::AddTerm(const Monomial& monomial,
+                         const Rational& coefficient) {
+  if (coefficient.is_zero()) return;
+  auto [it, inserted] = terms_.emplace(monomial, coefficient);
+  if (!inserted) {
+    it->second += coefficient;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial result = *this;
+  for (auto& [monomial, coeff] : result.terms_) coeff = -coeff;
+  return result;
+}
+
+Polynomial Polynomial::operator+(const Polynomial& other) const {
+  Polynomial result = *this;
+  for (const auto& [monomial, coeff] : other.terms_) {
+    result.AddTerm(monomial, coeff);
+  }
+  return result;
+}
+
+Polynomial Polynomial::operator-(const Polynomial& other) const {
+  Polynomial result = *this;
+  for (const auto& [monomial, coeff] : other.terms_) {
+    result.AddTerm(monomial, -coeff);
+  }
+  return result;
+}
+
+Polynomial Polynomial::operator*(const Polynomial& other) const {
+  Polynomial result;
+  for (const auto& [m1, c1] : terms_) {
+    for (const auto& [m2, c2] : other.terms_) {
+      result.AddTerm(m1 * m2, c1 * c2);
+    }
+  }
+  return result;
+}
+
+Polynomial Polynomial::Scale(const Rational& factor) const {
+  if (factor.is_zero()) return Polynomial();
+  Polynomial result = *this;
+  for (auto& [monomial, coeff] : result.terms_) coeff *= factor;
+  return result;
+}
+
+Polynomial Polynomial::Pow(std::uint32_t exponent) const {
+  Polynomial result(Rational(1));
+  Polynomial base = *this;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= base;
+    base *= base;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+Polynomial Polynomial::Derivative(int var) const {
+  Polynomial result;
+  for (const auto& [monomial, coeff] : terms_) {
+    std::uint32_t e = monomial.exponent(var);
+    if (e == 0) continue;
+    auto reduced = monomial.Divide(Monomial::Var(var));
+    CCDB_CHECK(reduced.ok());
+    result.AddTerm(*reduced, coeff * Rational(static_cast<std::int64_t>(e)));
+  }
+  return result;
+}
+
+Rational Polynomial::Evaluate(const std::vector<Rational>& point) const {
+  Rational total(0);
+  for (const auto& [monomial, coeff] : terms_) {
+    Rational term = coeff;
+    for (int v = 0; v <= monomial.max_var(); ++v) {
+      std::uint32_t e = monomial.exponent(v);
+      if (e == 0) continue;
+      CCDB_CHECK_MSG(v < static_cast<int>(point.size()),
+                     "evaluation point does not cover variable " << v);
+      term *= point[v].Pow(static_cast<std::int32_t>(e));
+    }
+    total += term;
+  }
+  return total;
+}
+
+Polynomial Polynomial::Substitute(int var, const Rational& value) const {
+  Polynomial result;
+  for (const auto& [monomial, coeff] : terms_) {
+    std::uint32_t e = monomial.exponent(var);
+    if (e == 0) {
+      result.AddTerm(monomial, coeff);
+      continue;
+    }
+    auto reduced = monomial.Divide(Monomial::Var(var, e));
+    CCDB_CHECK(reduced.ok());
+    result.AddTerm(*reduced, coeff * value.Pow(static_cast<std::int32_t>(e)));
+  }
+  return result;
+}
+
+Polynomial Polynomial::SubstitutePoly(int var,
+                                      const Polynomial& replacement) const {
+  Polynomial result;
+  for (const auto& [monomial, coeff] : terms_) {
+    std::uint32_t e = monomial.exponent(var);
+    auto reduced = monomial.Divide(Monomial::Var(var, e));
+    CCDB_CHECK(reduced.ok());
+    Polynomial term = Polynomial::Term(coeff, *reduced);
+    if (e > 0) term *= replacement.Pow(e);
+    result += term;
+  }
+  return result;
+}
+
+Polynomial Polynomial::RenameVars(const std::vector<int>& mapping) const {
+  Polynomial result;
+  for (const auto& [monomial, coeff] : terms_) {
+    Monomial renamed;
+    for (int v = 0; v <= monomial.max_var(); ++v) {
+      std::uint32_t e = monomial.exponent(v);
+      if (e == 0) continue;
+      CCDB_CHECK_MSG(v < static_cast<int>(mapping.size()),
+                     "rename mapping does not cover variable " << v);
+      renamed = renamed * Monomial::Var(mapping[v], e);
+    }
+    result.AddTerm(renamed, coeff);
+  }
+  return result;
+}
+
+Interval Polynomial::EvaluateInterval(const std::vector<Interval>& box) const {
+  Interval total(Rational(0));
+  for (const auto& [monomial, coeff] : terms_) {
+    Interval term(coeff);
+    for (int v = 0; v <= monomial.max_var(); ++v) {
+      std::uint32_t e = monomial.exponent(v);
+      if (e == 0) continue;
+      CCDB_CHECK_MSG(v < static_cast<int>(box.size()),
+                     "interval box does not cover variable " << v);
+      term = term * box[v].Pow(e);
+    }
+    total = total + term;
+  }
+  return total;
+}
+
+std::vector<Polynomial> Polynomial::CoefficientsIn(int var) const {
+  std::vector<Polynomial> coeffs(DegreeIn(var) + 1);
+  for (const auto& [monomial, coeff] : terms_) {
+    std::uint32_t e = monomial.exponent(var);
+    auto reduced = monomial.Divide(Monomial::Var(var, e));
+    CCDB_CHECK(reduced.ok());
+    coeffs[e].AddTerm(*reduced, coeff);
+  }
+  return coeffs;
+}
+
+Polynomial Polynomial::FromCoefficientsIn(
+    int var, const std::vector<Polynomial>& coeffs) {
+  Polynomial result;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    result += coeffs[i] * Polynomial::Term(
+                              Rational(1),
+                              Monomial::Var(var, static_cast<std::uint32_t>(i)));
+  }
+  return result;
+}
+
+Polynomial Polynomial::LeadingCoefficientIn(int var) const {
+  if (is_zero()) return Polynomial();
+  return CoefficientsIn(var).back();
+}
+
+Polynomial Polynomial::IntegerNormalized(Rational* factor) const {
+  if (is_zero()) {
+    if (factor != nullptr) *factor = Rational(1);
+    return Polynomial();
+  }
+  // lcm of denominators.
+  BigInt den_lcm(1);
+  for (const auto& [monomial, coeff] : terms_) {
+    const BigInt& den = coeff.denominator();
+    den_lcm = den_lcm / BigInt::Gcd(den_lcm, den) * den;
+  }
+  // gcd of scaled numerators.
+  BigInt num_gcd(0);
+  for (const auto& [monomial, coeff] : terms_) {
+    BigInt scaled = coeff.numerator() * (den_lcm / coeff.denominator());
+    num_gcd = BigInt::Gcd(num_gcd, scaled);
+  }
+  Rational scale(den_lcm, num_gcd);  // multiply by this
+  // Positive leading coefficient in the term order.
+  const Rational& leading = terms_.rbegin()->second;
+  if ((leading * scale).sign() < 0) scale = -scale;
+  if (factor != nullptr) *factor = scale.Inverse();
+  return Scale(scale);
+}
+
+std::uint64_t Polynomial::MaxCoefficientBitLength() const {
+  std::uint64_t bits = 0;
+  for (const auto& [monomial, coeff] : terms_) {
+    bits = std::max(bits, coeff.bit_length());
+  }
+  return bits;
+}
+
+bool Polynomial::operator<(const Polynomial& other) const {
+  auto it = terms_.begin();
+  auto jt = other.terms_.begin();
+  for (; it != terms_.end() && jt != other.terms_.end(); ++it, ++jt) {
+    if (it->first != jt->first) return it->first < jt->first;
+    int cmp = it->second.Compare(jt->second);
+    if (cmp != 0) return cmp < 0;
+  }
+  return it == terms_.end() && jt != other.terms_.end();
+}
+
+std::size_t Polynomial::Hash() const {
+  std::size_t h = 1469598103934665603ull;
+  for (const auto& [monomial, coeff] : terms_) {
+    for (int v = 0; v <= monomial.max_var(); ++v) {
+      h = h * 1099511628211ull + monomial.exponent(v);
+    }
+    h = h * 1099511628211ull + coeff.Hash();
+  }
+  return h;
+}
+
+std::string Polynomial::ToString(const std::vector<std::string>& names) const {
+  if (is_zero()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  // Print highest monomial first for conventional reading order.
+  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+    const auto& [monomial, coeff] = *it;
+    Rational magnitude = coeff.Abs();
+    if (first) {
+      if (coeff.sign() < 0) out << "-";
+      first = false;
+    } else {
+      out << (coeff.sign() < 0 ? " - " : " + ");
+    }
+    if (monomial.is_one()) {
+      out << magnitude.ToString();
+    } else if (magnitude == Rational(1)) {
+      out << monomial.ToString(names);
+    } else {
+      out << magnitude.ToString() << "*" << monomial.ToString(names);
+    }
+  }
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p) {
+  return os << p.ToString();
+}
+
+}  // namespace ccdb

@@ -1,0 +1,309 @@
+#include "poly/resultant.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+namespace {
+
+// Leading term (in the global lex term order) of a nonzero polynomial.
+std::pair<Monomial, Rational> LeadingTerm(const Polynomial& p) {
+  CCDB_DCHECK(!p.is_zero());
+  auto it = p.terms().rbegin();
+  return {it->first, it->second};
+}
+
+}  // namespace
+
+StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b) {
+  CCDB_CHECK_MSG(!b.is_zero(), "multivariate division by zero");
+  if (a.is_zero()) return Polynomial();
+  Polynomial remainder = a;
+  Polynomial quotient;
+  auto [lead_b_mono, lead_b_coeff] = LeadingTerm(b);
+  while (!remainder.is_zero()) {
+    auto [lead_r_mono, lead_r_coeff] = LeadingTerm(remainder);
+    auto mono = lead_r_mono.Divide(lead_b_mono);
+    if (!mono.ok()) {
+      return Status::InvalidArgument("inexact multivariate division");
+    }
+    Polynomial term =
+        Polynomial::Term(lead_r_coeff / lead_b_coeff, *mono);
+    quotient += term;
+    remainder -= term * b;
+  }
+  return quotient;
+}
+
+Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var) {
+  std::uint32_t deg_b = b.DegreeIn(var);
+  CCDB_CHECK_MSG(!b.is_zero(), "pseudo-remainder by zero");
+  Polynomial lc_b = b.LeadingCoefficientIn(var);
+  Polynomial r = a;
+  std::uint32_t deg_a = a.DegreeIn(var);
+  if (a.is_zero() || deg_a < deg_b) {
+    return r;  // prem(a, b) = lc^{0} * a
+  }
+  std::int64_t steps_budget =
+      static_cast<std::int64_t>(deg_a) - static_cast<std::int64_t>(deg_b) + 1;
+  std::int64_t steps = 0;
+  while (!r.is_zero() && r.DegreeIn(var) >= deg_b) {
+    std::uint32_t deg_r = r.DegreeIn(var);
+    Polynomial lc_r = r.LeadingCoefficientIn(var);
+    Polynomial shift =
+        Polynomial::Term(Rational(1), Monomial::Var(var, deg_r - deg_b));
+    r = lc_b * r - lc_r * shift * b;
+    ++steps;
+  }
+  // Scale so the result equals lc_b^{deg_a - deg_b + 1} * a mod b exactly.
+  for (; steps < steps_budget; ++steps) r *= lc_b;
+  return r;
+}
+
+namespace {
+
+// Subresultant PRS core (Cohen, "A Course in Computational Algebraic Number
+// Theory", algorithms 3.3.1/3.3.7). Returns the resultant of a and b with
+// respect to `var`; both must be nonzero with deg_var(a) >= deg_var(b) >= 0.
+Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
+  std::uint32_t deg_a = a.DegreeIn(var);
+  std::uint32_t deg_b = b.DegreeIn(var);
+  CCDB_DCHECK(deg_a >= deg_b);
+  if (deg_b == 0) {
+    // res(a, const-in-var) = b^{deg_a}.
+    return b.Pow(deg_a);
+  }
+  int sign = 1;
+  Polynomial g(Rational(1));
+  Polynomial h(Rational(1));
+  while (true) {
+    deg_a = a.DegreeIn(var);
+    deg_b = b.DegreeIn(var);
+    std::uint32_t delta = deg_a - deg_b;
+    if ((deg_a % 2 == 1) && (deg_b % 2 == 1)) sign = -sign;
+    Polynomial r = PseudoRem(a, b, var);
+    a = b;
+    // b = r / (g * h^delta), exact by the subresultant theorem.
+    Polynomial divisor = g * h.Pow(delta);
+    if (r.is_zero()) {
+      // Common factor of positive degree: resultant is zero.
+      return Polynomial();
+    }
+    auto divided = DivideExactMv(r, divisor);
+    CCDB_CHECK_MSG(divided.ok(), "subresultant PRS division not exact");
+    b = std::move(*divided);
+    g = a.LeadingCoefficientIn(var);
+    // h = g^delta * h^{1-delta} (exact division when delta > 1).
+    if (delta == 0) {
+      // h unchanged.
+    } else if (delta == 1) {
+      h = g;
+    } else {
+      auto hh = DivideExactMv(g.Pow(delta), h.Pow(delta - 1));
+      CCDB_CHECK_MSG(hh.ok(), "subresultant h-update division not exact");
+      h = std::move(*hh);
+    }
+    if (b.DegreeIn(var) == 0) break;
+  }
+  // Tail: res = sign * lc(b)^{deg_var(a)} / h^{deg_var(a) - 1}.
+  std::uint32_t final_deg_a = a.DegreeIn(var);
+  Polynomial numerator = b.Pow(final_deg_a);
+  Polynomial result;
+  if (final_deg_a == 0) {
+    result = Polynomial(Rational(1));
+  } else {
+    auto divided = DivideExactMv(numerator, h.Pow(final_deg_a - 1));
+    CCDB_CHECK_MSG(divided.ok(), "subresultant tail division not exact");
+    result = std::move(*divided);
+  }
+  return sign < 0 ? -result : result;
+}
+
+}  // namespace
+
+Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var) {
+  if (a.is_zero() || b.is_zero()) return Polynomial();
+  std::uint32_t deg_a = a.DegreeIn(var);
+  std::uint32_t deg_b = b.DegreeIn(var);
+  if (deg_a == 0 && deg_b == 0) return Polynomial(Rational(1));
+  if (deg_a >= deg_b) return ResultantOrdered(a, b, var);
+  Polynomial swapped = ResultantOrdered(b, a, var);
+  // res(a,b) = (-1)^{deg_a * deg_b} res(b,a).
+  if ((static_cast<std::uint64_t>(deg_a) * deg_b) % 2 == 1) {
+    return -swapped;
+  }
+  return swapped;
+}
+
+Polynomial Discriminant(const Polynomial& p, int var) {
+  std::uint32_t d = p.DegreeIn(var);
+  CCDB_CHECK_MSG(d >= 1, "discriminant requires positive degree");
+  Polynomial res = Resultant(p, p.Derivative(var), var);
+  Polynomial lc = p.LeadingCoefficientIn(var);
+  auto divided = DivideExactMv(res, lc);
+  CCDB_CHECK_MSG(divided.ok(), "discriminant division not exact");
+  Polynomial result = std::move(*divided);
+  // Sign (-1)^{d(d-1)/2}.
+  if ((static_cast<std::uint64_t>(d) * (d - 1) / 2) % 2 == 1) {
+    return -result;
+  }
+  return result;
+}
+
+Polynomial ContentIn(const Polynomial& p, int var) {
+  if (p.is_zero()) return Polynomial();
+  Polynomial content;
+  for (const Polynomial& coeff : p.CoefficientsIn(var)) {
+    if (coeff.is_zero()) continue;
+    content = MvGcd(content, coeff);
+    // Stop only at a unit: for univariate inputs the content is a
+    // CONSTANT rational gcd that must keep accumulating (it is what keeps
+    // the pseudo-remainder sequences primitive).
+    if (content.is_constant() && content.constant_value() == Rational(1)) {
+      break;
+    }
+  }
+  return content;
+}
+
+Polynomial PrimitivePartIn(const Polynomial& p, int var) {
+  if (p.is_zero()) return Polynomial();
+  Polynomial content = ContentIn(p, var);
+  auto divided = DivideExactMv(p, content);
+  CCDB_CHECK_MSG(divided.ok(), "content division not exact");
+  return *divided;
+}
+
+namespace {
+
+// gcd(0, p): |p| for constants (content semantics), the primitive
+// normalization otherwise (gcd is defined up to units of Q[x]).
+Polynomial GcdWithZero(const Polynomial& p) {
+  if (p.is_constant()) return Polynomial(p.constant_value().Abs());
+  return p.IntegerNormalized();
+}
+
+}  // namespace
+
+Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {
+  if (a.is_zero()) return b.is_zero() ? Polynomial() : GcdWithZero(b);
+  if (b.is_zero()) return GcdWithZero(a);
+  if (a.is_constant() && b.is_constant()) {
+    // Rational gcd — the base case that makes ContentIn effective (it is
+    // what keeps the pseudo-remainder sequences primitive; returning 1
+    // here would make content removal a no-op and the PRS coefficients
+    // blow up exponentially with the degree).
+    const Rational& x = a.constant_value();
+    const Rational& y = b.constant_value();
+    BigInt num = BigInt::Gcd(x.numerator() * y.denominator(),
+                             y.numerator() * x.denominator());
+    return Polynomial(Rational(num, x.denominator() * y.denominator()));
+  }
+  if (a.is_constant() || b.is_constant()) {
+    const Polynomial& constant = a.is_constant() ? a : b;
+    const Polynomial& poly = a.is_constant() ? b : a;
+    // gcd(c, p) = gcd(c, content of p in every variable) — reduce through
+    // the full content.
+    Polynomial content = poly;
+    while (!content.is_constant()) {
+      content = ContentIn(content, content.max_var());
+    }
+    return MvGcd(constant, content);
+  }
+  int var = std::max(a.max_var(), b.max_var());
+  bool a_has = a.Mentions(var);
+  bool b_has = b.Mentions(var);
+  if (!a_has && !b_has) {
+    // Should not happen given max_var, but stay safe.
+    return Polynomial(Rational(1));
+  }
+  if (!a_has) {
+    // gcd(a, b) divides a (free of var) hence divides content_var(b).
+    return MvGcd(a, ContentIn(b, var));
+  }
+  if (!b_has) {
+    return MvGcd(b, ContentIn(a, var));
+  }
+  Polynomial content_a = ContentIn(a, var);
+  Polynomial content_b = ContentIn(b, var);
+  Polynomial pp_a = PrimitivePartIn(a, var);
+  Polynomial pp_b = PrimitivePartIn(b, var);
+  // Primitive PRS on the primitive parts.
+  if (pp_a.DegreeIn(var) < pp_b.DegreeIn(var)) std::swap(pp_a, pp_b);
+  while (!pp_b.is_zero()) {
+    Polynomial r = PseudoRem(pp_a, pp_b, var);
+    pp_a = std::move(pp_b);
+    if (r.is_zero()) {
+      pp_b = Polynomial();
+    } else {
+      pp_b = PrimitivePartIn(r, var);
+    }
+  }
+  Polynomial gcd_pp =
+      pp_a.DegreeIn(var) == 0 ? Polynomial(Rational(1)) : pp_a;
+  Polynomial result = MvGcd(content_a, content_b) * gcd_pp;
+  return result.IntegerNormalized();
+}
+
+Polynomial SquarefreePartIn(const Polynomial& p, int var) {
+  if (p.is_zero()) return Polynomial();
+  if (p.DegreeIn(var) == 0) return p.IntegerNormalized();
+  Polynomial g = MvGcd(p, p.Derivative(var));
+  if (g.is_constant()) return p.IntegerNormalized();
+  auto divided = DivideExactMv(p, g);
+  if (!divided.ok()) {
+    // MvGcd is normalized up to a rational unit; retry against the exact
+    // (non-normalized) gcd scale by dividing the product form.
+    // gcd divides p over Q, so scaling g to match p's content fixes it.
+    Polynomial scaled = g;
+    auto retry = DivideExactMv(p.IntegerNormalized(), scaled);
+    CCDB_CHECK_MSG(retry.ok(), "squarefree division not exact");
+    return retry->IntegerNormalized();
+  }
+  return divided->IntegerNormalized();
+}
+
+std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
+  std::vector<Polynomial> basis;
+  auto push_unique = [&basis](const Polynomial& p) {
+    if (p.is_constant()) return;
+    Polynomial normalized = p.IntegerNormalized();
+    for (const Polynomial& existing : basis) {
+      if (existing == normalized) return;
+    }
+    basis.push_back(std::move(normalized));
+  };
+  for (const Polynomial& p : polys) {
+    if (p.is_constant()) continue;
+    push_unique(SquarefreePartIn(p, p.max_var()));
+  }
+  // Refine until pairwise coprime.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < basis.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < basis.size() && !changed; ++j) {
+        Polynomial g = MvGcd(basis[i], basis[j]);
+        if (g.is_constant()) continue;
+        auto pi = DivideExactMv(basis[i], g);
+        auto pj = DivideExactMv(basis[j], g);
+        CCDB_CHECK_MSG(pi.ok() && pj.ok(), "basis refinement division failed");
+        std::vector<Polynomial> next;
+        for (std::size_t t = 0; t < basis.size(); ++t) {
+          if (t != i && t != j) next.push_back(basis[t]);
+        }
+        basis = std::move(next);
+        push_unique(*pi);
+        push_unique(*pj);
+        push_unique(g);
+        changed = true;
+      }
+    }
+  }
+  std::sort(basis.begin(), basis.end());
+  return basis;
+}
+
+}  // namespace ccdb

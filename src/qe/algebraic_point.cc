@@ -1,0 +1,222 @@
+#include "qe/algebraic_point.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "poly/resultant.h"
+
+namespace ccdb {
+
+AlgebraicPoint AlgebraicPoint::Extended(AlgebraicNumber value) const {
+  AlgebraicPoint result = *this;
+  result.Append(std::move(value));
+  return result;
+}
+
+bool AlgebraicPoint::AllRational() const {
+  for (const AlgebraicNumber& c : coords_) {
+    if (!c.is_rational()) return false;
+  }
+  return true;
+}
+
+std::vector<Rational> AlgebraicPoint::RationalCoords() const {
+  std::vector<Rational> out;
+  out.reserve(coords_.size());
+  for (const AlgebraicNumber& c : coords_) out.push_back(c.rational_value());
+  return out;
+}
+
+Polynomial AlgebraicPoint::EliminateCoords(Polynomial q, int extra_var) const {
+  // Substitute rational coordinates exactly first (cheap, lowers degrees).
+  for (int i = 0; i < dimension(); ++i) {
+    if (coords_[i].is_rational() && q.Mentions(i)) {
+      q = q.Substitute(i, coords_[i].rational_value());
+    }
+  }
+  // Eliminate remaining algebraic coordinates by resultants with their
+  // defining polynomials.
+  for (int i = 0; i < dimension(); ++i) {
+    if (coords_[i].is_rational() || !q.Mentions(i)) continue;
+    Polynomial defining =
+        coords_[i].defining_polynomial().ToPolynomial(i);
+    q = Resultant(defining, q, i);
+    if (q.is_zero()) break;
+  }
+  // Now q mentions at most extra_var.
+  CCDB_DCHECK(q.is_zero() || q.max_var() <= extra_var);
+  (void)extra_var;
+  return q;
+}
+
+int AlgebraicPoint::SignAt(const Polynomial& p) const {
+  CCDB_CHECK_MSG(p.max_var() < dimension(),
+                 "polynomial mentions variables beyond the point dimension");
+  // Fast path: substitute rational coordinates; if at most one algebraic
+  // coordinate remains, delegate to the univariate machinery.
+  Polynomial q = p;
+  int algebraic_var = -1;
+  int algebraic_count = 0;
+  for (int i = 0; i < dimension(); ++i) {
+    if (!q.Mentions(i)) continue;
+    if (coords_[i].is_rational()) {
+      q = q.Substitute(i, coords_[i].rational_value());
+    } else {
+      algebraic_var = i;
+      ++algebraic_count;
+    }
+  }
+  if (q.is_constant()) return q.constant_value().sign();
+  if (algebraic_count == 1) {
+    auto u = UPoly::FromPolynomial(q, algebraic_var);
+    CCDB_CHECK(u.ok());
+    return coords_[algebraic_var].SignOfPolyAt(*u);
+  }
+  // General path: bounded interval refinement, then exact identification.
+  std::vector<Interval> box(dimension(), Interval(Rational(0)));
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < dimension(); ++i) {
+      if (q.Mentions(i)) {
+        if (round > 0) {
+          coords_[i].RefineTo(coords_[i].isolating_interval().Width() *
+                              Rational(BigInt(1), BigInt::Pow2(16)));
+        }
+        box[i] = coords_[i].isolating_interval();
+      }
+    }
+    int sign = q.EvaluateInterval(box).CertainSign();
+    if (sign != Interval::kAmbiguousSign) return sign;
+  }
+  return ValueAt(p).Sign();
+}
+
+AlgebraicNumber AlgebraicPoint::ValueAt(const Polynomial& p) const {
+  CCDB_CHECK(p.max_var() < dimension());
+  // T(z) = iterated resultant eliminating every coordinate from z - p; the
+  // value p(point) is among the real roots of T.
+  int z_var = dimension();
+  Polynomial z_minus_p = Polynomial::Var(z_var) - p;
+  Polynomial t = EliminateCoords(std::move(z_minus_p), z_var);
+  CCDB_CHECK_MSG(!t.is_zero(),
+                 "iterated resultant vanished identically in ValueAt");
+  auto t_upoly = UPoly::FromPolynomial(t, z_var);
+  CCDB_CHECK(t_upoly.ok());
+  std::vector<AlgebraicNumber> candidates = AlgebraicNumber::RootsOf(*t_upoly);
+  CCDB_CHECK_MSG(!candidates.empty(), "candidate set empty in ValueAt");
+  if (candidates.size() == 1) return candidates[0];
+
+  // Identify the true value by shrinking the enclosure of p(point) until it
+  // meets exactly one candidate's isolating interval.
+  std::vector<Interval> box(dimension(), Interval(Rational(0)));
+  Rational shrink(BigInt(1), BigInt(4));
+  while (true) {
+    for (int i = 0; i < dimension(); ++i) {
+      box[i] = coords_[i].isolating_interval();
+    }
+    Interval value = p.EvaluateInterval(box);
+    // Refine candidates away from the value enclosure.
+    int hits = 0;
+    std::size_t hit_index = 0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (candidates[c].isolating_interval().Intersects(value)) {
+        ++hits;
+        hit_index = c;
+      }
+    }
+    if (hits == 1) return candidates[hit_index];
+    // Shrink both the point coordinates and the candidate intervals.
+    for (int i = 0; i < dimension(); ++i) {
+      if (p.Mentions(i) && !coords_[i].is_rational()) {
+        coords_[i].RefineTo(coords_[i].isolating_interval().Width() * shrink);
+      }
+    }
+    for (AlgebraicNumber& c : candidates) {
+      c.RefineTo(c.isolating_interval().Width() * shrink);
+    }
+  }
+}
+
+StatusOr<std::vector<AlgebraicNumber>> AlgebraicPoint::StackRoots(
+    const Polynomial& p) const {
+  int y_var = dimension();
+  CCDB_CHECK_MSG(p.max_var() <= y_var,
+                 "stack polynomial mentions variables beyond the next level");
+  CCDB_CHECK_MSG(p.Mentions(y_var), "stack polynomial must mention the stack variable");
+
+  // Fast path: all coordinates rational.
+  if (AllRational()) {
+    Polynomial q = p;
+    for (int i = 0; i < dimension(); ++i) {
+      if (q.Mentions(i)) q = q.Substitute(i, coords_[i].rational_value());
+    }
+    if (q.is_constant()) {
+      if (q.is_zero()) {
+        return Status::InvalidArgument(
+            "polynomial vanishes identically over the stack");
+      }
+      return std::vector<AlgebraicNumber>{};
+    }
+    auto u = UPoly::FromPolynomial(q, y_var);
+    CCDB_CHECK(u.ok());
+    return AlgebraicNumber::RootsOf(*u);
+  }
+
+  // Trim leading coefficients (in y) that vanish at the point to expose the
+  // effective degree.
+  std::vector<Polynomial> coeffs = p.CoefficientsIn(y_var);
+  int effective_degree = static_cast<int>(coeffs.size()) - 1;
+  while (effective_degree >= 0 &&
+         SignAt(coeffs[effective_degree]) == 0) {
+    --effective_degree;
+  }
+  if (effective_degree < 0) {
+    return Status::InvalidArgument(
+        "polynomial vanishes identically over the stack");
+  }
+  if (effective_degree == 0) return std::vector<AlgebraicNumber>{};
+  std::vector<Polynomial> trimmed(coeffs.begin(),
+                                  coeffs.begin() + effective_degree + 1);
+  Polynomial effective = Polynomial::FromCoefficientsIn(y_var, trimmed);
+
+  // Candidate roots: real roots of the iterated resultant.
+  Polynomial r = EliminateCoords(effective, y_var);
+  if (r.is_zero()) {
+    return Status::NumericalFailure(
+        "degenerate lifting: candidate resultant vanished identically");
+  }
+  auto r_upoly = UPoly::FromPolynomial(r, y_var);
+  CCDB_CHECK(r_upoly.ok());
+  std::vector<AlgebraicNumber> candidates = AlgebraicNumber::RootsOf(*r_upoly);
+
+  // Keep exactly the candidates where p(point, candidate) == 0, tested
+  // exactly via the extended point.
+  std::vector<AlgebraicNumber> roots;
+  for (AlgebraicNumber& candidate : candidates) {
+    AlgebraicPoint extended = Extended(candidate);
+    if (extended.SignAt(effective) == 0) {
+      roots.push_back(std::move(candidate));
+    }
+  }
+  return roots;
+}
+
+std::vector<Rational> AlgebraicPoint::Approximate(
+    const Rational& epsilon) const {
+  std::vector<Rational> out;
+  out.reserve(coords_.size());
+  for (const AlgebraicNumber& c : coords_) {
+    out.push_back(c.Approximate(epsilon));
+  }
+  return out;
+}
+
+std::string AlgebraicPoint::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += coords_[i].ToString();
+  }
+  return out + ")";
+}
+
+}  // namespace ccdb

@@ -1,0 +1,38 @@
+#ifndef CCDB_QE_DENSE_ORDER_H_
+#define CCDB_QE_DENSE_ORDER_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/atom.h"
+
+namespace ccdb {
+
+/// Quantifier elimination for DENSE-ORDER constraint databases — the class
+/// DO of the paper's Theorem 4.8 ("defined without the symbols + and ·"),
+/// following Grumbach & Su's dense-order constraint databases [GS95a].
+///
+/// Dense-order atoms compare a variable with a variable or a rational
+/// constant: x θ y or x θ c with θ ∈ {<, <=, =, !=, >, >=}. The theory of
+/// dense linear orders admits a particularly simple elimination — ∃x
+/// reduces to the pairwise order facts between x's lower and upper bounds
+/// (density supplies the witness; no endpoints are needed) — and it is
+/// closed over dense-order atoms, so the active domain never grows: this
+/// is why the paper's finite-precision results are exact on DO ("queries
+/// with the order relation only are insensitive to exact values").
+
+/// True iff every atom is a dense-order atom: at most two variables, unit
+/// coefficients of opposite sign (x - y θ 0), or one variable with unit
+/// coefficient and a rational constant (x - c θ 0).
+bool IsDenseOrderSystem(const std::vector<GeneralizedTuple>& tuples);
+
+/// Eliminates "exists x_var" from a union of dense-order generalized
+/// tuples. The output is again a union of dense-order tuples over the
+/// remaining variables (closed form). kInvalidArgument on non-dense-order
+/// atoms.
+StatusOr<std::vector<GeneralizedTuple>> EliminateExistsDenseOrder(
+    const std::vector<GeneralizedTuple>& tuples, int var);
+
+}  // namespace ccdb
+
+#endif  // CCDB_QE_DENSE_ORDER_H_

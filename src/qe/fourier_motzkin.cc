@@ -1,0 +1,202 @@
+#include "qe/fourier_motzkin.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+bool IsLinearSystem(const std::vector<GeneralizedTuple>& tuples) {
+  for (const GeneralizedTuple& tuple : tuples) {
+    for (const Atom& atom : tuple.atoms) {
+      if (atom.poly.TotalDegree() > 1) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Splits every disequality atom p != 0 into the two strict tuples p < 0 and
+// p > 0.
+std::vector<GeneralizedTuple> SplitDisequalities(
+    const std::vector<GeneralizedTuple>& tuples) {
+  std::vector<GeneralizedTuple> out;
+  for (const GeneralizedTuple& tuple : tuples) {
+    std::vector<GeneralizedTuple> expanded{GeneralizedTuple()};
+    for (const Atom& atom : tuple.atoms) {
+      if (atom.op == RelOp::kNeq) {
+        std::vector<GeneralizedTuple> next;
+        for (const GeneralizedTuple& partial : expanded) {
+          GeneralizedTuple less = partial;
+          less.atoms.emplace_back(atom.poly, RelOp::kLt);
+          GeneralizedTuple greater = partial;
+          greater.atoms.emplace_back(atom.poly, RelOp::kGt);
+          next.push_back(std::move(less));
+          next.push_back(std::move(greater));
+        }
+        expanded = std::move(next);
+      } else {
+        for (GeneralizedTuple& partial : expanded) {
+          partial.atoms.push_back(atom);
+        }
+      }
+    }
+    out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+               std::make_move_iterator(expanded.end()));
+  }
+  return out;
+}
+
+// Eliminates var from one tuple (conjunction) of linear atoms without
+// disequalities. Returns the resulting tuples (usually one).
+StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
+    const GeneralizedTuple& tuple, int var) {
+  // Normalize each atom mentioning var to: coeff * var + rest (op) 0.
+  // First, if an equation mentions var, solve and substitute.
+  for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
+    const Atom& atom = tuple.atoms[i];
+    if (atom.op != RelOp::kEq || !atom.poly.Mentions(var)) continue;
+    auto coeffs = atom.poly.CoefficientsIn(var);
+    CCDB_CHECK(coeffs.size() == 2);  // linear
+    if (!coeffs[1].is_constant()) {
+      return Status::InvalidArgument("nonlinear atom in Fourier-Motzkin");
+    }
+    Rational c = coeffs[1].constant_value();
+    // var = -rest / c.
+    Polynomial solved = coeffs[0].Scale(-c.Inverse());
+    GeneralizedTuple substituted;
+    for (std::size_t j = 0; j < tuple.atoms.size(); ++j) {
+      if (j == i) continue;
+      const Atom& other = tuple.atoms[j];
+      substituted.atoms.emplace_back(other.poly.SubstitutePoly(var, solved),
+                                     other.op);
+    }
+    if (!substituted.SimplifyConstants()) {
+      return std::vector<GeneralizedTuple>{};
+    }
+    return std::vector<GeneralizedTuple>{std::move(substituted)};
+  }
+
+  // No equation: gather lower/upper bounds.
+  // atom: c*var + rest (op) 0 with op in {<, <=, >, >=} becomes
+  //   var (op') -rest/c with direction depending on sign(c).
+  struct Bound {
+    Polynomial value;  // the bound expression
+    bool strict;
+  };
+  std::vector<Bound> lower, upper;
+  GeneralizedTuple remainder;
+  for (const Atom& atom : tuple.atoms) {
+    if (!atom.poly.Mentions(var)) {
+      remainder.atoms.push_back(atom);
+      continue;
+    }
+    auto coeffs = atom.poly.CoefficientsIn(var);
+    CCDB_CHECK(coeffs.size() == 2);
+    if (!coeffs[1].is_constant()) {
+      return Status::InvalidArgument("nonlinear atom in Fourier-Motzkin");
+    }
+    Rational c = coeffs[1].constant_value();
+    CCDB_CHECK(!c.is_zero());
+    Polynomial bound = coeffs[0].Scale(-c.Inverse());
+    RelOp op = atom.op;
+    // c*var + rest op 0  <=>  var op'  bound  (op' flips when c < 0).
+    bool flip = c.sign() < 0;
+    switch (op) {
+      case RelOp::kLt:
+      case RelOp::kLe: {
+        bool strict = op == RelOp::kLt;
+        if (flip) {
+          lower.push_back({bound, strict});
+        } else {
+          upper.push_back({bound, strict});
+        }
+        break;
+      }
+      case RelOp::kGt:
+      case RelOp::kGe: {
+        bool strict = op == RelOp::kGt;
+        if (flip) {
+          upper.push_back({bound, strict});
+        } else {
+          lower.push_back({bound, strict});
+        }
+        break;
+      }
+      case RelOp::kEq:
+      case RelOp::kNeq:
+        CCDB_CHECK_MSG(false, "equations/disequalities handled earlier");
+    }
+  }
+  // Cross every lower bound with every upper bound: l (op) u.
+  for (const Bound& l : lower) {
+    for (const Bound& u : upper) {
+      RelOp op = (l.strict || u.strict) ? RelOp::kLt : RelOp::kLe;
+      remainder.atoms.emplace_back(l.value - u.value, op);
+    }
+  }
+  if (!remainder.SimplifyConstants()) {
+    return std::vector<GeneralizedTuple>{};
+  }
+  return std::vector<GeneralizedTuple>{std::move(remainder)};
+}
+
+}  // namespace
+
+StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
+    const std::vector<GeneralizedTuple>& tuples, int var) {
+  if (!IsLinearSystem(tuples)) {
+    return Status::InvalidArgument("Fourier-Motzkin requires linear atoms");
+  }
+  std::vector<GeneralizedTuple> out;
+  for (const GeneralizedTuple& tuple : SplitDisequalities(tuples)) {
+    CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> eliminated,
+                          EliminateFromTuple(tuple, var));
+    out.insert(out.end(), std::make_move_iterator(eliminated.begin()),
+               std::make_move_iterator(eliminated.end()));
+  }
+  return SimplifyTuples(std::move(out));
+}
+
+std::vector<GeneralizedTuple> SimplifyTuples(
+    std::vector<GeneralizedTuple> tuples) {
+  std::vector<GeneralizedTuple> out;
+  for (GeneralizedTuple& tuple : tuples) {
+    if (!tuple.SimplifyConstants()) continue;
+    // Deduplicate atoms within the tuple.
+    std::vector<Atom> kept;
+    for (Atom& atom : tuple.atoms) {
+      bool duplicate = false;
+      for (const Atom& existing : kept) {
+        if (existing == atom) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) kept.push_back(std::move(atom));
+    }
+    tuple.atoms = std::move(kept);
+    // Drop exact duplicate tuples.
+    bool duplicate_tuple = false;
+    for (const GeneralizedTuple& existing : out) {
+      if (existing.atoms.size() == tuple.atoms.size()) {
+        bool same = true;
+        for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
+          if (!(existing.atoms[i] == tuple.atoms[i])) {
+            same = false;
+            break;
+          }
+        }
+        if (same) {
+          duplicate_tuple = true;
+          break;
+        }
+      }
+    }
+    if (!duplicate_tuple) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace ccdb

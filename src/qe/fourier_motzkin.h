@@ -1,0 +1,33 @@
+#ifndef CCDB_QE_FOURIER_MOTZKIN_H_
+#define CCDB_QE_FOURIER_MOTZKIN_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/atom.h"
+
+namespace ccdb {
+
+/// True iff every atom of every tuple is linear (total degree <= 1).
+bool IsLinearSystem(const std::vector<GeneralizedTuple>& tuples);
+
+/// Eliminates "exists x_var" from a union of generalized tuples with LINEAR
+/// atoms by Fourier-Motzkin elimination (existential quantification
+/// distributes over the union). Equations are used for exact substitution;
+/// disequalities split into strict inequalities. Returns the resulting
+/// union (may be larger). Fails with kInvalidArgument on nonlinear atoms.
+///
+/// This is the quantifier-elimination procedure for the linear fragment
+/// FO(<=, +, 0, 1) of Theorem 4.2; its intermediate coefficient bit lengths
+/// grow only linearly in the input bit length (Lemma 4.4 for the linear
+/// case), which bench E6 measures.
+StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
+    const std::vector<GeneralizedTuple>& tuples, int var);
+
+/// Removes syntactically redundant atoms and trivially false tuples.
+std::vector<GeneralizedTuple> SimplifyTuples(
+    std::vector<GeneralizedTuple> tuples);
+
+}  // namespace ccdb
+
+#endif  // CCDB_QE_FOURIER_MOTZKIN_H_

@@ -1,0 +1,398 @@
+#include "qe/qe.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.h"
+#include "qe/cad.h"
+#include "qe/dense_order.h"
+#include "qe/fourier_motzkin.h"
+
+namespace ccdb {
+
+namespace {
+
+Formula TuplesToFormula(const std::vector<GeneralizedTuple>& tuples) {
+  std::vector<Formula> disjuncts;
+  for (const GeneralizedTuple& tuple : tuples) {
+    std::vector<Formula> conjuncts;
+    for (const Atom& atom : tuple.atoms) {
+      conjuncts.push_back(Formula::MakeAtom(atom));
+    }
+    disjuncts.push_back(Formula::And(conjuncts));
+  }
+  return Formula::Or(disjuncts);
+}
+
+std::vector<GeneralizedTuple> NegateTuples(
+    const std::vector<GeneralizedTuple>& tuples) {
+  return ToDnf(Formula::Not(TuplesToFormula(tuples)));
+}
+
+std::uint64_t MaxBits(const std::vector<GeneralizedTuple>& tuples) {
+  std::uint64_t bits = 0;
+  for (const GeneralizedTuple& tuple : tuples) {
+    for (const Atom& atom : tuple.atoms) {
+      bits = std::max(bits, atom.poly.MaxCoefficientBitLength());
+    }
+  }
+  return bits;
+}
+
+std::vector<Polynomial> CollectDistinctPolys(
+    const std::vector<GeneralizedTuple>& tuples) {
+  std::vector<Polynomial> polys;
+  for (const GeneralizedTuple& tuple : tuples) {
+    for (const Atom& atom : tuple.atoms) {
+      bool seen = false;
+      for (const Polynomial& p : polys) {
+        if (p == atom.poly) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) polys.push_back(atom.poly);
+    }
+  }
+  return polys;
+}
+
+// Truth of a DNF matrix given precomputed polynomial signs.
+bool MatrixTruth(const std::vector<GeneralizedTuple>& tuples,
+                 const std::vector<Polynomial>& polys,
+                 const std::vector<int>& signs) {
+  auto sign_of = [&](const Polynomial& p) {
+    for (std::size_t i = 0; i < polys.size(); ++i) {
+      if (polys[i] == p) return signs[i];
+    }
+    CCDB_CHECK_MSG(false, "polynomial missing from sign table");
+    return 0;
+  };
+  for (const GeneralizedTuple& tuple : tuples) {
+    bool all = true;
+    for (const Atom& atom : tuple.atoms) {
+      if (!SignSatisfies(sign_of(atom.poly), atom.op)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return tuples.empty() ? false : false;
+}
+
+// Virtual substitution for defining equations: when the innermost
+// quantifier is "exists v" and EVERY tuple either does not mention v or
+// contains an equation p = 0 that is linear in v with a nonzero CONSTANT
+// coefficient, v can be eliminated by exact substitution v := g(rest) —
+// no CAD needed. This is what makes queries produced by the CALC_F
+// function-approximation rewriting (t = h(x) conjuncts) cheap.
+bool TrySubstituteInnermostExists(std::vector<GeneralizedTuple>* tuples,
+                                  int var) {
+  std::vector<GeneralizedTuple> rewritten;
+  for (const GeneralizedTuple& tuple : *tuples) {
+    int eq_index = -1;
+    Polynomial solved;
+    for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
+      const Atom& atom = tuple.atoms[i];
+      if (atom.op != RelOp::kEq || atom.poly.DegreeIn(var) != 1) continue;
+      auto coeffs = atom.poly.CoefficientsIn(var);
+      if (!coeffs[1].is_constant()) continue;
+      solved = coeffs[0].Scale(-coeffs[1].constant_value().Inverse());
+      eq_index = static_cast<int>(i);
+      break;
+    }
+    if (eq_index < 0) {
+      bool mentions = false;
+      for (const Atom& atom : tuple.atoms) {
+        if (atom.poly.Mentions(var)) {
+          mentions = true;
+          break;
+        }
+      }
+      if (mentions) return false;  // cannot handle this tuple
+      rewritten.push_back(tuple);
+      continue;
+    }
+    GeneralizedTuple substituted;
+    for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
+      if (static_cast<int>(i) == eq_index) continue;
+      const Atom& atom = tuple.atoms[i];
+      substituted.atoms.emplace_back(atom.poly.SubstitutePoly(var, solved),
+                                     atom.op);
+    }
+    if (substituted.SimplifyConstants()) {
+      rewritten.push_back(std::move(substituted));
+    }
+  }
+  *tuples = std::move(rewritten);
+  return true;
+}
+
+RelOp OpForSign(int sign) {
+  if (sign < 0) return RelOp::kLt;
+  if (sign > 0) return RelOp::kGt;
+  return RelOp::kEq;
+}
+
+struct CadEvalResult {
+  // Sign vectors (over the free-space factor set) of true / false
+  // free-space cells.
+  std::vector<std::vector<int>> true_vectors;
+  std::vector<std::vector<int>> false_vectors;
+  bool sentence_truth = false;  // when num_free_vars == 0
+};
+
+// Evaluates the quantifier prefix over a built CAD. prefix[i] quantifies
+// variable num_free + i.
+StatusOr<CadEvalResult> EvaluateCad(const Cad& cad,
+                                    const std::vector<PrenexBlock>& prefix,
+                                    int num_free,
+                                    const std::vector<GeneralizedTuple>& matrix,
+                                    const std::vector<Polynomial>& matrix_polys) {
+  int n = cad.num_vars();
+  // Recursive truth of a cell.
+  std::function<bool(const CadCell&)> truth = [&](const CadCell& cell) -> bool {
+    int dim = cell.dimension();
+    if (dim == n) {
+      std::vector<int> signs;
+      signs.reserve(matrix_polys.size());
+      for (const Polynomial& p : matrix_polys) {
+        signs.push_back(cell.sample.SignAt(p));
+      }
+      return MatrixTruth(matrix, matrix_polys, signs);
+    }
+    // Children live at variable index `dim`; its quantifier:
+    CCDB_CHECK(dim >= num_free);
+    const PrenexBlock& block = prefix[dim - num_free];
+    if (block.is_exists) {
+      for (const CadCell& child : cell.children) {
+        if (truth(child)) return true;
+      }
+      return false;
+    }
+    for (const CadCell& child : cell.children) {
+      if (!truth(child)) return false;
+    }
+    return true;
+  };
+
+  CadEvalResult result;
+  if (num_free == 0) {
+    // Sentence: combine the base stack with the first quantifier.
+    CCDB_CHECK(!prefix.empty());
+    if (prefix[0].is_exists) {
+      result.sentence_truth = false;
+      for (const CadCell& cell : cad.roots()) {
+        if (truth(cell)) {
+          result.sentence_truth = true;
+          break;
+        }
+      }
+    } else {
+      result.sentence_truth = true;
+      for (const CadCell& cell : cad.roots()) {
+        if (!truth(cell)) {
+          result.sentence_truth = false;
+          break;
+        }
+      }
+    }
+    return result;
+  }
+
+  std::vector<Polynomial> free_factors = cad.FactorsBelow(num_free);
+  cad.ForEachCellAtDimension(num_free, [&](const CadCell& cell) {
+    std::vector<int> vector;
+    vector.reserve(free_factors.size());
+    for (const Polynomial& p : free_factors) {
+      vector.push_back(cell.sample.SignAt(p));
+    }
+    if (truth(cell)) {
+      result.true_vectors.push_back(std::move(vector));
+    } else {
+      result.false_vectors.push_back(std::move(vector));
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
+                                                  int num_free_vars,
+                                                  const QeOptions& options,
+                                                  QeStats* stats) {
+  QeStats local_stats;
+  QeStats* s = stats != nullptr ? stats : &local_stats;
+  *s = QeStats();
+
+  CCDB_CHECK_MSG(!formula.has_relation_symbols(),
+                 "instantiate relations before quantifier elimination");
+  for (int v : formula.FreeVars()) {
+    CCDB_CHECK_MSG(v < num_free_vars,
+                   "free variable " << v << " beyond arity " << num_free_vars);
+  }
+
+  std::set<int> all_vars = formula.AllVars();
+  int next_fresh = num_free_vars;
+  if (!all_vars.empty()) {
+    next_fresh = std::max(next_fresh, *all_vars.rbegin() + 1);
+  }
+  PrenexForm prenex = ToPrenex(formula, &next_fresh);
+
+  // Compact the quantified variables to num_free_vars, num_free_vars+1, ...
+  // in prefix order (outermost first). ToPrenex hands out strictly
+  // increasing fresh indices in prefix order, so renaming in order is safe.
+  Formula matrix_formula = prenex.matrix;
+  for (std::size_t i = 0; i < prenex.prefix.size(); ++i) {
+    int target = num_free_vars + static_cast<int>(i);
+    if (prenex.prefix[i].var != target) {
+      matrix_formula =
+          matrix_formula.RenameFreeVar(prenex.prefix[i].var, target);
+      prenex.prefix[i].var = target;
+    }
+  }
+  int q = static_cast<int>(prenex.prefix.size());
+  int n = num_free_vars + q;
+
+  std::vector<GeneralizedTuple> tuples = ToDnf(matrix_formula);
+  s->max_intermediate_bits = MaxBits(tuples);
+
+  if (q == 0) {
+    return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
+  }
+
+  if (n == 0) {
+    // Sentence with no variables at all.
+    bool truth = matrix_formula.EvaluateAt({});
+    ConstraintRelation rel(0);
+    if (truth) rel.AddTuple(GeneralizedTuple());
+    return rel;
+  }
+
+  // Peel innermost existential quantifiers that have defining equations.
+  while (options.allow_equation_substitution && q > 0 &&
+         prenex.prefix.back().is_exists &&
+         TrySubstituteInnermostExists(&tuples, num_free_vars + q - 1)) {
+    prenex.prefix.pop_back();
+    --q;
+    n = num_free_vars + q;
+    tuples = SimplifyTuples(std::move(tuples));
+    s->max_intermediate_bits =
+        std::max(s->max_intermediate_bits, MaxBits(tuples));
+  }
+  if (q == 0) {
+    return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
+  }
+
+  // Linear fast path: Fourier-Motzkin, innermost quantifier first.
+  if (options.allow_linear_fast_path && IsLinearSystem(tuples)) {
+    s->used_linear_path = true;
+    s->used_dense_order_path = IsDenseOrderSystem(tuples);
+    for (int i = q - 1; i >= 0; --i) {
+      int var = num_free_vars + i;
+      if (prenex.prefix[i].is_exists) {
+        CCDB_ASSIGN_OR_RETURN(tuples, EliminateExistsLinear(tuples, var));
+      } else {
+        std::vector<GeneralizedTuple> negated = NegateTuples(tuples);
+        CCDB_ASSIGN_OR_RETURN(negated, EliminateExistsLinear(negated, var));
+        tuples = NegateTuples(negated);
+      }
+      s->max_intermediate_bits =
+          std::max(s->max_intermediate_bits, MaxBits(tuples));
+    }
+    return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
+  }
+
+  // CAD path.
+  std::vector<Polynomial> matrix_polys = CollectDistinctPolys(tuples);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    CadOptions cad_options;
+    cad_options.derivative_closure_below = attempt == 0 ? 0 : num_free_vars;
+    if (attempt == 1) s->used_thom_augmentation = true;
+    CCDB_ASSIGN_OR_RETURN(Cad cad,
+                          Cad::Build(matrix_polys, n, cad_options));
+    s->cad_cells = cad.CountAllCells();
+    s->projection_factors = 0;
+    for (int level = 0; level < n; ++level) {
+      for (const Polynomial& p : cad.factors_at_level(level)) {
+        s->projection_factors++;
+        s->max_intermediate_bits =
+            std::max(s->max_intermediate_bits, p.MaxCoefficientBitLength());
+      }
+    }
+
+    CCDB_ASSIGN_OR_RETURN(
+        CadEvalResult eval,
+        EvaluateCad(cad, prenex.prefix, num_free_vars, tuples, matrix_polys));
+
+    if (num_free_vars == 0) {
+      ConstraintRelation rel(0);
+      if (eval.sentence_truth) rel.AddTuple(GeneralizedTuple());
+      return rel;
+    }
+
+    // Solution formula construction: distinct sign vectors of true cells,
+    // valid when no false cell shares a vector with a true cell.
+    bool collision = false;
+    for (const auto& tv : eval.true_vectors) {
+      for (const auto& fv : eval.false_vectors) {
+        if (tv == fv) {
+          collision = true;
+          break;
+        }
+      }
+      if (collision) break;
+    }
+    if (collision) {
+      if (attempt == 0 && options.allow_thom_augmentation) continue;
+      return Status::Internal(
+          "solution formula construction failed: a true and a false cell "
+          "share a sign vector even after Thom augmentation");
+    }
+
+    std::vector<Polynomial> free_factors = cad.FactorsBelow(num_free_vars);
+    std::vector<std::vector<int>> distinct_vectors;
+    for (const auto& tv : eval.true_vectors) {
+      bool seen = false;
+      for (const auto& existing : distinct_vectors) {
+        if (existing == tv) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) distinct_vectors.push_back(tv);
+    }
+    ConstraintRelation rel(num_free_vars);
+    for (const auto& vec : distinct_vectors) {
+      GeneralizedTuple tuple;
+      for (std::size_t i = 0; i < free_factors.size(); ++i) {
+        tuple.atoms.emplace_back(free_factors[i], OpForSign(vec[i]));
+      }
+      if (tuple.atoms.empty()) {
+        // No factors below the free space: the whole free space is true.
+        rel.AddTuple(GeneralizedTuple());
+        continue;
+      }
+      rel.AddTuple(std::move(tuple));
+    }
+    for (const GeneralizedTuple& tuple : rel.tuples()) {
+      for (const Atom& atom : tuple.atoms) {
+        s->max_intermediate_bits = std::max(
+            s->max_intermediate_bits, atom.poly.MaxCoefficientBitLength());
+      }
+    }
+    return rel;
+  }
+  return Status::Internal("unreachable: CAD attempts exhausted");
+}
+
+StatusOr<bool> DecideSentence(const Formula& sentence, const QeOptions& options,
+                              QeStats* stats) {
+  CCDB_ASSIGN_OR_RETURN(ConstraintRelation rel,
+                        EliminateQuantifiers(sentence, 0, options, stats));
+  return !rel.is_empty_syntactically();
+}
+
+}  // namespace ccdb

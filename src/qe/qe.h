@@ -1,0 +1,63 @@
+#ifndef CCDB_QE_QE_H_
+#define CCDB_QE_QE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/atom.h"
+#include "constraint/formula.h"
+
+namespace ccdb {
+
+/// Statistics of one quantifier-elimination run, exposed for the paper's
+/// complexity experiments (Theorems 3.1, 4.1, 4.2; Lemma 4.4).
+struct QeStats {
+  std::size_t cad_cells = 0;
+  std::size_t projection_factors = 0;
+  /// Largest coefficient bit length seen in any intermediate polynomial —
+  /// the quantity Lemma 4.4 bounds.
+  std::uint64_t max_intermediate_bits = 0;
+  bool used_linear_path = false;
+  /// The linear path additionally recognized a pure dense-order input (the
+  /// class DO of Theorem 4.8): elimination stayed inside the dense-order
+  /// language.
+  bool used_dense_order_path = false;
+  bool used_thom_augmentation = false;
+};
+
+/// Options for quantifier elimination.
+struct QeOptions {
+  /// Prefer Fourier-Motzkin when every atom is linear (exact, fast, any
+  /// dimension). CAD is used otherwise.
+  bool allow_linear_fast_path = true;
+  /// Retry solution-formula construction with derivative-closed (Thom)
+  /// projection sets when plain sign vectors cannot separate true cells
+  /// from false cells.
+  bool allow_thom_augmentation = true;
+  /// Peel innermost existential quantifiers that have defining linear
+  /// equations by exact substitution before running CAD (a large win for
+  /// CALC_F's function-approximation rewriting). Disable for ablation.
+  bool allow_equation_substitution = true;
+};
+
+/// The QUANTIFIER ELIMINATION step of the paper's pipeline (Section 2,
+/// step 2; Appendix I): eliminates all quantifiers from a relation-free
+/// formula whose free variables are exactly 0..num_free_vars-1, producing
+/// an equivalent quantifier-free formula in closed form as a union of
+/// generalized tuples over those variables.
+StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
+                                                  int num_free_vars,
+                                                  const QeOptions& options = {},
+                                                  QeStats* stats = nullptr);
+
+/// Decides a sentence (no free variables): the complete decision procedure
+/// for the real closed field restricted to our projection operator. This is
+/// the |=_QE relation of Section 3 ("any sentence is reduced to either the
+/// tautology 0 = 0 or its negation").
+StatusOr<bool> DecideSentence(const Formula& sentence,
+                              const QeOptions& options = {},
+                              QeStats* stats = nullptr);
+
+}  // namespace ccdb
+
+#endif  // CCDB_QE_QE_H_

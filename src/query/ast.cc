@@ -1,0 +1,298 @@
+#include "query/ast.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+std::shared_ptr<const QTerm> QTerm::Const(Rational value) {
+  auto t = std::make_shared<QTerm>();
+  t->kind = Kind::kConst;
+  t->constant = std::move(value);
+  return t;
+}
+
+std::shared_ptr<const QTerm> QTerm::Var(std::string name) {
+  auto t = std::make_shared<QTerm>();
+  t->kind = Kind::kVar;
+  t->var = std::move(name);
+  return t;
+}
+
+std::shared_ptr<const QTerm> QTerm::Binary(Kind kind,
+                                           std::shared_ptr<const QTerm> l,
+                                           std::shared_ptr<const QTerm> r) {
+  CCDB_CHECK(kind == Kind::kAdd || kind == Kind::kSub || kind == Kind::kMul ||
+             kind == Kind::kDiv);
+  auto t = std::make_shared<QTerm>();
+  t->kind = kind;
+  t->lhs = std::move(l);
+  t->rhs = std::move(r);
+  return t;
+}
+
+std::shared_ptr<const QTerm> QTerm::Neg(std::shared_ptr<const QTerm> inner) {
+  auto t = std::make_shared<QTerm>();
+  t->kind = Kind::kNeg;
+  t->lhs = std::move(inner);
+  return t;
+}
+
+std::shared_ptr<const QTerm> QTerm::Pow(std::shared_ptr<const QTerm> base,
+                                        std::uint32_t exponent) {
+  auto t = std::make_shared<QTerm>();
+  t->kind = Kind::kPow;
+  t->lhs = std::move(base);
+  t->exponent = exponent;
+  return t;
+}
+
+std::shared_ptr<const QTerm> QTerm::Func(AnalyticKind kind,
+                                         std::shared_ptr<const QTerm> arg) {
+  auto t = std::make_shared<QTerm>();
+  t->kind = Kind::kFunc;
+  t->func = kind;
+  t->lhs = std::move(arg);
+  return t;
+}
+
+bool QTerm::IsPolynomial() const {
+  if (kind == Kind::kFunc) return false;
+  if (lhs != nullptr && !lhs->IsPolynomial()) return false;
+  if (rhs != nullptr && !rhs->IsPolynomial()) return false;
+  return true;
+}
+
+std::string QTerm::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kVar:
+      return var;
+    case Kind::kAdd:
+      return "(" + lhs->ToString() + " + " + rhs->ToString() + ")";
+    case Kind::kSub:
+      return "(" + lhs->ToString() + " - " + rhs->ToString() + ")";
+    case Kind::kMul:
+      return "(" + lhs->ToString() + " * " + rhs->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + lhs->ToString() + " / " + rhs->ToString() + ")";
+    case Kind::kNeg:
+      return "-(" + lhs->ToString() + ")";
+    case Kind::kPow:
+      return lhs->ToString() + "^" + std::to_string(exponent);
+    case Kind::kFunc:
+      return std::string(AnalyticKindName(func)) + "(" + lhs->ToString() + ")";
+  }
+  return "?";
+}
+
+std::shared_ptr<const QFormula> QFormula::True() {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kTrue;
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::False() {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kFalse;
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Compare(
+    std::shared_ptr<const QTerm> lhs, RelOp op,
+    std::shared_ptr<const QTerm> rhs) {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kCompare;
+  f->lhs = std::move(lhs);
+  f->rhs = std::move(rhs);
+  f->op = op;
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Relation(
+    std::string name, std::vector<std::shared_ptr<const QTerm>> args) {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kRelation;
+  f->relation_name = std::move(name);
+  f->relation_args = std::move(args);
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Not(
+    std::shared_ptr<const QFormula> inner) {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kNot;
+  f->children.push_back(std::move(inner));
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Connective(
+    Kind kind, std::vector<std::shared_ptr<const QFormula>> children) {
+  CCDB_CHECK(kind == Kind::kAnd || kind == Kind::kOr);
+  auto f = std::make_shared<QFormula>();
+  f->kind = kind;
+  f->children = std::move(children);
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Quantifier(
+    Kind kind, std::vector<std::string> vars,
+    std::shared_ptr<const QFormula> body) {
+  CCDB_CHECK(kind == Kind::kExists || kind == Kind::kForall);
+  CCDB_CHECK(!vars.empty());
+  auto f = std::make_shared<QFormula>();
+  f->kind = kind;
+  f->bound_vars = std::move(vars);
+  f->children.push_back(std::move(body));
+  return f;
+}
+
+std::shared_ptr<const QFormula> QFormula::Aggregate(
+    AggregateKind aggregate, std::vector<std::string> vars,
+    std::shared_ptr<const QFormula> body, std::vector<std::string> outputs) {
+  auto f = std::make_shared<QFormula>();
+  f->kind = Kind::kAggregate;
+  f->aggregate = aggregate;
+  f->aggregate_vars = std::move(vars);
+  f->output_vars = std::move(outputs);
+  f->children.push_back(std::move(body));
+  return f;
+}
+
+namespace {
+
+void CollectTermVars(const QTerm& term, std::vector<std::string>* out) {
+  if (term.kind == QTerm::Kind::kVar) {
+    if (std::find(out->begin(), out->end(), term.var) == out->end()) {
+      out->push_back(term.var);
+    }
+    return;
+  }
+  if (term.lhs != nullptr) CollectTermVars(*term.lhs, out);
+  if (term.rhs != nullptr) CollectTermVars(*term.rhs, out);
+}
+
+void CollectFreeVars(const QFormula& f, std::vector<std::string>* bound,
+                     std::vector<std::string>* out) {
+  auto add = [&](const std::string& name) {
+    if (std::find(bound->begin(), bound->end(), name) != bound->end()) return;
+    if (std::find(out->begin(), out->end(), name) == out->end()) {
+      out->push_back(name);
+    }
+  };
+  switch (f.kind) {
+    case QFormula::Kind::kTrue:
+    case QFormula::Kind::kFalse:
+      return;
+    case QFormula::Kind::kCompare: {
+      std::vector<std::string> vars;
+      CollectTermVars(*f.lhs, &vars);
+      CollectTermVars(*f.rhs, &vars);
+      for (const auto& v : vars) add(v);
+      return;
+    }
+    case QFormula::Kind::kRelation: {
+      std::vector<std::string> vars;
+      for (const auto& arg : f.relation_args) CollectTermVars(*arg, &vars);
+      for (const auto& v : vars) add(v);
+      return;
+    }
+    case QFormula::Kind::kNot:
+    case QFormula::Kind::kAnd:
+    case QFormula::Kind::kOr:
+      for (const auto& child : f.children) {
+        CollectFreeVars(*child, bound, out);
+      }
+      return;
+    case QFormula::Kind::kExists:
+    case QFormula::Kind::kForall: {
+      std::size_t added = 0;
+      for (const auto& v : f.bound_vars) {
+        bound->push_back(v);
+        ++added;
+      }
+      CollectFreeVars(*f.children[0], bound, out);
+      bound->resize(bound->size() - added);
+      return;
+    }
+    case QFormula::Kind::kAggregate: {
+      // The aggregation variables are bound inside the body; the output
+      // variables are free occurrences of the predicate.
+      std::size_t added = 0;
+      for (const auto& v : f.aggregate_vars) {
+        bound->push_back(v);
+        ++added;
+      }
+      CollectFreeVars(*f.children[0], bound, out);
+      bound->resize(bound->size() - added);
+      for (const auto& v : f.output_vars) add(v);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> QFormula::FreeVarNames() const {
+  std::vector<std::string> bound;
+  std::vector<std::string> out;
+  CollectFreeVars(*this, &bound, &out);
+  return out;
+}
+
+std::string QFormula::ToString() const {
+  switch (kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kCompare:
+      return lhs->ToString() + " " + RelOpToString(op) + " " +
+             rhs->ToString();
+    case Kind::kRelation: {
+      std::string out = relation_name + "(";
+      for (std::size_t i = 0; i < relation_args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += relation_args[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string op_text = kind == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += op_text;
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::string out = kind == Kind::kExists ? "exists" : "forall";
+      for (const auto& v : bound_vars) out += " " + v;
+      return out + " (" + children[0]->ToString() + ")";
+    }
+    case Kind::kAggregate: {
+      std::string out = AggregateKindName(aggregate);
+      out += "[";
+      for (std::size_t i = 0; i < aggregate_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += aggregate_vars[i];
+      }
+      out += "](" + children[0]->ToString() + ")(";
+      for (std::size_t i = 0; i < output_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += output_vars[i];
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ccdb

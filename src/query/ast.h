@@ -1,0 +1,113 @@
+#ifndef CCDB_QUERY_AST_H_
+#define CCDB_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agg/aggregates.h"
+#include "arith/rational.h"
+#include "constraint/atom.h"
+#include "numeric/approx.h"
+
+namespace ccdb {
+
+/// Term of the CALC_F surface language: polynomial arithmetic over named
+/// variables and rational constants, extended with the analytical functions
+/// of Section 5 ("terms are built using arbitrary functions").
+struct QTerm {
+  enum class Kind {
+    kConst,
+    kVar,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,   // right operand must lower to a nonzero constant
+    kNeg,
+    kPow,   // natural exponent
+    kFunc,  // analytic function application
+  };
+
+  Kind kind = Kind::kConst;
+  Rational constant;                       // kConst
+  std::string var;                         // kVar
+  AnalyticKind func = AnalyticKind::kExp;  // kFunc
+  std::uint32_t exponent = 0;              // kPow
+  std::shared_ptr<const QTerm> lhs, rhs;   // children
+
+  static std::shared_ptr<const QTerm> Const(Rational value);
+  static std::shared_ptr<const QTerm> Var(std::string name);
+  static std::shared_ptr<const QTerm> Binary(Kind kind,
+                                             std::shared_ptr<const QTerm> l,
+                                             std::shared_ptr<const QTerm> r);
+  static std::shared_ptr<const QTerm> Neg(std::shared_ptr<const QTerm> t);
+  static std::shared_ptr<const QTerm> Pow(std::shared_ptr<const QTerm> t,
+                                          std::uint32_t exponent);
+  static std::shared_ptr<const QTerm> Func(AnalyticKind kind,
+                                           std::shared_ptr<const QTerm> arg);
+
+  /// True iff no analytic function occurs in the subtree.
+  bool IsPolynomial() const;
+
+  std::string ToString() const;
+};
+
+/// Formula of the CALC_F surface language (paper, Section 5): first-order
+/// connectives and quantifiers over comparison atoms and relation atoms,
+/// plus aggregate predicates g_y[phi](z).
+struct QFormula {
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kCompare,    // lhs op rhs
+    kRelation,   // R(args...)
+    kNot,
+    kAnd,
+    kOr,
+    kExists,
+    kForall,
+    kAggregate,  // AGG[y...](body)(z...)
+  };
+
+  Kind kind = Kind::kTrue;
+  // kCompare
+  std::shared_ptr<const QTerm> lhs, rhs;
+  RelOp op = RelOp::kEq;
+  // kRelation
+  std::string relation_name;
+  std::vector<std::shared_ptr<const QTerm>> relation_args;
+  // kNot/kAnd/kOr/kExists/kForall
+  std::vector<std::shared_ptr<const QFormula>> children;
+  std::vector<std::string> bound_vars;  // quantifiers (one or more at once)
+  // kAggregate
+  AggregateKind aggregate = AggregateKind::kMin;
+  std::vector<std::string> aggregate_vars;  // the y of g_y[phi]
+  std::vector<std::string> output_vars;     // the z of ...(z)
+
+  static std::shared_ptr<const QFormula> True();
+  static std::shared_ptr<const QFormula> False();
+  static std::shared_ptr<const QFormula> Compare(
+      std::shared_ptr<const QTerm> lhs, RelOp op,
+      std::shared_ptr<const QTerm> rhs);
+  static std::shared_ptr<const QFormula> Relation(
+      std::string name, std::vector<std::shared_ptr<const QTerm>> args);
+  static std::shared_ptr<const QFormula> Not(
+      std::shared_ptr<const QFormula> f);
+  static std::shared_ptr<const QFormula> Connective(
+      Kind kind, std::vector<std::shared_ptr<const QFormula>> children);
+  static std::shared_ptr<const QFormula> Quantifier(
+      Kind kind, std::vector<std::string> vars,
+      std::shared_ptr<const QFormula> body);
+  static std::shared_ptr<const QFormula> Aggregate(
+      AggregateKind aggregate, std::vector<std::string> vars,
+      std::shared_ptr<const QFormula> body, std::vector<std::string> outputs);
+
+  /// Free variable names, in first-occurrence order.
+  std::vector<std::string> FreeVarNames() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_QUERY_AST_H_

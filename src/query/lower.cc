@@ -1,0 +1,166 @@
+#include "query/lower.h"
+
+#include "base/logging.h"
+
+namespace ccdb {
+
+int VarEnv::Intern(const std::string& name) {
+  auto it = indices.find(name);
+  if (it != indices.end()) return it->second;
+  int index = next_index++;
+  indices.emplace(name, index);
+  return index;
+}
+
+StatusOr<int> VarEnv::Lookup(const std::string& name) const {
+  auto it = indices.find(name);
+  if (it == indices.end()) {
+    return Status::NotFound("unknown variable: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<Polynomial> LowerPolynomialTerm(const QTerm& term, VarEnv* env) {
+  switch (term.kind) {
+    case QTerm::Kind::kConst:
+      return Polynomial(term.constant);
+    case QTerm::Kind::kVar:
+      return Polynomial::Var(env->Intern(term.var));
+    case QTerm::Kind::kAdd: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      CCDB_ASSIGN_OR_RETURN(Polynomial r, LowerPolynomialTerm(*term.rhs, env));
+      return l + r;
+    }
+    case QTerm::Kind::kSub: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      CCDB_ASSIGN_OR_RETURN(Polynomial r, LowerPolynomialTerm(*term.rhs, env));
+      return l - r;
+    }
+    case QTerm::Kind::kMul: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      CCDB_ASSIGN_OR_RETURN(Polynomial r, LowerPolynomialTerm(*term.rhs, env));
+      return l * r;
+    }
+    case QTerm::Kind::kDiv: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      CCDB_ASSIGN_OR_RETURN(Polynomial r, LowerPolynomialTerm(*term.rhs, env));
+      if (!r.is_constant() || r.is_zero()) {
+        return Status::InvalidArgument(
+            "division only by nonzero constants: " + term.ToString());
+      }
+      return l.Scale(r.constant_value().Inverse());
+    }
+    case QTerm::Kind::kNeg: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      return -l;
+    }
+    case QTerm::Kind::kPow: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l, LowerPolynomialTerm(*term.lhs, env));
+      return l.Pow(term.exponent);
+    }
+    case QTerm::Kind::kFunc:
+      return Status::InvalidArgument(
+          "analytic function in a polynomial-only context: " +
+          term.ToString() + " (approximate it first)");
+  }
+  return Status::Internal("unreachable term kind");
+}
+
+StatusOr<Formula> LowerFormula(const QFormula& formula, VarEnv* env) {
+  switch (formula.kind) {
+    case QFormula::Kind::kTrue:
+      return Formula::True();
+    case QFormula::Kind::kFalse:
+      return Formula::False();
+    case QFormula::Kind::kCompare: {
+      CCDB_ASSIGN_OR_RETURN(Polynomial l,
+                            LowerPolynomialTerm(*formula.lhs, env));
+      CCDB_ASSIGN_OR_RETURN(Polynomial r,
+                            LowerPolynomialTerm(*formula.rhs, env));
+      return Formula::MakeAtom(Atom(l - r, formula.op));
+    }
+    case QFormula::Kind::kRelation: {
+      std::vector<int> args;
+      std::vector<Formula> bindings;
+      std::vector<int> fresh_vars;
+      for (const auto& arg : formula.relation_args) {
+        if (arg->kind == QTerm::Kind::kVar) {
+          args.push_back(env->Intern(arg->var));
+          continue;
+        }
+        // Constant or compound argument: bind a fresh variable to it.
+        CCDB_ASSIGN_OR_RETURN(Polynomial value, LowerPolynomialTerm(*arg, env));
+        int fresh = env->next_index++;
+        args.push_back(fresh);
+        fresh_vars.push_back(fresh);
+        bindings.push_back(Formula::MakeAtom(
+            Atom(Polynomial::Var(fresh) - value, RelOp::kEq)));
+      }
+      Formula atom = Formula::Relation(formula.relation_name, std::move(args));
+      if (bindings.empty()) return atom;
+      bindings.push_back(std::move(atom));
+      Formula body = Formula::And(bindings);
+      for (auto it = fresh_vars.rbegin(); it != fresh_vars.rend(); ++it) {
+        body = Formula::Exists(*it, std::move(body));
+      }
+      return body;
+    }
+    case QFormula::Kind::kNot: {
+      CCDB_ASSIGN_OR_RETURN(Formula inner,
+                            LowerFormula(*formula.children[0], env));
+      return Formula::Not(std::move(inner));
+    }
+    case QFormula::Kind::kAnd:
+    case QFormula::Kind::kOr: {
+      std::vector<Formula> lowered;
+      for (const auto& child : formula.children) {
+        CCDB_ASSIGN_OR_RETURN(Formula f, LowerFormula(*child, env));
+        lowered.push_back(std::move(f));
+      }
+      return formula.kind == QFormula::Kind::kAnd ? Formula::And(lowered)
+                                                  : Formula::Or(lowered);
+    }
+    case QFormula::Kind::kExists:
+    case QFormula::Kind::kForall: {
+      // Bound names shadow outer names: intern under temporary bindings.
+      std::vector<std::pair<std::string, bool>> saved;  // name, had_entry
+      std::vector<int> saved_index(formula.bound_vars.size(), -1);
+      std::vector<int> bound_indices;
+      for (std::size_t i = 0; i < formula.bound_vars.size(); ++i) {
+        const std::string& name = formula.bound_vars[i];
+        auto it = env->indices.find(name);
+        bool had = it != env->indices.end();
+        if (had) saved_index[i] = it->second;
+        saved.emplace_back(name, had);
+        int fresh = env->next_index++;
+        env->indices[name] = fresh;
+        bound_indices.push_back(fresh);
+      }
+      auto lowered = LowerFormula(*formula.children[0], env);
+      // Restore shadowed bindings.
+      for (std::size_t i = formula.bound_vars.size(); i-- > 0;) {
+        if (saved[i].second) {
+          env->indices[saved[i].first] = saved_index[i];
+        } else {
+          env->indices.erase(saved[i].first);
+        }
+      }
+      if (!lowered.ok()) return lowered.status();
+      Formula body = std::move(*lowered);
+      for (auto it = bound_indices.rbegin(); it != bound_indices.rend();
+           ++it) {
+        body = formula.kind == QFormula::Kind::kExists
+                   ? Formula::Exists(*it, std::move(body))
+                   : Formula::Forall(*it, std::move(body));
+      }
+      return body;
+    }
+    case QFormula::Kind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate predicate in a core-formula context: " +
+          formula.ToString() + " (evaluate aggregates first)");
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace ccdb

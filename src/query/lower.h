@@ -1,0 +1,39 @@
+#ifndef CCDB_QUERY_LOWER_H_
+#define CCDB_QUERY_LOWER_H_
+
+#include <map>
+#include <string>
+
+#include "base/status.h"
+#include "constraint/formula.h"
+#include "query/ast.h"
+
+namespace ccdb {
+
+/// Name-to-index environment for lowering surface syntax to the core
+/// Formula/Polynomial representation.
+struct VarEnv {
+  std::map<std::string, int> indices;
+  int next_index = 0;
+
+  /// Index of `name`, assigning the next free index on first use.
+  int Intern(const std::string& name);
+  /// Index of `name`; kNotFound if unknown (strict lookups for relation
+  /// definitions).
+  StatusOr<int> Lookup(const std::string& name) const;
+};
+
+/// Lowers a function-free term to a polynomial over the environment's
+/// variable indices (interning new names). Fails on analytic functions and
+/// on division by non-constants.
+StatusOr<Polynomial> LowerPolynomialTerm(const QTerm& term, VarEnv* env);
+
+/// Lowers an aggregate-free, analytic-function-free formula to the core
+/// Formula (relation atoms are kept symbolic; arguments must be plain
+/// variables or constants — constant arguments are encoded through fresh
+/// existential variables).
+StatusOr<Formula> LowerFormula(const QFormula& formula, VarEnv* env);
+
+}  // namespace ccdb
+
+#endif  // CCDB_QUERY_LOWER_H_

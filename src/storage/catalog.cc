@@ -1,0 +1,218 @@
+#include "storage/catalog.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.h"
+#include "query/parser.h"
+
+namespace ccdb {
+
+TupleBox TupleBox::Of(const GeneralizedTuple& tuple, int arity) {
+  TupleBox box;
+  box.lower.assign(arity, std::nullopt);
+  box.upper.assign(arity, std::nullopt);
+  for (const Atom& atom : tuple.atoms) {
+    // Recognize a*x_v + b (op) 0 with a != 0 constant and single variable.
+    const Polynomial& p = atom.poly;
+    int var = p.max_var();
+    if (var < 0 || p.DegreeIn(var) != 1) continue;
+    bool single = true;
+    for (int v = 0; v < var; ++v) {
+      if (p.Mentions(v)) {
+        single = false;
+        break;
+      }
+    }
+    if (!single) continue;
+    auto coeffs = p.CoefficientsIn(var);
+    if (!coeffs[1].is_constant() || !coeffs[0].is_constant()) continue;
+    Rational a = coeffs[1].constant_value();
+    Rational bound = -coeffs[0].constant_value() / a;
+    RelOp op = atom.op;
+    // a*x + b op 0  <=>  x op' bound, with op' flipped when a < 0.
+    bool flip = a.sign() < 0;
+    auto tighten_upper = [&](const Rational& value) {
+      if (!box.upper[var].has_value() || value < *box.upper[var]) {
+        box.upper[var] = value;
+      }
+    };
+    auto tighten_lower = [&](const Rational& value) {
+      if (!box.lower[var].has_value() || value > *box.lower[var]) {
+        box.lower[var] = value;
+      }
+    };
+    switch (op) {
+      case RelOp::kLe:
+      case RelOp::kLt:
+        if (flip) {
+          tighten_lower(bound);
+        } else {
+          tighten_upper(bound);
+        }
+        break;
+      case RelOp::kGe:
+      case RelOp::kGt:
+        if (flip) {
+          tighten_upper(bound);
+        } else {
+          tighten_lower(bound);
+        }
+        break;
+      case RelOp::kEq:
+        tighten_lower(bound);
+        tighten_upper(bound);
+        break;
+      case RelOp::kNeq:
+        break;
+    }
+  }
+  return box;
+}
+
+bool TupleBox::MayContain(const std::vector<Rational>& point) const {
+  for (std::size_t v = 0; v < point.size() && v < lower.size(); ++v) {
+    if (lower[v].has_value() && point[v] < *lower[v]) return false;
+    if (upper[v].has_value() && point[v] > *upper[v]) return false;
+  }
+  return true;
+}
+
+Status Catalog::AddRelation(const std::string& name,
+                            ConstraintRelation relation) {
+  if (relations_.count(name) != 0) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  Entry entry;
+  for (const GeneralizedTuple& tuple : relation.tuples()) {
+    entry.boxes.push_back(TupleBox::Of(tuple, relation.arity()));
+  }
+  entry.relation = std::move(relation);
+  relations_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+Status Catalog::AddRelationFromText(const std::string& definition) {
+  CCDB_ASSIGN_OR_RETURN(ParsedRelationDef def, ParseRelationDef(definition));
+  return AddRelation(def.name, std::move(def.relation));
+}
+
+Status Catalog::DropRelation(const std::string& name) {
+  if (relations_.erase(name) == 0) {
+    return Status::NotFound("relation " + name + " not found");
+  }
+  return Status::Ok();
+}
+
+bool Catalog::HasRelation(const std::string& name) const {
+  return relations_.count(name) != 0;
+}
+
+StatusOr<ConstraintRelation> Catalog::GetRelation(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + name + " not found");
+  }
+  return it->second.relation;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, entry] : relations_) names.push_back(name);
+  return names;
+}
+
+StatusOr<bool> Catalog::Contains(const std::string& name,
+                                 const std::vector<Rational>& point) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + name + " not found");
+  }
+  const Entry& entry = it->second;
+  if (static_cast<int>(point.size()) != entry.relation.arity()) {
+    return Status::InvalidArgument("point arity mismatch");
+  }
+  for (std::size_t i = 0; i < entry.relation.tuples().size(); ++i) {
+    if (!entry.boxes[i].MayContain(point)) continue;  // index fast path
+    if (entry.relation.tuples()[i].SatisfiedAt(point)) return true;
+  }
+  return false;
+}
+
+std::string Catalog::Serialize() const {
+  std::ostringstream out;
+  out << "# ccdb catalog v1\n";
+  for (const auto& [name, entry] : relations_) {
+    const ConstraintRelation& rel = entry.relation;
+    std::vector<std::string> columns;
+    for (int v = 0; v < rel.arity(); ++v) {
+      columns.push_back("x" + std::to_string(v));
+    }
+    out << name << "(";
+    for (int v = 0; v < rel.arity(); ++v) {
+      if (v > 0) out << ", ";
+      out << columns[v];
+    }
+    out << ") := ";
+    if (rel.tuples().empty()) {
+      out << "false";
+    } else {
+      for (std::size_t t = 0; t < rel.tuples().size(); ++t) {
+        if (t > 0) out << " or ";
+        const GeneralizedTuple& tuple = rel.tuples()[t];
+        out << "(";
+        if (tuple.atoms.empty()) {
+          out << "0 = 0";
+        }
+        for (std::size_t a = 0; a < tuple.atoms.size(); ++a) {
+          if (a > 0) out << " and ";
+          out << tuple.atoms[a].poly.ToString(columns) << " "
+              << RelOpToString(tuple.atoms[a].op) << " 0";
+        }
+        out << ")";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<Catalog> Catalog::Deserialize(const std::string& text) {
+  Catalog catalog;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    // Empty relations serialize as "... := false", which the definition
+    // parser handles through the 'false' keyword.
+    Status added = catalog.AddRelationFromText(line);
+    if (!added.ok()) {
+      return Status(added.code(), "line " + std::to_string(line_number) +
+                                      ": " + added.message());
+    }
+  }
+  return catalog;
+}
+
+Status Catalog::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << Serialize();
+  return out ? Status::Ok() : Status::Internal("write to " + path + " failed");
+}
+
+StatusOr<Catalog> Catalog::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace ccdb

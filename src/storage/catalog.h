@@ -1,0 +1,68 @@
+#ifndef CCDB_STORAGE_CATALOG_H_
+#define CCDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraint/atom.h"
+
+namespace ccdb {
+
+/// Per-tuple bounding box derived from single-variable linear atoms
+/// (x - c <= 0 and friends). Missing bounds are unbounded. Used by the
+/// catalog's point-query fast path — the constraint-database analogue of
+/// the spatial indexing the paper cites ([KRVV93]).
+struct TupleBox {
+  std::vector<std::optional<Rational>> lower;
+  std::vector<std::optional<Rational>> upper;
+
+  /// Derives the box of one generalized tuple of the given arity.
+  static TupleBox Of(const GeneralizedTuple& tuple, int arity);
+  /// True iff the point can possibly satisfy the tuple.
+  bool MayContain(const std::vector<Rational>& point) const;
+};
+
+/// A named collection of constraint relations with text persistence.
+///
+/// The on-disk format is line-oriented relation definitions in the query
+/// language's own syntax ("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0"), one
+/// relation per line, '#' comments allowed — human-readable and re-parsed
+/// through the regular parser on load.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddRelation(const std::string& name, ConstraintRelation relation);
+  /// Parses and adds "Name(cols...) := formula".
+  Status AddRelationFromText(const std::string& definition);
+  Status DropRelation(const std::string& name);
+  bool HasRelation(const std::string& name) const;
+  StatusOr<ConstraintRelation> GetRelation(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+  /// Point membership with bounding-box pre-filtering.
+  StatusOr<bool> Contains(const std::string& name,
+                          const std::vector<Rational>& point) const;
+
+  /// Serializes every relation into the line format.
+  std::string Serialize() const;
+  /// Loads relations from the line format (replacing the catalog).
+  static StatusOr<Catalog> Deserialize(const std::string& text);
+
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Catalog> LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    ConstraintRelation relation;
+    std::vector<TupleBox> boxes;
+  };
+  std::map<std::string, Entry> relations_;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_CATALOG_H_

@@ -1,0 +1,289 @@
+#include "agg/aggregates.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+Polynomial X() { return Polynomial::Var(0); }
+Polynomial Y() { return Polynomial::Var(1); }
+Polynomial Z() { return Polynomial::Var(2); }
+
+ConstraintRelation UnaryInterval(const Rational& lo, const Rational& hi) {
+  ConstraintRelation rel(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(Polynomial(lo) - X(), RelOp::kLe);
+  tuple.atoms.emplace_back(X() - Polynomial(hi), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  return rel;
+}
+
+ConstraintRelation FinitePoints(std::initializer_list<Rational> values) {
+  ConstraintRelation rel(1);
+  for (const Rational& v : values) {
+    GeneralizedTuple tuple;
+    tuple.atoms.emplace_back(X() - Polynomial(v), RelOp::kEq);
+    rel.AddTuple(std::move(tuple));
+  }
+  return rel;
+}
+
+// The paper's Example 5.1/5.4 region: S(x,y) ∧ y <= 9 where
+// S = 4x^2 - y - 20x + 25 <= 0. Its area is exactly 18.
+ConstraintRelation PaperSurfaceRegion() {
+  ConstraintRelation rel(2);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(
+      Polynomial(4) * X().Pow(2) - Y() - Polynomial(20) * X() + Polynomial(25),
+      RelOp::kLe);
+  tuple.atoms.emplace_back(Y() - Polynomial(9), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  return rel;
+}
+
+TEST(AggregateTest, KindPlumbing) {
+  EXPECT_TRUE(AggregateKindFromName("SURFACE").ok());
+  EXPECT_FALSE(AggregateKindFromName("MEDIAN").ok());
+  EXPECT_EQ(AggregateInputArity(AggregateKind::kSurface), 2);
+  EXPECT_EQ(AggregateInputArity(AggregateKind::kVolume), 3);
+  EXPECT_EQ(AggregateInputArity(AggregateKind::kMin), 1);
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kAvg), "AVG");
+}
+
+TEST(AggregateTest, MinMaxClosedInterval) {
+  AggregateModules modules;
+  ConstraintRelation rel = UnaryInterval(R(-3), R(7));
+  auto min = modules.Min(rel);
+  ASSERT_TRUE(min.ok()) << min.status().ToString();
+  EXPECT_TRUE(min->exact);
+  EXPECT_EQ(min->exact_value, R(-3));
+  auto max = modules.Max(rel);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->exact_value, R(7));
+}
+
+TEST(AggregateTest, MinUndefinedForOpenOrUnbounded) {
+  AggregateModules modules;
+  // Open interval: 0 < x < 1.
+  ConstraintRelation open(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(-X(), RelOp::kLt);
+  tuple.atoms.emplace_back(X() - Polynomial(1), RelOp::kLt);
+  open.AddTuple(std::move(tuple));
+  auto min = modules.Min(open);
+  EXPECT_FALSE(min.ok());
+  EXPECT_EQ(min.status().code(), StatusCode::kUndefined);
+
+  // Unbounded below: x <= 0.
+  ConstraintRelation unbounded(1);
+  GeneralizedTuple t2;
+  t2.atoms.emplace_back(X(), RelOp::kLe);
+  unbounded.AddTuple(std::move(t2));
+  EXPECT_FALSE(modules.Min(unbounded).ok());
+  // But MAX of the same set exists: 0.
+  auto max = modules.Max(unbounded);
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->exact_value, R(0));
+}
+
+TEST(AggregateTest, MinOfIrrationalEndpoint) {
+  // x^2 <= 2: min is -sqrt(2), reported approximately.
+  AggregateModules modules(1e-9);
+  ConstraintRelation rel(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X().Pow(2) - Polynomial(2), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  auto min = modules.Min(rel);
+  ASSERT_TRUE(min.ok());
+  EXPECT_FALSE(min->exact);
+  EXPECT_NEAR(min->Value(), -std::sqrt(2.0), 1e-8);
+}
+
+TEST(AggregateTest, AvgFiniteSet) {
+  AggregateModules modules;
+  auto avg = modules.Avg(FinitePoints({R(1), R(2), R(6)}));
+  ASSERT_TRUE(avg.ok());
+  EXPECT_TRUE(avg->exact);
+  EXPECT_EQ(avg->exact_value, R(3));
+}
+
+TEST(AggregateTest, AvgOfInterval) {
+  AggregateModules modules;
+  auto avg = modules.Avg(UnaryInterval(R(2), R(6)));
+  ASSERT_TRUE(avg.ok());
+  EXPECT_TRUE(avg->exact);
+  EXPECT_EQ(avg->exact_value, R(4));
+  // Union of [0,2] and [4,6]: mean = (2 + 10)/ (2+2)... moment: (2-0)(1) +
+  // (6-4)(5) = 2 + 10 = 12, measure 4, avg 3.
+  ConstraintRelation uni = UnaryInterval(R(0), R(2));
+  ConstraintRelation second = UnaryInterval(R(4), R(6));
+  for (const auto& t : second.tuples()) {
+    uni.AddTuple(t);
+  }
+  auto avg2 = modules.Avg(uni);
+  ASSERT_TRUE(avg2.ok());
+  EXPECT_EQ(avg2->exact_value, R(3));
+}
+
+TEST(AggregateTest, AvgUndefinedCases) {
+  AggregateModules modules;
+  EXPECT_EQ(modules.Avg(ConstraintRelation(1)).status().code(),
+            StatusCode::kUndefined);
+  ConstraintRelation unbounded(1);
+  GeneralizedTuple t;
+  t.atoms.emplace_back(X(), RelOp::kGe);
+  unbounded.AddTuple(std::move(t));
+  EXPECT_EQ(modules.Avg(unbounded).status().code(), StatusCode::kUndefined);
+}
+
+TEST(AggregateTest, LengthUnionOfIntervals) {
+  AggregateModules modules;
+  ConstraintRelation uni = UnaryInterval(R(0), R(1));
+  ConstraintRelation second = UnaryInterval(R(5), R(7));
+  for (const auto& t : second.tuples()) uni.AddTuple(t);
+  auto length = modules.Length(uni);
+  ASSERT_TRUE(length.ok());
+  EXPECT_TRUE(length->exact);
+  EXPECT_EQ(length->exact_value, R(3));
+  // Points have measure zero.
+  auto zero = modules.Length(FinitePoints({R(1), R(5)}));
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->exact_value, R(0));
+}
+
+TEST(AggregateTest, LengthIrrationalEndpoints) {
+  AggregateModules modules(1e-10);
+  ConstraintRelation rel(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X().Pow(2) - Polynomial(2), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  auto length = modules.Length(rel);
+  ASSERT_TRUE(length.ok());
+  EXPECT_NEAR(length->Value(), 2.0 * std::sqrt(2.0), 1e-8);
+}
+
+TEST(AggregateTest, SurfacePaperExampleExactly18) {
+  // The headline example of the paper: SURFACE(S ∧ y<=9) = 18, computed
+  // EXACTLY by the graph-boundary fast path.
+  AggregateModules modules;
+  auto area = modules.Surface(PaperSurfaceRegion());
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_TRUE(area->exact);
+  EXPECT_EQ(area->exact_value, R(18));
+}
+
+TEST(AggregateTest, SurfaceTriangle) {
+  // The paper's Section 3 triangle: x<=y, x>=0, y<=10. Area = 50.
+  AggregateModules modules;
+  ConstraintRelation rel(2);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X() - Y(), RelOp::kLe);
+  tuple.atoms.emplace_back(-X(), RelOp::kLe);
+  tuple.atoms.emplace_back(Y() - Polynomial(10), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  auto area = modules.Surface(rel);
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_TRUE(area->exact);
+  EXPECT_EQ(area->exact_value, R(50));
+}
+
+TEST(AggregateTest, SurfaceUnitDiskNumeric) {
+  // Unit disk: area pi (numeric path — circle is not a y-graph).
+  AggregateModules modules(1e-6);
+  ConstraintRelation rel(2);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X().Pow(2) + Y().Pow(2) - Polynomial(1), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  auto area = modules.Surface(rel);
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_FALSE(area->exact);
+  EXPECT_NEAR(area->Value(), M_PI, 1e-3);
+}
+
+TEST(AggregateTest, SurfaceUnboundedUndefined) {
+  AggregateModules modules;
+  ConstraintRelation rel(2);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(Y() - X(), RelOp::kLe);  // half plane
+  rel.AddTuple(std::move(tuple));
+  auto area = modules.Surface(rel);
+  EXPECT_FALSE(area.ok());
+  EXPECT_EQ(area.status().code(), StatusCode::kUndefined);
+}
+
+TEST(AggregateTest, SurfaceEmptyRegionZero) {
+  AggregateModules modules;
+  ConstraintRelation rel(2);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X().Pow(2) + Y().Pow(2) + Polynomial(1),
+                           RelOp::kLe);  // empty
+  rel.AddTuple(std::move(tuple));
+  auto area = modules.Surface(rel);
+  ASSERT_TRUE(area.ok()) << area.status().ToString();
+  EXPECT_NEAR(area->Value(), 0.0, 1e-12);
+}
+
+TEST(AggregateTest, VolumeBox) {
+  // Box [0,2]x[0,3]x[0,5]: volume 30 (numeric).
+  AggregateModules modules(1e-6);
+  ConstraintRelation rel(3);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(-X(), RelOp::kLe);
+  tuple.atoms.emplace_back(X() - Polynomial(2), RelOp::kLe);
+  tuple.atoms.emplace_back(-Y(), RelOp::kLe);
+  tuple.atoms.emplace_back(Y() - Polynomial(3), RelOp::kLe);
+  tuple.atoms.emplace_back(-Z(), RelOp::kLe);
+  tuple.atoms.emplace_back(Z() - Polynomial(5), RelOp::kLe);
+  rel.AddTuple(std::move(tuple));
+  auto volume = modules.Volume(rel);
+  ASSERT_TRUE(volume.ok()) << volume.status().ToString();
+  EXPECT_NEAR(volume->Value(), 30.0, 1e-2);
+}
+
+TEST(AggregateTest, EvalFiniteSolutions) {
+  AggregateModules modules;
+  ConstraintRelation rel(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X().Pow(2) - Polynomial(4), RelOp::kEq);
+  rel.AddTuple(std::move(tuple));
+  auto result = modules.Eval(rel, R(1, 1000));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tuples().size(), 2u);
+  EXPECT_TRUE(result->Contains({R(2)}));
+  EXPECT_TRUE(result->Contains({R(-2)}));
+}
+
+TEST(AggregateTest, EvalInfiniteReturnsOriginal) {
+  AggregateModules modules;
+  ConstraintRelation rel(1);
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(X(), RelOp::kGe);
+  rel.AddTuple(std::move(tuple));
+  auto result = modules.Eval(rel, R(1, 1000));
+  ASSERT_TRUE(result.ok());
+  // "to S itself otherwise".
+  EXPECT_EQ(result->tuples().size(), rel.tuples().size());
+  EXPECT_TRUE(result->Contains({R(42)}));
+}
+
+TEST(AggregateTest, ApplyNumericDispatchAndArityChecks) {
+  AggregateModules modules;
+  auto bad = modules.ApplyNumeric(AggregateKind::kSurface,
+                                  UnaryInterval(R(0), R(1)));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto good =
+      modules.ApplyNumeric(AggregateKind::kLength, UnaryInterval(R(0), R(1)));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->exact_value, R(1));
+  EXPECT_GE(modules.call_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,159 @@
+// Parameterized property sweeps over the arithmetic substrate: interval
+// enclosure soundness, FloatK rounding laws, Z_k partiality laws, and
+// BigInt algebraic identities — the invariants every higher layer builds
+// on.
+
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "arith/floatk.h"
+#include "arith/interval.h"
+#include "arith/zsplit.h"
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+class IntervalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPropertyTest, ArithmeticEnclosesSampledValues) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> dist(-40, 40);
+  auto random_interval = [&]() {
+    std::int64_t a = dist(rng), b = dist(rng);
+    return Interval(R(std::min(a, b), 4), R(std::max(a, b), 4));
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    Interval x = random_interval();
+    Interval y = random_interval();
+    // Sample points within x, y.
+    for (int s = 0; s < 4; ++s) {
+      Rational px = x.lo() + (x.hi() - x.lo()) * R(s, 3);
+      Rational py = y.lo() + (y.hi() - y.lo()) * R(3 - s, 3);
+      EXPECT_TRUE((x + y).Contains(px + py));
+      EXPECT_TRUE((x - y).Contains(px - py));
+      EXPECT_TRUE((x * y).Contains(px * py));
+      EXPECT_TRUE(x.Pow(2).Contains(px * px));
+      EXPECT_TRUE(x.Pow(3).Contains(px * px * px));
+      EXPECT_TRUE((-x).Contains(-px));
+      EXPECT_TRUE(x.Scale(R(-7, 2)).Contains(px * R(-7, 2)));
+    }
+    // Inclusion monotonicity: shrinking inputs shrinks outputs.
+    Interval x_mid(x.Midpoint());
+    EXPECT_TRUE((x * y).ContainsInterval(x_mid * y));
+    EXPECT_TRUE((x + y).ContainsInterval(x_mid + y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Range(100, 108));
+
+class FloatKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloatKPropertyTest, RoundingIsMonotoneAndWithinHalfUlp) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> dist(1, 100000);
+  FpFormat format{10, 64};
+  Rational previous_value(0);
+  Rational previous_rounded(0);
+  bool have_previous = false;
+  std::vector<Rational> values;
+  for (int i = 0; i < 60; ++i) {
+    values.push_back(R(dist(rng), dist(rng)));
+  }
+  std::sort(values.begin(), values.end());
+  for (const Rational& value : values) {
+    auto rounded = FloatK::FromRational(value, format, FpMode::kRound);
+    ASSERT_TRUE(rounded.ok()) << value.ToString();
+    Rational result = rounded->ToRational();
+    // Half-ulp bound: |round(v) - v| <= v * 2^-10.
+    EXPECT_LE((result - value).Abs(),
+              value * Rational(BigInt(1), BigInt::Pow2(10)));
+    // Monotonicity: v1 <= v2 implies round(v1) <= round(v2).
+    if (have_previous) {
+      EXPECT_LE(previous_rounded, result)
+          << previous_value.ToString() << " -> " << value.ToString();
+    }
+    previous_value = value;
+    previous_rounded = result;
+    have_previous = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloatKPropertyTest,
+                         ::testing::Range(200, 206));
+
+class ZkPropertyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ZkPropertyTest, PartialOperationsExactlyWhenRepresentable) {
+  const std::uint32_t k = GetParam();
+  PartialZk zk(k);
+  const std::int64_t bound = (1ll << k) - 1;
+  for (std::int64_t a = -bound; a <= bound; a += 3) {
+    for (std::int64_t b = -bound; b <= bound; b += 5) {
+      auto sum = zk.Add(BigInt(a), BigInt(b));
+      bool sum_fits = std::abs(a + b) <= bound;
+      EXPECT_EQ(sum.ok(), sum_fits) << a << "+" << b;
+      if (sum.ok()) EXPECT_EQ(sum->ToInt64(), a + b);
+      auto product = zk.Mul(BigInt(a), BigInt(b));
+      bool product_fits = std::abs(a * b) <= bound;
+      EXPECT_EQ(product.ok(), product_fits) << a << "*" << b;
+      if (product.ok()) EXPECT_EQ(product->ToInt64(), a * b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallK, ZkPropertyTest,
+                         ::testing::Values(3u, 4u, 5u, 6u));
+
+class BigIntPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntPropertyTest, AlgebraicIdentities) {
+  std::mt19937_64 rng(GetParam());
+  auto random_big = [&]() {
+    BigInt value(static_cast<std::int64_t>(rng() % 2000000) - 1000000);
+    // Occasionally grow beyond 64 bits.
+    if (rng() % 3 == 0) value = value * value * value;
+    return value;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    BigInt a = random_big();
+    BigInt b = random_big();
+    BigInt c = random_big();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a - b) + b, a);
+    EXPECT_EQ(-(-a), a);
+    if (!b.is_zero()) {
+      auto [q, r] = a.DivMod(b);
+      EXPECT_EQ(q * b + r, a);
+      EXPECT_TRUE(r.Abs() < b.Abs());
+    }
+    // gcd divides both and any common divisor divides the gcd (checked via
+    // products).
+    BigInt g = BigInt::Gcd(a, b);
+    if (!g.is_zero()) {
+      EXPECT_TRUE((a % g).is_zero());
+      EXPECT_TRUE((b % g).is_zero());
+      BigInt scaled_gcd = BigInt::Gcd(a * c, b * c);
+      EXPECT_TRUE((scaled_gcd % g).is_zero());
+    }
+    // Bit length laws.
+    if (!a.is_zero() && !b.is_zero()) {
+      EXPECT_LE((a * b).bit_length(), a.bit_length() + b.bit_length());
+      EXPECT_GE((a * b).bit_length(), a.bit_length() + b.bit_length() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Range(300, 308));
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,236 @@
+#include "arith/bigint.h"
+
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_negative());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero, BigInt(0));
+  EXPECT_EQ(-zero, zero);
+}
+
+TEST(BigIntTest, ConstructFromInt64) {
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-42).ToString(), "-42");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, RoundTripInt64) {
+  const std::int64_t values[] = {0,       1,        -1,        42,
+                                 -12345,  INT64_MAX, INT64_MIN, 1ll << 32,
+                                 -(1ll << 32)};
+  for (std::int64_t v : values) {
+    BigInt b(v);
+    ASSERT_TRUE(b.FitsInt64());
+    EXPECT_EQ(b.ToInt64(), v);
+  }
+}
+
+TEST(BigIntTest, FromStringValid) {
+  auto parsed = BigInt::FromString("123456789012345678901234567890");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), "123456789012345678901234567890");
+
+  auto negative = BigInt::FromString("-987654321");
+  ASSERT_TRUE(negative.ok());
+  EXPECT_EQ(negative->ToInt64(), -987654321);
+
+  auto zero = BigInt::FromString("-0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_TRUE(zero->is_zero());
+  EXPECT_FALSE(zero->is_negative());
+}
+
+TEST(BigIntTest, FromStringInvalid) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a3").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(3).bit_length(), 2u);
+  EXPECT_EQ(BigInt(4).bit_length(), 3u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt(-256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::Pow2(100).bit_length(), 101u);
+}
+
+TEST(BigIntTest, Pow2) {
+  EXPECT_EQ(BigInt::Pow2(0).ToInt64(), 1);
+  EXPECT_EQ(BigInt::Pow2(10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt::Pow2(32).ToString(), "4294967296");
+  EXPECT_EQ(BigInt::Pow2(64).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, AdditionAgainstInt128) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(INT64_MIN / 2,
+                                                   INT64_MAX / 2);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = dist(rng);
+    std::int64_t b = dist(rng);
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToInt64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToInt64(), a - b);
+  }
+}
+
+TEST(BigIntTest, MultiplicationAgainstInt128) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::int64_t> dist(-3000000000ll,
+                                                   3000000000ll);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = dist(rng);
+    std::int64_t b = dist(rng);
+    __int128 expected = static_cast<__int128>(a) * b;
+    BigInt product = BigInt(a) * BigInt(b);
+    __int128 got = 0;
+    bool negative = product.is_negative();
+    BigInt abs = product.Abs();
+    BigInt two32 = BigInt::Pow2(32);
+    // Reconstruct via division.
+    BigInt rest = abs;
+    __int128 scale = 1;
+    while (!rest.is_zero()) {
+      auto [q, r] = rest.DivMod(two32);
+      got += scale * static_cast<__int128>(r.ToInt64());
+      scale <<= 32;
+      rest = q;
+    }
+    if (negative) got = -got;
+    EXPECT_TRUE(got == expected) << a << " * " << b;
+  }
+}
+
+TEST(BigIntTest, DivModAgainstInt64) {
+  std::mt19937_64 rng(13);
+  std::uniform_int_distribution<std::int64_t> dist(INT64_MIN + 1, INT64_MAX);
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t a = dist(rng);
+    std::int64_t b = dist(rng) % 100000;
+    if (b == 0) continue;
+    auto [q, r] = BigInt(a).DivMod(BigInt(b));
+    EXPECT_EQ(q.ToInt64(), a / b) << a << " / " << b;
+    EXPECT_EQ(r.ToInt64(), a % b) << a << " % " << b;
+  }
+}
+
+TEST(BigIntTest, DivModLargeRandomRoundTrip) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    // Build random numbers of random limb sizes.
+    auto random_big = [&](int limbs) {
+      BigInt value;
+      for (int j = 0; j < limbs; ++j) {
+        value = value.ShiftLeft(32) + BigInt(static_cast<std::int64_t>(
+                                          rng() & 0xffffffffull));
+      }
+      if (rng() & 1) value = -value;
+      return value;
+    };
+    BigInt a = random_big(1 + static_cast<int>(rng() % 8));
+    BigInt b = random_big(1 + static_cast<int>(rng() % 5));
+    if (b.is_zero()) continue;
+    auto [q, r] = a.DivMod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+    // Remainder sign matches dividend (or zero).
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.sign(), a.sign());
+    }
+  }
+}
+
+TEST(BigIntTest, KnuthDivisionAddBackCase) {
+  // Crafted to exercise the rare "add back" correction in algorithm D.
+  BigInt a = BigInt::Pow2(96) - BigInt::Pow2(64) + BigInt(1);
+  BigInt b = BigInt::Pow2(64) - BigInt(1);
+  auto [q, r] = a.DivMod(b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_TRUE(r < b);
+  EXPECT_FALSE(r.is_negative());
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt v = BigInt(0x12345678) * BigInt(0x9abcdef0ll) + BigInt(7);
+  for (std::uint64_t s : {1u, 7u, 31u, 32u, 33u, 63u, 64u, 100u}) {
+    EXPECT_EQ(v.ShiftLeft(s).ShiftRight(s), v) << "shift " << s;
+  }
+  EXPECT_EQ(BigInt(-20).ShiftRight(2), BigInt(-5));
+  EXPECT_EQ(BigInt(20).ShiftLeft(3), BigInt(160));
+}
+
+TEST(BigIntTest, Pow) {
+  EXPECT_EQ(BigInt(2).Pow(10), BigInt(1024));
+  EXPECT_EQ(BigInt(0).Pow(0), BigInt(1));
+  EXPECT_EQ(BigInt(-3).Pow(3), BigInt(-27));
+  EXPECT_EQ(BigInt(-3).Pow(4), BigInt(81));
+  EXPECT_EQ(BigInt(10).Pow(20).ToString(), "100000000000000000000");
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)), BigInt(1));
+  BigInt big = BigInt(10).Pow(30);
+  EXPECT_EQ(BigInt::Gcd(big * BigInt(6), big * BigInt(4)), big * BigInt(2));
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LE(BigInt(5), BigInt(5));
+  EXPECT_GT(BigInt::Pow2(64), BigInt(INT64_MAX));
+  EXPECT_LT(-BigInt::Pow2(64), BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, ToStringLarge) {
+  BigInt v = BigInt(10).Pow(25) + BigInt(42);
+  EXPECT_EQ(v.ToString(), "10000000000000000000000042");
+  EXPECT_EQ((-v).ToString(), "-10000000000000000000000042");
+}
+
+TEST(BigIntTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).ToDouble(), -12345.0);
+  EXPECT_NEAR(BigInt::Pow2(100).ToDouble(), std::pow(2.0, 100), 1e15);
+}
+
+TEST(BigIntTest, IsEven) {
+  EXPECT_TRUE(BigInt(0).IsEven());
+  EXPECT_TRUE(BigInt(2).IsEven());
+  EXPECT_TRUE(BigInt(-4).IsEven());
+  EXPECT_FALSE(BigInt(1).IsEven());
+  EXPECT_FALSE(BigInt(-7).IsEven());
+}
+
+TEST(BigIntTest, StringRoundTripRandom) {
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 200; ++i) {
+    BigInt value(static_cast<std::int64_t>(rng()));
+    value = value * value * BigInt(static_cast<std::int64_t>(rng() % 1000));
+    auto reparsed = BigInt::FromString(value.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*reparsed, value);
+  }
+}
+
+}  // namespace
+}  // namespace ccdb

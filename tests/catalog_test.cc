@@ -1,0 +1,130 @@
+#include "storage/catalog.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+TEST(TupleBoxTest, DerivedFromLinearAtoms) {
+  // 0 <= x <= 5, y = 3, plus a nonlinear atom that contributes nothing.
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(-Polynomial::Var(0), RelOp::kLe);
+  tuple.atoms.emplace_back(Polynomial::Var(0) - Polynomial(5), RelOp::kLe);
+  tuple.atoms.emplace_back(Polynomial::Var(1) - Polynomial(3), RelOp::kEq);
+  tuple.atoms.emplace_back(
+      Polynomial::Var(0) * Polynomial::Var(1) - Polynomial(1), RelOp::kLe);
+  TupleBox box = TupleBox::Of(tuple, 2);
+  EXPECT_TRUE(box.MayContain({R(2), R(3)}));
+  EXPECT_FALSE(box.MayContain({R(6), R(3)}));
+  EXPECT_FALSE(box.MayContain({R(-1), R(3)}));
+  EXPECT_FALSE(box.MayContain({R(2), R(4)}));
+  EXPECT_FALSE(box.MayContain({R(2), R(2)}));
+}
+
+TEST(TupleBoxTest, NegatedCoefficientFlips) {
+  // -2x + 6 <= 0  ->  x >= 3.
+  GeneralizedTuple tuple;
+  tuple.atoms.emplace_back(Polynomial(-2) * Polynomial::Var(0) + Polynomial(6),
+                           RelOp::kLe);
+  TupleBox box = TupleBox::Of(tuple, 1);
+  EXPECT_TRUE(box.MayContain({R(3)}));
+  EXPECT_TRUE(box.MayContain({R(100)}));
+  EXPECT_FALSE(box.MayContain({R(2)}));
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelationFromText(
+                        "S(x, y) := 4*x^2 - y - 20*x + 25 <= 0")
+                  .ok());
+  EXPECT_TRUE(catalog.HasRelation("S"));
+  EXPECT_FALSE(catalog.AddRelationFromText("S(x) := x = 0").ok());
+  auto s = catalog.GetRelation("S");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->arity(), 2);
+  EXPECT_TRUE(catalog.DropRelation("S").ok());
+  EXPECT_FALSE(catalog.HasRelation("S"));
+  EXPECT_FALSE(catalog.DropRelation("S").ok());
+}
+
+TEST(CatalogTest, ContainsUsesIndex) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelationFromText("Box(x, y) := 0 <= x and x <= 1 and "
+                                  "0 <= y and y <= 1")
+          .ok());
+  auto in = catalog.Contains("Box", {R(1, 2), R(1, 2)});
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(*in);
+  auto out = catalog.Contains("Box", {R(2), R(2)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(*out);
+  EXPECT_FALSE(catalog.Contains("Nope", {R(0)}).ok());
+  EXPECT_FALSE(catalog.Contains("Box", {R(0)}).ok());  // arity mismatch
+}
+
+TEST(CatalogTest, SerializeRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelationFromText(
+                        "S(x, y) := 4*x^2 - y - 20*x + 25 <= 0")
+                  .ok());
+  ASSERT_TRUE(catalog.AddRelationFromText(
+                        "Seg(t) := (0 <= t and t <= 10) or t = 20")
+                  .ok());
+  std::string text = catalog.Serialize();
+  auto reloaded = Catalog::Deserialize(text);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString() << "\n" << text;
+  EXPECT_EQ(reloaded->RelationNames(), catalog.RelationNames());
+  // Semantics preserved on sample points.
+  auto contains = reloaded->Contains("S", {R(5, 2), R(0)});
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains);
+  auto seg20 = reloaded->Contains("Seg", {R(20)});
+  ASSERT_TRUE(seg20.ok());
+  EXPECT_TRUE(*seg20);
+  auto seg15 = reloaded->Contains("Seg", {R(15)});
+  ASSERT_TRUE(seg15.ok());
+  EXPECT_FALSE(*seg15);
+}
+
+TEST(CatalogTest, RationalCoefficientsSurviveRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddRelationFromText("H(x) := 2*x - 1 <= 0 and -2*x - 1 <= 0")
+          .ok());
+  auto reloaded = Catalog::Deserialize(catalog.Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  auto in = reloaded->Contains("H", {R(1, 4)});
+  ASSERT_TRUE(in.ok());
+  EXPECT_TRUE(*in);
+  auto out = reloaded->Contains("H", {R(3, 4)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(*out);
+}
+
+TEST(CatalogTest, FileRoundTrip) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelationFromText("P(x) := x^2 - 2 <= 0").ok());
+  std::string path = "/tmp/ccdb_catalog_test.txt";
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  auto loaded = Catalog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->HasRelation("P"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(Catalog::LoadFromFile("/tmp/ccdb_does_not_exist.txt").ok());
+}
+
+TEST(CatalogTest, DeserializeErrorsCarryLineNumbers) {
+  auto bad = Catalog::Deserialize("# header\nR(x) := x <= 1\nbroken line\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,157 @@
+#include "arith/floatk.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+TEST(FloatKTest, NormalizationMakesMantissaOdd) {
+  FloatK v(BigInt(8), 0);  // 8 = 1 * 2^3
+  EXPECT_EQ(v.mantissa(), BigInt(1));
+  EXPECT_EQ(v.exponent(), 3);
+  EXPECT_EQ(v.ToRational(), Rational(8));
+
+  FloatK zero(BigInt(0), 17);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.exponent(), 0);
+}
+
+TEST(FloatKTest, FromRationalExactDyadic) {
+  FpFormat format = FpFormat::ForK(10);
+  auto v = FloatK::FromRational(Rational(BigInt(3), BigInt(4)), format,
+                                FpMode::kExact);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToRational(), Rational(BigInt(3), BigInt(4)));
+}
+
+TEST(FloatKTest, ExactModeRejectsNonDyadic) {
+  FpFormat format = FpFormat::ForK(10);
+  auto v = FloatK::FromRational(Rational(BigInt(1), BigInt(3)), format,
+                                FpMode::kExact);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUndefined);
+}
+
+TEST(FloatKTest, ExactModeRejectsOverPreciseMantissa) {
+  FpFormat format = FpFormat::ForK(4);  // mantissa at most 4 bits
+  auto fits = FloatK::FromRational(Rational(15), format, FpMode::kExact);
+  EXPECT_TRUE(fits.ok());
+  auto too_wide = FloatK::FromRational(Rational(17), format, FpMode::kExact);
+  EXPECT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kUndefined);
+}
+
+TEST(FloatKTest, RoundModeRoundsToNearest) {
+  FpFormat format = FpFormat::ForK(4);
+  // 17 rounds to 16 (mantissa 1, exponent 4) under 4-bit mantissa.
+  auto v = FloatK::FromRational(Rational(17), format, FpMode::kRound);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToRational(), Rational(16));
+  // 1/3 rounds to a nearby dyadic (wider exponent range so the scaled
+  // mantissa's exponent fits).
+  FpFormat wide{4, 20};
+  auto third = FloatK::FromRational(Rational(BigInt(1), BigInt(3)), wide,
+                                    FpMode::kRound);
+  ASSERT_TRUE(third.ok());
+  double err = std::abs(third->ToDouble() - 1.0 / 3.0);
+  EXPECT_LT(err, 1.0 / 32.0);  // within one ulp at 4-bit precision
+}
+
+TEST(FloatKTest, RoundTiesToEven) {
+  FpFormat format = FpFormat::ForK(3);
+  // With 3 mantissa bits: representables around 9 are 8 and 10 (5*2).
+  // 9 is exactly halfway; ties-to-even selects 8 (mantissa 100 even pre-norm).
+  auto v = FloatK::FromRational(Rational(9), format, FpMode::kRound);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToRational(), Rational(8));
+}
+
+TEST(FloatKTest, ExponentOverflowUndefined) {
+  FpFormat format = FpFormat::ForK(8);  // exponent bound 8
+  Rational huge = Rational(BigInt::Pow2(200));
+  auto v = FloatK::FromRational(huge, format, FpMode::kRound);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kUndefined);
+
+  Rational tiny(BigInt(1), BigInt::Pow2(200));
+  auto w = FloatK::FromRational(tiny, format, FpMode::kRound);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(FloatKTest, ArithmeticExactWhenRepresentable) {
+  FpFormat format = FpFormat::ForK(20);
+  FloatK a = FloatK::FromInt(100);
+  FloatK b = FloatK::FromInt(37);
+  auto sum = FloatK::Add(a, b, format, FpMode::kExact);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->ToRational(), Rational(137));
+  auto product = FloatK::Mul(a, b, format, FpMode::kExact);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->ToRational(), Rational(3700));
+  auto difference = FloatK::Sub(a, b, format, FpMode::kExact);
+  ASSERT_TRUE(difference.ok());
+  EXPECT_EQ(difference->ToRational(), Rational(63));
+}
+
+TEST(FloatKTest, DistributivityFailsUnderRounding) {
+  // The paper's motivating observation (Section 4): "two expressions
+  // a*(b+c) and (a*b)+(a*c) may have different values" in F_k, i.e. the
+  // distributive law fails. Search a small grid for a witness.
+  FpFormat format{4, 30};
+  int witnesses = 0;
+  for (std::int64_t an = 1; an <= 15 && witnesses == 0; ++an) {
+    for (std::int64_t bn = 1; bn <= 15 && witnesses == 0; ++bn) {
+      for (std::int64_t cn = 1; cn <= 15; ++cn) {
+        FloatK a = FloatK::FromInt(an);
+        FloatK b = FloatK::FromInt(bn);
+        FloatK c(BigInt(cn), -4);  // cn / 16
+        auto bc = FloatK::Add(b, c, format, FpMode::kRound);
+        auto ab = FloatK::Mul(a, b, format, FpMode::kRound);
+        auto ac = FloatK::Mul(a, c, format, FpMode::kRound);
+        if (!bc.ok() || !ab.ok() || !ac.ok()) continue;
+        auto lhs = FloatK::Mul(a, *bc, format, FpMode::kRound);
+        auto rhs = FloatK::Add(*ab, *ac, format, FpMode::kRound);
+        if (!lhs.ok() || !rhs.ok()) continue;
+        if (lhs->ToRational() != rhs->ToRational()) {
+          ++witnesses;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(witnesses, 0)
+      << "expected some (a,b,c) to break distributivity at k=4";
+}
+
+TEST(FloatKTest, FromDoubleRoundTrip) {
+  for (double d : {0.0, 1.0, -1.0, 0.5, 3.141592653589793, -12345.6789,
+                   1e-30, 1e30}) {
+    FloatK v = FloatK::FromDouble(d);
+    EXPECT_DOUBLE_EQ(v.ToDouble(), d);
+  }
+}
+
+TEST(FloatKTest, RoundingErrorWithinUlp) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::int64_t> dist(1, 1000000);
+  FpFormat format = FpFormat::ForK(12);
+  for (int i = 0; i < 300; ++i) {
+    Rational value(BigInt(dist(rng)), BigInt(dist(rng)));
+    auto rounded = FloatK::FromRational(value, format, FpMode::kRound);
+    if (!rounded.ok()) continue;  // extreme exponents can overflow
+    Rational err = (rounded->ToRational() - value).Abs();
+    // Relative error at most 2^-(k) (half ulp of a k-bit mantissa).
+    Rational bound = value.Abs() * Rational(BigInt(1), BigInt::Pow2(12));
+    EXPECT_LE(err, bound) << value.ToString();
+  }
+}
+
+TEST(FloatKTest, ToStringPairNotation) {
+  FloatK v(BigInt(5), -4);
+  EXPECT_EQ(v.ToString(), "[5,-4]");
+}
+
+}  // namespace
+}  // namespace ccdb

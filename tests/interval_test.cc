@@ -1,0 +1,126 @@
+#include "arith/interval.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+TEST(IntervalTest, Basics) {
+  Interval i(R(-1), R(3));
+  EXPECT_EQ(i.Width(), R(4));
+  EXPECT_EQ(i.Midpoint(), R(1));
+  EXPECT_TRUE(i.Contains(R(0)));
+  EXPECT_TRUE(i.Contains(R(-1)));
+  EXPECT_TRUE(i.Contains(R(3)));
+  EXPECT_FALSE(i.Contains(R(4)));
+  EXPECT_TRUE(i.ContainsZero());
+  EXPECT_FALSE(i.IsPoint());
+  EXPECT_TRUE(Interval(R(2)).IsPoint());
+}
+
+TEST(IntervalTest, CertainSign) {
+  EXPECT_EQ(Interval(R(1), R(5)).CertainSign(), 1);
+  EXPECT_EQ(Interval(R(-5), R(-1)).CertainSign(), -1);
+  EXPECT_EQ(Interval(R(0)).CertainSign(), 0);
+  EXPECT_EQ(Interval(R(-1), R(1)).CertainSign(), Interval::kAmbiguousSign);
+  EXPECT_EQ(Interval(R(0), R(1)).CertainSign(), Interval::kAmbiguousSign);
+}
+
+TEST(IntervalTest, AdditionSubtraction) {
+  Interval a(R(1), R(2));
+  Interval b(R(-3), R(5));
+  Interval sum = a + b;
+  EXPECT_EQ(sum.lo(), R(-2));
+  EXPECT_EQ(sum.hi(), R(7));
+  Interval diff = a - b;
+  EXPECT_EQ(diff.lo(), R(-4));
+  EXPECT_EQ(diff.hi(), R(5));
+}
+
+TEST(IntervalTest, MultiplicationSignCases) {
+  Interval pos(R(2), R(3));
+  Interval neg(R(-4), R(-1));
+  Interval mixed(R(-2), R(5));
+
+  Interval pp = pos * pos;
+  EXPECT_EQ(pp.lo(), R(4));
+  EXPECT_EQ(pp.hi(), R(9));
+
+  Interval pn = pos * neg;
+  EXPECT_EQ(pn.lo(), R(-12));
+  EXPECT_EQ(pn.hi(), R(-2));
+
+  Interval pm = pos * mixed;
+  EXPECT_EQ(pm.lo(), R(-6));
+  EXPECT_EQ(pm.hi(), R(15));
+
+  Interval mm = mixed * mixed;
+  EXPECT_EQ(mm.lo(), R(-10));
+  EXPECT_EQ(mm.hi(), R(25));
+}
+
+TEST(IntervalTest, MultiplicationEnclosureRandom) {
+  std::mt19937_64 rng(9);
+  std::uniform_int_distribution<std::int64_t> dist(-50, 50);
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t a1 = dist(rng), a2 = dist(rng);
+    std::int64_t b1 = dist(rng), b2 = dist(rng);
+    Interval a(R(std::min(a1, a2)), R(std::max(a1, a2)));
+    Interval b(R(std::min(b1, b2)), R(std::max(b1, b2)));
+    Interval product = a * b;
+    // Sampled points stay inside the product enclosure.
+    for (const Rational& x : {a.lo(), a.hi(), a.Midpoint()}) {
+      for (const Rational& y : {b.lo(), b.hi(), b.Midpoint()}) {
+        EXPECT_TRUE(product.Contains(x * y));
+      }
+    }
+  }
+}
+
+TEST(IntervalTest, PowTighteningAtZero) {
+  Interval mixed(R(-2), R(3));
+  Interval sq = mixed.Pow(2);
+  EXPECT_EQ(sq.lo(), R(0));  // tight bound, not the naive [-6, 9]
+  EXPECT_EQ(sq.hi(), R(9));
+
+  Interval cube = mixed.Pow(3);
+  EXPECT_EQ(cube.lo(), R(-8));
+  EXPECT_EQ(cube.hi(), R(27));
+
+  Interval negsq = Interval(R(-3), R(-2)).Pow(2);
+  EXPECT_EQ(negsq.lo(), R(4));
+  EXPECT_EQ(negsq.hi(), R(9));
+
+  EXPECT_EQ(mixed.Pow(0).lo(), R(1));
+  EXPECT_EQ(mixed.Pow(0).hi(), R(1));
+}
+
+TEST(IntervalTest, Scale) {
+  Interval i(R(1), R(2));
+  Interval scaled = i.Scale(R(-3));
+  EXPECT_EQ(scaled.lo(), R(-6));
+  EXPECT_EQ(scaled.hi(), R(-3));
+  Interval scaled_pos = i.Scale(R(1, 2));
+  EXPECT_EQ(scaled_pos.lo(), R(1, 2));
+  EXPECT_EQ(scaled_pos.hi(), R(1));
+}
+
+TEST(IntervalTest, IntersectsAndContainsInterval) {
+  Interval a(R(0), R(2));
+  Interval b(R(1), R(3));
+  Interval c(R(5), R(6));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(Interval(R(2))));  // touching endpoint
+  EXPECT_TRUE(Interval(R(-1), R(4)).ContainsInterval(a));
+  EXPECT_FALSE(a.ContainsInterval(b));
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,164 @@
+// Differential property tests for formula normalization: NNF, prenex form
+// and DNF must preserve semantics. Random quantifier-free formulas are
+// compared pointwise before and after each transformation; prenex matrices
+// are compared against the original bodies under explicit witness
+// substitution. Also covers variable shadowing in the surface-syntax
+// lowering.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "constraint/formula.h"
+#include "query/lower.h"
+#include "qe/qe.h"
+#include "query/parser.h"
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+// Random quantifier-free formula over two variables with nested
+// connectives and negations.
+Formula RandomQfFormula(std::mt19937_64* rng, int depth) {
+  if (depth == 0 || (*rng)() % 4 == 0) {
+    std::uniform_int_distribution<std::int64_t> coeff(-3, 3);
+    Polynomial p = Polynomial(coeff(*rng)) * Polynomial::Var(0) +
+                   Polynomial(coeff(*rng)) * Polynomial::Var(1) +
+                   Polynomial(coeff(*rng));
+    RelOp ops[] = {RelOp::kLt, RelOp::kLe, RelOp::kEq,
+                   RelOp::kNeq, RelOp::kGe, RelOp::kGt};
+    return Formula::MakeAtom(Atom(p, ops[(*rng)() % 6]));
+  }
+  switch ((*rng)() % 3) {
+    case 0:
+      return Formula::Not(RandomQfFormula(rng, depth - 1));
+    case 1:
+      return Formula::And(RandomQfFormula(rng, depth - 1),
+                          RandomQfFormula(rng, depth - 1));
+    default:
+      return Formula::Or(RandomQfFormula(rng, depth - 1),
+                         RandomQfFormula(rng, depth - 1));
+  }
+}
+
+class NormalizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationPropertyTest, NnfPreservesTruthPointwise) {
+  std::mt19937_64 rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    Formula f = RandomQfFormula(&rng, 3);
+    Formula nnf = ToNnf(f);
+    for (std::int64_t xi = -4; xi <= 4; ++xi) {
+      for (std::int64_t yi = -4; yi <= 4; yi += 2) {
+        std::vector<Rational> point{R(xi, 2), R(yi, 3)};
+        EXPECT_EQ(f.EvaluateAt(point), nnf.EvaluateAt(point))
+            << f.ToString({"x", "y"});
+      }
+    }
+  }
+}
+
+TEST_P(NormalizationPropertyTest, DnfPreservesTruthPointwise) {
+  std::mt19937_64 rng(500 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    Formula f = RandomQfFormula(&rng, 3);
+    std::vector<GeneralizedTuple> dnf = ToDnf(f);
+    for (std::int64_t xi = -4; xi <= 4; ++xi) {
+      for (std::int64_t yi = -4; yi <= 4; yi += 2) {
+        std::vector<Rational> point{R(xi, 2), R(yi, 3)};
+        bool dnf_truth = false;
+        for (const GeneralizedTuple& tuple : dnf) {
+          if (tuple.SatisfiedAt(point)) {
+            dnf_truth = true;
+            break;
+          }
+        }
+        EXPECT_EQ(f.EvaluateAt(point), dnf_truth) << f.ToString({"x", "y"});
+      }
+    }
+  }
+}
+
+TEST_P(NormalizationPropertyTest, PrenexMatrixAgreesUnderWitnesses) {
+  // exists z (body) where body mixes z into a random formula: the prenex
+  // matrix with the fresh variable substituted by a witness w must equal
+  // the original body with z := w.
+  std::mt19937_64 rng(900 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    Formula body = RandomQfFormula(&rng, 2);
+    // Inject the quantified variable 2 into the body.
+    Formula with_z = Formula::And(
+        body, Formula::MakeAtom(
+                  Atom(Polynomial::Var(2) - Polynomial::Var(0), RelOp::kLe)));
+    Formula quantified = Formula::Exists(2, with_z);
+    int fresh = 3;
+    PrenexForm prenex = ToPrenex(quantified, &fresh);
+    ASSERT_EQ(prenex.prefix.size(), 1u);
+    int fresh_var = prenex.prefix[0].var;
+    for (std::int64_t w = -2; w <= 2; ++w) {
+      for (std::int64_t xi = -2; xi <= 2; ++xi) {
+        std::vector<Rational> point(fresh_var + 1, R(0));
+        point[0] = R(xi);
+        point[1] = R(1, 2);
+        point[fresh_var] = R(w);
+        std::vector<Rational> original_point{R(xi), R(1, 2), R(w)};
+        EXPECT_EQ(prenex.matrix.EvaluateAt(point),
+                  with_z.EvaluateAt(original_point));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationPropertyTest,
+                         ::testing::Range(0, 6));
+
+TEST(LoweringShadowingTest, InnerQuantifierShadowsOuterName) {
+  // exists x (x <= 1 and exists x (x >= 5)): the two x's are different
+  // variables; the sentence is satisfiable.
+  auto parsed =
+      ParseFormula("exists x (x <= 1 and exists x (x >= 5))");
+  ASSERT_TRUE(parsed.ok());
+  VarEnv env;
+  auto lowered = LowerFormula(**parsed, &env);
+  ASSERT_TRUE(lowered.ok());
+  // Two distinct bound variables must appear.
+  EXPECT_EQ(lowered->AllVars().size(), 2u);
+  EXPECT_TRUE(lowered->FreeVars().empty());
+}
+
+TEST(LoweringShadowingTest, BoundNameRestoredAfterQuantifier) {
+  // x free on the left; the quantifier on the right binds a DIFFERENT x;
+  // afterwards the outer x refers to the free one again.
+  auto parsed = ParseFormula("x <= 1 and exists x (x >= 5) and x >= 0");
+  ASSERT_TRUE(parsed.ok());
+  VarEnv env;
+  auto lowered = LowerFormula(**parsed, &env);
+  ASSERT_TRUE(lowered.ok());
+  // Free variables: just the outer x (index 0).
+  EXPECT_EQ(lowered->FreeVars(), (std::set<int>{0}));
+  // Semantics: satisfiable with x in [0, 1].
+  auto relation = EliminateQuantifiers(*lowered, 1);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE(relation->Contains({R(1, 2)}));
+  EXPECT_FALSE(relation->Contains({R(2)}));
+  EXPECT_FALSE(relation->Contains({R(-1)}));
+}
+
+TEST(LoweringShadowingTest, RelationArgumentsExpandConstants) {
+  // R(x, 3) lowers to exists fresh (fresh = 3 and R(x, fresh)).
+  auto parsed = ParseFormula("R(x, 3)");
+  ASSERT_TRUE(parsed.ok());
+  VarEnv env;
+  auto lowered = LowerFormula(**parsed, &env);
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(lowered->kind(), Formula::Kind::kExists);
+  EXPECT_TRUE(lowered->has_relation_symbols());
+  EXPECT_EQ(lowered->FreeVars(), (std::set<int>{0}));
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,179 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/lower.h"
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+TEST(ParserTest, Terms) {
+  auto t = ParseTerm("4*x^2 - y - 20*x + 25");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  VarEnv env;
+  auto p = LowerPolynomialTerm(**t, &env);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->DegreeIn(env.indices["x"]), 2u);
+  EXPECT_EQ(p->Evaluate({R(5, 2), R(0)}), R(0));
+}
+
+TEST(ParserTest, TermPrecedence) {
+  VarEnv env;
+  auto t = ParseTerm("1 + 2 * 3 ^ 2");
+  ASSERT_TRUE(t.ok());
+  auto p = LowerPolynomialTerm(**t, &env);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->constant_value(), R(19));
+
+  auto t2 = ParseTerm("(1 + 2) * 3");
+  auto p2 = LowerPolynomialTerm(**ParseTerm("(1 + 2) * 3"), &env);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->constant_value(), R(9));
+  ASSERT_TRUE(t2.ok());
+
+  auto p3 = LowerPolynomialTerm(**ParseTerm("6 / 4"), &env);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(p3->constant_value(), R(3, 2));
+
+  auto p4 = LowerPolynomialTerm(**ParseTerm("-x^2"), &env);
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(p4->Evaluate({R(3)}), R(-9));
+}
+
+TEST(ParserTest, DecimalNumbers) {
+  VarEnv env;
+  auto p = LowerPolynomialTerm(**ParseTerm("2.5 * x"), &env);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Evaluate({R(2)}), R(5));
+}
+
+TEST(ParserTest, AnalyticFunctionTerm) {
+  auto t = ParseTerm("exp(x) + sin(2*x)");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->IsPolynomial());
+  EXPECT_NE((*t)->ToString().find("exp"), std::string::npos);
+  // Lowering rejects functions in polynomial contexts.
+  VarEnv env;
+  EXPECT_FALSE(LowerPolynomialTerm(**t, &env).ok());
+}
+
+TEST(ParserTest, SimpleFormula) {
+  auto f = ParseFormula("x <= y and y < 10 or x = 0");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, QFormula::Kind::kOr);
+  auto free_vars = (*f)->FreeVarNames();
+  ASSERT_EQ(free_vars.size(), 2u);
+  EXPECT_EQ(free_vars[0], "x");
+  EXPECT_EQ(free_vars[1], "y");
+}
+
+TEST(ParserTest, QuantifiersAndRelations) {
+  auto f = ParseFormula("exists y (S(x, y) and y <= 0)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, QFormula::Kind::kExists);
+  auto free_vars = (*f)->FreeVarNames();
+  ASSERT_EQ(free_vars.size(), 1u);
+  EXPECT_EQ(free_vars[0], "x");
+
+  auto multi = ParseFormula("forall x y (x + y = y + x)");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)->bound_vars.size(), 2u);
+  EXPECT_TRUE((*multi)->FreeVarNames().empty());
+}
+
+TEST(ParserTest, PaperAggregateSyntax) {
+  auto f = ParseFormula("SURFACE[x, y](S(x, y) and y <= 9)(z)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, QFormula::Kind::kAggregate);
+  EXPECT_EQ((*f)->aggregate, AggregateKind::kSurface);
+  ASSERT_EQ((*f)->aggregate_vars.size(), 2u);
+  EXPECT_EQ((*f)->aggregate_vars[0], "x");
+  ASSERT_EQ((*f)->output_vars.size(), 1u);
+  EXPECT_EQ((*f)->output_vars[0], "z");
+  auto free_vars = (*f)->FreeVarNames();
+  ASSERT_EQ(free_vars.size(), 1u);
+  EXPECT_EQ(free_vars[0], "z");
+}
+
+TEST(ParserTest, NestedParensAndNot) {
+  auto f = ParseFormula("not ((x < 0 or x > 1) and y = 2)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, QFormula::Kind::kNot);
+  // Parenthesized TERM on the lhs of a comparison must also parse.
+  auto g = ParseFormula("(x + 1) * 2 <= y");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->kind, QFormula::Kind::kCompare);
+}
+
+TEST(ParserTest, RelationWithConstantArgs) {
+  auto f = ParseFormula("S(x, 3)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ((*f)->kind, QFormula::Kind::kRelation);
+  EXPECT_EQ((*f)->relation_args.size(), 2u);
+  EXPECT_EQ((*f)->relation_args[1]->kind, QTerm::Kind::kConst);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseFormula("x <=").ok());
+  EXPECT_FALSE(ParseFormula("exists (x < 0)").ok());
+  EXPECT_FALSE(ParseFormula("x < 1 <").ok());
+  EXPECT_FALSE(ParseFormula("MIN[x](x = 1)").ok());     // missing output
+  EXPECT_FALSE(ParseFormula("x # 1").ok());             // bad char
+  EXPECT_FALSE(ParseTerm("x ^ y").ok());                // non-natural power
+  EXPECT_FALSE(ParseTerm("x +").ok());
+}
+
+TEST(ParserTest, RelationDefinitionPaperS) {
+  auto def = ParseRelationDef("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->name, "S");
+  EXPECT_EQ(def->relation.arity(), 2);
+  EXPECT_TRUE(def->relation.Contains({R(5, 2), R(0)}));
+  EXPECT_FALSE(def->relation.Contains({R(0), R(0)}));
+}
+
+TEST(ParserTest, RelationDefinitionDisjunctive) {
+  auto def = ParseRelationDef(
+      "Box(x, y) := (0 <= x and x <= 1 and 0 <= y and y <= 1) or "
+      "(2 <= x and x <= 3 and 0 <= y and y <= 1)");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->relation.tuples().size(), 2u);
+  EXPECT_TRUE(def->relation.Contains({R(1, 2), R(1, 2)}));
+  EXPECT_TRUE(def->relation.Contains({R(5, 2), R(1, 2)}));
+  EXPECT_FALSE(def->relation.Contains({R(3, 2), R(1, 2)}));
+}
+
+TEST(ParserTest, RelationDefinitionErrors) {
+  // Non-column variable.
+  EXPECT_FALSE(ParseRelationDef("R(x) := x <= z").ok());
+  // Quantifier not allowed.
+  EXPECT_FALSE(ParseRelationDef("R(x) := exists y (x <= y)").ok());
+  // Syntax.
+  EXPECT_FALSE(ParseRelationDef("R(x) : x <= 1").ok());
+  EXPECT_FALSE(ParseRelationDef("R() := 1 <= 2").ok());
+}
+
+TEST(ParserTest, FormulaToStringRoundTrips) {
+  const char* queries[] = {
+      "exists y (S(x, y) and y <= 0)",
+      "SURFACE[x, y](S(x, y) and y <= 9)(z)",
+      "forall x (x^2 >= 0)",
+      "x <= 1 or not (y = 2)",
+  };
+  for (const char* text : queries) {
+    auto f = ParseFormula(text);
+    ASSERT_TRUE(f.ok()) << text;
+    auto reparsed = ParseFormula((*f)->ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << text << " -> " << (*f)->ToString() << ": "
+        << reparsed.status().ToString();
+    EXPECT_EQ((*reparsed)->ToString(), (*f)->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace ccdb

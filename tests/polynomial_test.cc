@@ -1,0 +1,222 @@
+#include "poly/polynomial.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+Rational R(std::int64_t n, std::int64_t d = 1) {
+  return Rational(BigInt(n), BigInt(d));
+}
+
+// The paper's running example: S(x,y) uses p = 4x^2 - y - 20x + 25.
+Polynomial PaperPoly() {
+  Polynomial x = Polynomial::Var(0);
+  Polynomial y = Polynomial::Var(1);
+  return Polynomial(4) * x * x - y - Polynomial(20) * x + Polynomial(25);
+}
+
+TEST(MonomialTest, Basics) {
+  Monomial one;
+  EXPECT_TRUE(one.is_one());
+  EXPECT_EQ(one.total_degree(), 0u);
+  EXPECT_EQ(one.max_var(), -1);
+
+  Monomial x2 = Monomial::Var(0, 2);
+  Monomial y = Monomial::Var(1);
+  Monomial x2y = x2 * y;
+  EXPECT_EQ(x2y.exponent(0), 2u);
+  EXPECT_EQ(x2y.exponent(1), 1u);
+  EXPECT_EQ(x2y.exponent(5), 0u);
+  EXPECT_EQ(x2y.total_degree(), 3u);
+  EXPECT_EQ(x2y.max_var(), 1);
+}
+
+TEST(MonomialTest, DivideAndDivides) {
+  Monomial x2y = Monomial::Var(0, 2) * Monomial::Var(1);
+  Monomial x = Monomial::Var(0);
+  EXPECT_TRUE(x.Divides(x2y));
+  EXPECT_FALSE(x2y.Divides(x));
+  auto q = x2y.Divide(x);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->exponent(0), 1u);
+  EXPECT_EQ(q->exponent(1), 1u);
+  EXPECT_FALSE(x.Divide(x2y).ok());
+}
+
+TEST(MonomialTest, LexOrderHighVarSignificant) {
+  Monomial x = Monomial::Var(0);
+  Monomial y = Monomial::Var(1);
+  EXPECT_TRUE(x < y);            // y dominates
+  EXPECT_TRUE(Monomial() < x);   // 1 < x
+  EXPECT_TRUE(x < x * x);
+  EXPECT_TRUE(x * x < y);        // any x-power below y
+}
+
+TEST(PolynomialTest, ConstructionAndQueries) {
+  Polynomial p = PaperPoly();
+  EXPECT_FALSE(p.is_zero());
+  EXPECT_FALSE(p.is_constant());
+  EXPECT_EQ(p.max_var(), 1);
+  EXPECT_EQ(p.DegreeIn(0), 2u);
+  EXPECT_EQ(p.DegreeIn(1), 1u);
+  EXPECT_EQ(p.TotalDegree(), 2u);
+  EXPECT_EQ(p.term_count(), 4u);
+  EXPECT_TRUE(p.Mentions(0));
+  EXPECT_TRUE(p.Mentions(1));
+  EXPECT_FALSE(p.Mentions(2));
+}
+
+TEST(PolynomialTest, EvaluatePaperExample) {
+  // Point (2.5, 0) satisfies 4x^2 - y - 20x + 25 = 0.
+  Polynomial p = PaperPoly();
+  EXPECT_EQ(p.Evaluate({R(5, 2), R(0)}), R(0));
+  // S contains (2.5, 0); p(0,0) = 25 > 0, p(2.5, 9) = -9.
+  EXPECT_EQ(p.Evaluate({R(0), R(0)}), R(25));
+  EXPECT_EQ(p.Evaluate({R(5, 2), R(9)}), R(-9));
+}
+
+TEST(PolynomialTest, ArithmeticRingAxiomsRandom) {
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<std::int64_t> dist(-5, 5);
+  auto random_poly = [&]() {
+    Polynomial p;
+    for (int t = 0; t < 4; ++t) {
+      Monomial m = Monomial::Var(0, rng() % 3) * Monomial::Var(1, rng() % 3);
+      p += Polynomial::Term(R(dist(rng)), m);
+    }
+    return p;
+  };
+  for (int i = 0; i < 100; ++i) {
+    Polynomial a = random_poly();
+    Polynomial b = random_poly();
+    Polynomial c = random_poly();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) * c, a * c + b * c);
+    EXPECT_EQ(a - a, Polynomial());
+    EXPECT_EQ(a * Polynomial(1), a);
+    EXPECT_EQ(a * Polynomial(), Polynomial());
+    // Evaluation is a ring homomorphism.
+    std::vector<Rational> point{R(dist(rng)), R(dist(rng))};
+    EXPECT_EQ((a * b).Evaluate(point),
+              a.Evaluate(point) * b.Evaluate(point));
+    EXPECT_EQ((a + b).Evaluate(point),
+              a.Evaluate(point) + b.Evaluate(point));
+  }
+}
+
+TEST(PolynomialTest, Derivative) {
+  Polynomial p = PaperPoly();
+  Polynomial dx = p.Derivative(0);  // 8x - 20
+  EXPECT_EQ(dx, Polynomial(8) * Polynomial::Var(0) - Polynomial(20));
+  Polynomial dy = p.Derivative(1);  // -1
+  EXPECT_EQ(dy, Polynomial(-1));
+  EXPECT_EQ(p.Derivative(2), Polynomial());
+  // d/dx (x^3) = 3x^2.
+  Polynomial x3 = Polynomial::Var(0).Pow(3);
+  EXPECT_EQ(x3.Derivative(0), Polynomial(3) * Polynomial::Var(0).Pow(2));
+}
+
+TEST(PolynomialTest, SubstituteReducesVariable) {
+  Polynomial p = PaperPoly();
+  Polynomial at_y0 = p.Substitute(1, R(0));  // 4x^2 - 20x + 25
+  EXPECT_EQ(at_y0.max_var(), 0);
+  EXPECT_EQ(at_y0.Evaluate({R(5, 2)}), R(0));
+  Polynomial at_x = p.Substitute(0, R(5, 2));  // -y
+  EXPECT_EQ(at_x, -Polynomial::Var(1));
+}
+
+TEST(PolynomialTest, SubstitutePolyComposition) {
+  // p(x) = x^2; x := y + 1 gives y^2 + 2y + 1.
+  Polynomial p = Polynomial::Var(0).Pow(2);
+  Polynomial composed = p.SubstitutePoly(0, Polynomial::Var(1) + Polynomial(1));
+  Polynomial y = Polynomial::Var(1);
+  EXPECT_EQ(composed, y * y + Polynomial(2) * y + Polynomial(1));
+}
+
+TEST(PolynomialTest, RenameVars) {
+  Polynomial p = PaperPoly();  // vars 0,1
+  Polynomial renamed = p.RenameVars({2, 0});
+  EXPECT_EQ(renamed.DegreeIn(2), 2u);
+  EXPECT_EQ(renamed.DegreeIn(0), 1u);
+  EXPECT_EQ(renamed.Evaluate({R(0), R(0), R(5, 2)}), R(0));
+}
+
+TEST(PolynomialTest, CoefficientsInRoundTrip) {
+  Polynomial p = PaperPoly();
+  auto coeffs = p.CoefficientsIn(0);
+  ASSERT_EQ(coeffs.size(), 3u);
+  EXPECT_EQ(coeffs[2], Polynomial(4));
+  EXPECT_EQ(coeffs[1], Polynomial(-20));
+  EXPECT_EQ(coeffs[0], Polynomial(25) - Polynomial::Var(1));
+  EXPECT_EQ(Polynomial::FromCoefficientsIn(0, coeffs), p);
+
+  auto ycoeffs = p.CoefficientsIn(1);
+  ASSERT_EQ(ycoeffs.size(), 2u);
+  EXPECT_EQ(ycoeffs[1], Polynomial(-1));
+  EXPECT_EQ(Polynomial::FromCoefficientsIn(1, ycoeffs), p);
+}
+
+TEST(PolynomialTest, LeadingCoefficient) {
+  Polynomial p = PaperPoly();
+  EXPECT_EQ(p.LeadingCoefficientIn(0), Polynomial(4));
+  EXPECT_EQ(p.LeadingCoefficientIn(1), Polynomial(-1));
+}
+
+TEST(PolynomialTest, IntegerNormalized) {
+  Polynomial p = Polynomial::Term(R(2, 3), Monomial::Var(0)) +
+                 Polynomial::Term(R(4, 9), Monomial());
+  Rational factor;
+  Polynomial n = p.IntegerNormalized(&factor);
+  // (2/3)x + 4/9 = (2/9)(3x + 2).
+  EXPECT_EQ(n, Polynomial(3) * Polynomial::Var(0) + Polynomial(2));
+  EXPECT_EQ(factor, R(2, 9));
+  EXPECT_EQ(n.Scale(factor), p);
+
+  // Leading coefficient made positive.
+  Polynomial negative = Polynomial(-2) * Polynomial::Var(0) + Polynomial(4);
+  Polynomial nn = negative.IntegerNormalized(&factor);
+  EXPECT_EQ(nn, Polynomial::Var(0) - Polynomial(2));
+  EXPECT_EQ(factor, R(-2));
+}
+
+TEST(PolynomialTest, IntervalEvaluationEnclosesPointValues) {
+  Polynomial p = PaperPoly();
+  std::vector<Interval> box{Interval(R(1), R(4)), Interval(R(0), R(9))};
+  Interval enclosure = p.EvaluateInterval(box);
+  for (std::int64_t xi = 1; xi <= 4; ++xi) {
+    for (std::int64_t yi = 0; yi <= 9; yi += 3) {
+      Rational value = p.Evaluate({R(xi), R(yi)});
+      EXPECT_TRUE(enclosure.Contains(value))
+          << "p(" << xi << "," << yi << ") = " << value.ToString();
+    }
+  }
+}
+
+TEST(PolynomialTest, MaxCoefficientBitLength) {
+  Polynomial p = PaperPoly();
+  EXPECT_EQ(p.MaxCoefficientBitLength(), 5u);  // 25 has 5 bits
+  EXPECT_EQ(Polynomial().MaxCoefficientBitLength(), 0u);
+}
+
+TEST(PolynomialTest, ToStringReadable) {
+  EXPECT_EQ(PaperPoly().ToString({"x", "y"}), "-y + 4*x^2 - 20*x + 25");
+  EXPECT_EQ(Polynomial().ToString(), "0");
+  EXPECT_EQ(Polynomial(-3).ToString(), "-3");
+  EXPECT_EQ((Polynomial::Var(0) - Polynomial(1)).ToString(), "x0 - 1");
+}
+
+TEST(PolynomialTest, DeterministicOrdering) {
+  Polynomial a = Polynomial::Var(0);
+  Polynomial b = Polynomial::Var(1);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+  Polynomial c = a + Polynomial(1);
+  EXPECT_TRUE((a < c) != (c < a));
+}
+
+}  // namespace
+}  // namespace ccdb

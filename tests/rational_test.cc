@@ -1,0 +1,148 @@
+#include "arith/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace ccdb {
+namespace {
+
+TEST(RationalTest, Canonicalization) {
+  Rational r(BigInt(4), BigInt(8));
+  EXPECT_EQ(r.numerator(), BigInt(1));
+  EXPECT_EQ(r.denominator(), BigInt(2));
+
+  Rational negative_den(BigInt(3), BigInt(-6));
+  EXPECT_EQ(negative_den.numerator(), BigInt(-1));
+  EXPECT_EQ(negative_den.denominator(), BigInt(2));
+
+  Rational zero(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, FromStringForms) {
+  auto integral = Rational::FromString("42");
+  ASSERT_TRUE(integral.ok());
+  EXPECT_EQ(*integral, Rational(42));
+
+  auto fraction = Rational::FromString("-6/8");
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_EQ(*fraction, Rational(BigInt(-3), BigInt(4)));
+
+  auto decimal = Rational::FromString("3.25");
+  ASSERT_TRUE(decimal.ok());
+  EXPECT_EQ(*decimal, Rational(BigInt(13), BigInt(4)));
+
+  auto negative_decimal = Rational::FromString("-0.5");
+  ASSERT_TRUE(negative_decimal.ok());
+  EXPECT_EQ(*negative_decimal, Rational(BigInt(-1), BigInt(2)));
+}
+
+TEST(RationalTest, FromStringInvalid) {
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("x").ok());
+  EXPECT_FALSE(Rational::FromString("3.").ok());
+  EXPECT_FALSE(Rational::FromString("").ok());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-half, Rational(BigInt(-1), BigInt(2)));
+  EXPECT_EQ(half.Inverse(), Rational(2));
+}
+
+TEST(RationalTest, FieldAxiomsRandom) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::int64_t> dist(-1000, 1000);
+  auto random_rational = [&]() {
+    std::int64_t d = 0;
+    while (d == 0) d = dist(rng);
+    return Rational(BigInt(dist(rng)), BigInt(d));
+  };
+  for (int i = 0; i < 500; ++i) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);  // Distributivity holds exactly.
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.Inverse(), Rational(1));
+    }
+  }
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(-1), Rational(BigInt(-1), BigInt(2)));
+  EXPECT_GT(Rational(BigInt(7), BigInt(2)), Rational(3));
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)).Compare(Rational(BigInt(1), BigInt(2))),
+            0);
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Floor(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Floor(), BigInt(-4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(5).Floor(), BigInt(5));
+  EXPECT_EQ(Rational(5).Ceil(), BigInt(5));
+  EXPECT_EQ(Rational(0).Floor(), BigInt(0));
+}
+
+TEST(RationalTest, Pow) {
+  Rational two_thirds(BigInt(2), BigInt(3));
+  EXPECT_EQ(two_thirds.Pow(2), Rational(BigInt(4), BigInt(9)));
+  EXPECT_EQ(two_thirds.Pow(0), Rational(1));
+  EXPECT_EQ(two_thirds.Pow(-1), Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(two_thirds.Pow(-2), Rational(BigInt(9), BigInt(4)));
+}
+
+TEST(RationalTest, FromScaledInt) {
+  EXPECT_EQ(Rational::FromScaledInt(BigInt(3), 2), Rational(12));
+  EXPECT_EQ(Rational::FromScaledInt(BigInt(3), -2),
+            Rational(BigInt(3), BigInt(4)));
+  EXPECT_EQ(Rational::FromScaledInt(BigInt(-5), -1),
+            Rational(BigInt(-5), BigInt(2)));
+}
+
+TEST(RationalTest, Midpoint) {
+  EXPECT_EQ(Rational::Midpoint(Rational(1), Rational(2)),
+            Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(Rational::Midpoint(Rational(-1), Rational(1)), Rational(0));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(BigInt(1), BigInt(2)).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(BigInt(-7), BigInt(4)).ToDouble(), -1.75);
+  EXPECT_NEAR(Rational(BigInt(1), BigInt(3)).ToDouble(), 1.0 / 3.0, 1e-15);
+  // Huge numerator/denominator ratio handled without overflow.
+  Rational big(BigInt(10).Pow(400), BigInt(10).Pow(398));
+  EXPECT_NEAR(big.ToDouble(), 100.0, 1e-9);
+}
+
+TEST(RationalTest, BitLength) {
+  EXPECT_EQ(Rational(BigInt(255), BigInt(16)).bit_length(), 8u);
+  EXPECT_EQ(Rational(BigInt(3), BigInt(1024)).bit_length(), 11u);
+  EXPECT_EQ(Rational(0).bit_length(), 1u);  // 0/1: denominator has 1 bit
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(BigInt(-3), BigInt(4)).ToString(), "-3/4");
+  EXPECT_EQ(Rational(0).ToString(), "0");
+}
+
+}  // namespace
+}  // namespace ccdb
