@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abase_tradeoff.dir/bench_abase_tradeoff.cc.o"
+  "CMakeFiles/bench_abase_tradeoff.dir/bench_abase_tradeoff.cc.o.d"
+  "bench_abase_tradeoff"
+  "bench_abase_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abase_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

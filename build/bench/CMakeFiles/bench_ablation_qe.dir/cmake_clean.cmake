@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qe.dir/bench_ablation_qe.cc.o"
+  "CMakeFiles/bench_ablation_qe.dir/bench_ablation_qe.cc.o.d"
+  "bench_ablation_qe"
+  "bench_ablation_qe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

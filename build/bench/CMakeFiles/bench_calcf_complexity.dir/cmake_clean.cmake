@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calcf_complexity.dir/bench_calcf_complexity.cc.o"
+  "CMakeFiles/bench_calcf_complexity.dir/bench_calcf_complexity.cc.o.d"
+  "bench_calcf_complexity"
+  "bench_calcf_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calcf_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_fixpoint.dir/bench_datalog_fixpoint.cc.o"
+  "CMakeFiles/bench_datalog_fixpoint.dir/bench_datalog_fixpoint.cc.o.d"
+  "bench_datalog_fixpoint"
+  "bench_datalog_fixpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_fixpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure1_pipeline.dir/bench_figure1_pipeline.cc.o"
+  "CMakeFiles/bench_figure1_pipeline.dir/bench_figure1_pipeline.cc.o.d"
+  "bench_figure1_pipeline"
+  "bench_figure1_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fo_data_complexity.dir/bench_fo_data_complexity.cc.o"
+  "CMakeFiles/bench_fo_data_complexity.dir/bench_fo_data_complexity.cc.o.d"
+  "bench_fo_data_complexity"
+  "bench_fo_data_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fo_data_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

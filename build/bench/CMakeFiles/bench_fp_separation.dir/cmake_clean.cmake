@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_separation.dir/bench_fp_separation.cc.o"
+  "CMakeFiles/bench_fp_separation.dir/bench_fp_separation.cc.o.d"
+  "bench_fp_separation"
+  "bench_fp_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

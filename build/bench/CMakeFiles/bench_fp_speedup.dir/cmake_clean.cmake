@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_speedup.dir/bench_fp_speedup.cc.o"
+  "CMakeFiles/bench_fp_speedup.dir/bench_fp_speedup.cc.o.d"
+  "bench_fp_speedup"
+  "bench_fp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

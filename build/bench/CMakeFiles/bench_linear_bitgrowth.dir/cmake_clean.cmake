@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_bitgrowth.dir/bench_linear_bitgrowth.cc.o"
+  "CMakeFiles/bench_linear_bitgrowth.dir/bench_linear_bitgrowth.cc.o.d"
+  "bench_linear_bitgrowth"
+  "bench_linear_bitgrowth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_bitgrowth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numerical_evaluation.dir/bench_numerical_evaluation.cc.o"
+  "CMakeFiles/bench_numerical_evaluation.dir/bench_numerical_evaluation.cc.o.d"
+  "bench_numerical_evaluation"
+  "bench_numerical_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numerical_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

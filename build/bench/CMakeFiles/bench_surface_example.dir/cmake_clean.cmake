@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_surface_example.dir/bench_surface_example.cc.o"
+  "CMakeFiles/bench_surface_example.dir/bench_surface_example.cc.o.d"
+  "bench_surface_example"
+  "bench_surface_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surface_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

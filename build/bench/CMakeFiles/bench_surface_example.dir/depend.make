@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_surface_example.
+# This may be replaced when dependencies are built.

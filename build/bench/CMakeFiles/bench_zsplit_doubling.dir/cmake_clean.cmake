@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zsplit_doubling.dir/bench_zsplit_doubling.cc.o"
+  "CMakeFiles/bench_zsplit_doubling.dir/bench_zsplit_doubling.cc.o.d"
+  "bench_zsplit_doubling"
+  "bench_zsplit_doubling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zsplit_doubling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_zsplit_doubling.
+# This may be replaced when dependencies are built.

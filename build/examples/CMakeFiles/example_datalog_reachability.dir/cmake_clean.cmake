@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datalog_reachability.dir/datalog_reachability.cpp.o"
+  "CMakeFiles/example_datalog_reachability.dir/datalog_reachability.cpp.o.d"
+  "example_datalog_reachability"
+  "example_datalog_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datalog_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

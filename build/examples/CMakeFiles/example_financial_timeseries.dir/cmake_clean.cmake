@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_financial_timeseries.dir/financial_timeseries.cpp.o"
+  "CMakeFiles/example_financial_timeseries.dir/financial_timeseries.cpp.o.d"
+  "example_financial_timeseries"
+  "example_financial_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_financial_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

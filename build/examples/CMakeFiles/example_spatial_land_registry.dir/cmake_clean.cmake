@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spatial_land_registry.dir/spatial_land_registry.cpp.o"
+  "CMakeFiles/example_spatial_land_registry.dir/spatial_land_registry.cpp.o.d"
+  "example_spatial_land_registry"
+  "example_spatial_land_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spatial_land_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

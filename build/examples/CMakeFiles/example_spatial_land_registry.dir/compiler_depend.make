@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_spatial_land_registry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregates.cc" "src/CMakeFiles/ccdb.dir/agg/aggregates.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/agg/aggregates.cc.o.d"
+  "/root/repo/src/arith/bigint.cc" "src/CMakeFiles/ccdb.dir/arith/bigint.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/arith/bigint.cc.o.d"
+  "/root/repo/src/arith/floatk.cc" "src/CMakeFiles/ccdb.dir/arith/floatk.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/arith/floatk.cc.o.d"
+  "/root/repo/src/arith/interval.cc" "src/CMakeFiles/ccdb.dir/arith/interval.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/arith/interval.cc.o.d"
+  "/root/repo/src/arith/rational.cc" "src/CMakeFiles/ccdb.dir/arith/rational.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/arith/rational.cc.o.d"
+  "/root/repo/src/arith/zsplit.cc" "src/CMakeFiles/ccdb.dir/arith/zsplit.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/arith/zsplit.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/ccdb.dir/base/status.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/base/status.cc.o.d"
+  "/root/repo/src/constraint/atom.cc" "src/CMakeFiles/ccdb.dir/constraint/atom.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/constraint/atom.cc.o.d"
+  "/root/repo/src/constraint/formula.cc" "src/CMakeFiles/ccdb.dir/constraint/formula.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/constraint/formula.cc.o.d"
+  "/root/repo/src/datalog/datalog.cc" "src/CMakeFiles/ccdb.dir/datalog/datalog.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/datalog/datalog.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/ccdb.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/engine/database.cc.o.d"
+  "/root/repo/src/fp/fp_semantics.cc" "src/CMakeFiles/ccdb.dir/fp/fp_semantics.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/fp/fp_semantics.cc.o.d"
+  "/root/repo/src/numeric/approx.cc" "src/CMakeFiles/ccdb.dir/numeric/approx.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/numeric/approx.cc.o.d"
+  "/root/repo/src/numeric/numerical_eval.cc" "src/CMakeFiles/ccdb.dir/numeric/numerical_eval.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/numeric/numerical_eval.cc.o.d"
+  "/root/repo/src/numeric/quadrature.cc" "src/CMakeFiles/ccdb.dir/numeric/quadrature.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/numeric/quadrature.cc.o.d"
+  "/root/repo/src/poly/algebraic_number.cc" "src/CMakeFiles/ccdb.dir/poly/algebraic_number.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/algebraic_number.cc.o.d"
+  "/root/repo/src/poly/number_field.cc" "src/CMakeFiles/ccdb.dir/poly/number_field.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/number_field.cc.o.d"
+  "/root/repo/src/poly/polynomial.cc" "src/CMakeFiles/ccdb.dir/poly/polynomial.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/polynomial.cc.o.d"
+  "/root/repo/src/poly/resultant.cc" "src/CMakeFiles/ccdb.dir/poly/resultant.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/resultant.cc.o.d"
+  "/root/repo/src/poly/root_isolation.cc" "src/CMakeFiles/ccdb.dir/poly/root_isolation.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/root_isolation.cc.o.d"
+  "/root/repo/src/poly/upoly.cc" "src/CMakeFiles/ccdb.dir/poly/upoly.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/poly/upoly.cc.o.d"
+  "/root/repo/src/qe/algebraic_point.cc" "src/CMakeFiles/ccdb.dir/qe/algebraic_point.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/qe/algebraic_point.cc.o.d"
+  "/root/repo/src/qe/cad.cc" "src/CMakeFiles/ccdb.dir/qe/cad.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/qe/cad.cc.o.d"
+  "/root/repo/src/qe/dense_order.cc" "src/CMakeFiles/ccdb.dir/qe/dense_order.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/qe/dense_order.cc.o.d"
+  "/root/repo/src/qe/fourier_motzkin.cc" "src/CMakeFiles/ccdb.dir/qe/fourier_motzkin.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/qe/fourier_motzkin.cc.o.d"
+  "/root/repo/src/qe/qe.cc" "src/CMakeFiles/ccdb.dir/qe/qe.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/qe/qe.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/ccdb.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/calcf.cc" "src/CMakeFiles/ccdb.dir/query/calcf.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/query/calcf.cc.o.d"
+  "/root/repo/src/query/lower.cc" "src/CMakeFiles/ccdb.dir/query/lower.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/query/lower.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/ccdb.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/query/parser.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/ccdb.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/ccdb.dir/storage/catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

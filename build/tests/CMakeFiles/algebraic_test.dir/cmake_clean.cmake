@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebraic_test.dir/algebraic_test.cc.o"
+  "CMakeFiles/algebraic_test.dir/algebraic_test.cc.o.d"
+  "algebraic_test"
+  "algebraic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebraic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_property_test.dir/arith_property_test.cc.o"
+  "CMakeFiles/arith_property_test.dir/arith_property_test.cc.o.d"
+  "arith_property_test"
+  "arith_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calcf_test.dir/calcf_test.cc.o"
+  "CMakeFiles/calcf_test.dir/calcf_test.cc.o.d"
+  "calcf_test"
+  "calcf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_test.dir/datalog_test.cc.o"
+  "CMakeFiles/datalog_test.dir/datalog_test.cc.o.d"
+  "datalog_test"
+  "datalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

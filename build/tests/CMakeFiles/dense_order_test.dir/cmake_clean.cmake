@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_order_test.dir/dense_order_test.cc.o"
+  "CMakeFiles/dense_order_test.dir/dense_order_test.cc.o.d"
+  "dense_order_test"
+  "dense_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floatk_test.dir/floatk_test.cc.o"
+  "CMakeFiles/floatk_test.dir/floatk_test.cc.o.d"
+  "floatk_test"
+  "floatk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floatk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

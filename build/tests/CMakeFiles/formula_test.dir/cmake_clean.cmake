@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_test.dir/formula_test.cc.o"
+  "CMakeFiles/formula_test.dir/formula_test.cc.o.d"
+  "formula_test"
+  "formula_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

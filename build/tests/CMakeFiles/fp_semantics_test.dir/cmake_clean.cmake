@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_semantics_test.dir/fp_semantics_test.cc.o"
+  "CMakeFiles/fp_semantics_test.dir/fp_semantics_test.cc.o.d"
+  "fp_semantics_test"
+  "fp_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

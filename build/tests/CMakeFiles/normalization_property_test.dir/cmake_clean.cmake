@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalization_property_test.dir/normalization_property_test.cc.o"
+  "CMakeFiles/normalization_property_test.dir/normalization_property_test.cc.o.d"
+  "normalization_property_test"
+  "normalization_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalization_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_test.dir/numeric_test.cc.o"
+  "CMakeFiles/numeric_test.dir/numeric_test.cc.o.d"
+  "numeric_test"
+  "numeric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_test.dir/polynomial_test.cc.o"
+  "CMakeFiles/polynomial_test.dir/polynomial_test.cc.o.d"
+  "polynomial_test"
+  "polynomial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qe_property_test.dir/qe_property_test.cc.o"
+  "CMakeFiles/qe_property_test.dir/qe_property_test.cc.o.d"
+  "qe_property_test"
+  "qe_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qe_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

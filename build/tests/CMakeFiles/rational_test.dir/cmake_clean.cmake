@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rational_test.dir/rational_test.cc.o"
+  "CMakeFiles/rational_test.dir/rational_test.cc.o.d"
+  "rational_test"
+  "rational_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

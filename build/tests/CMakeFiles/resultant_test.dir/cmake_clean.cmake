@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resultant_test.dir/resultant_test.cc.o"
+  "CMakeFiles/resultant_test.dir/resultant_test.cc.o.d"
+  "resultant_test"
+  "resultant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resultant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

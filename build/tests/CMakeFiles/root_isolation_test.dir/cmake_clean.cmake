@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_isolation_test.dir/root_isolation_test.cc.o"
+  "CMakeFiles/root_isolation_test.dir/root_isolation_test.cc.o.d"
+  "root_isolation_test"
+  "root_isolation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upoly_test.dir/upoly_test.cc.o"
+  "CMakeFiles/upoly_test.dir/upoly_test.cc.o.d"
+  "upoly_test"
+  "upoly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upoly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zsplit_test.dir/zsplit_test.cc.o"
+  "CMakeFiles/zsplit_test.dir/zsplit_test.cc.o.d"
+  "zsplit_test"
+  "zsplit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zsplit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
