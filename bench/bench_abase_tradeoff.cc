@@ -30,7 +30,8 @@ double PiecewiseError(const ApproxModule& module, AnalyticKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E11: a-base granularity vs approximation error (Section 5 "
       "discussion)",

@@ -26,7 +26,8 @@ double RunQe(const Formula& query, int free_vars, const QeOptions& options,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "Ablation: QE engine design choices",
       "linear fast path, equation substitution, and Thom augmentation each "

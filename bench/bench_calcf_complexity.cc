@@ -11,7 +11,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E10: CALC_F evaluation is PTIME with polynomially many module calls "
       "(Theorem 5.5, Corollary 5.6)",

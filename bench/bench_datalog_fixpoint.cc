@@ -47,7 +47,8 @@ ConstraintRelation SegmentEdge(int diameter) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E9: inflationary Datalog fixpoint in PTIME (Theorems 4.7/4.8)",
       "iterations grow linearly with the diameter, total time "

@@ -19,7 +19,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E1: Figure 1 query evaluation pipeline",
       "QE yields 4x^2-20x+25 = 0; numerical evaluation yields x = 2.5");

@@ -13,7 +13,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E3: PTIME data complexity of FO queries (Theorem 3.1)",
       "evaluation time grows polynomially with the number of generalized "

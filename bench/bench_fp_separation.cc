@@ -31,7 +31,8 @@ Formula MultiplicativeQuery(std::int64_t a, std::int64_t b, std::int64_t c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E5: finite precision is strictly weaker (Theorem 4.1)",
       "the QE algorithm needs integers polynomially larger than the input; "

@@ -34,7 +34,8 @@ Polynomial RoundPoly(const Polynomial& p, const FpFormat& format) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E12: finite precision speeds up the costly CAD (Sections 5/6)",
       "rounding data into F_k shrinks CAD coefficient growth; low k is "

@@ -12,7 +12,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E8: the arithmetic hierarchy FO(<=) < FO(<=,+) < FO(<=,+,*) "
       "(Proposition 4.6)",

@@ -42,7 +42,8 @@ Formula AlternationQuery(const ConstraintRelation& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E6: linear queries have linear bit growth (Theorem 4.2, Lemma 4.4)",
       "max intermediate bit length <= c * input bit length, c "

@@ -23,7 +23,8 @@ ConstraintRelation EquationRelation(const UPoly& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E4: NUMERICAL EVALUATION in PTIME (Theorem 3.2)",
       "eps-approximation of all solutions is polynomial in bit length, "

@@ -13,7 +13,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header("E2: SURFACE aggregate (Example 5.1/5.4)",
                      "SURFACE(S and y <= 9) = 18, via the primitive "
                      "F(x) = 4/3 x^3 - 10x^2 + 25x");

@@ -9,16 +9,44 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "base/logging.h"
+#include "base/trace.h"
 #include "constraint/atom.h"
 #include "poly/upoly.h"
 
 namespace ccdb_bench {
+
+/// Processes the standard harness flags: `--trace-out=<file>` (or the
+/// `CCDB_TRACE_OUT` env var) enables span tracing for the run and writes a
+/// Chrome trace_event JSON file at exit. Call first thing in main().
+inline void InitBenchTracing(int argc, char** argv) {
+  static std::string trace_path;
+  if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char kFlag[] = "--trace-out=";
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      trace_path = argv[i] + (sizeof(kFlag) - 1);
+    }
+  }
+  if (trace_path.empty()) return;
+  ccdb::Tracer::Global().SetEnabled(true);
+  std::atexit(+[] {
+    ccdb::Status status = ccdb::Tracer::Global().WriteChromeTrace(trace_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "trace: wrote %zu span(s) to %s\n",
+                   ccdb::Tracer::Global().size(), trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+    }
+  });
+}
 
 inline double TimeSeconds(const std::function<void()>& fn) {
   auto start = std::chrono::steady_clock::now();

@@ -11,7 +11,8 @@
 
 using namespace ccdb;
 
-int main() {
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
   ccdb_bench::Header(
       "E7: the Z^{l/u}_2k doubling construction (Lemma 4.5, Theorem 4.3)",
       "2k-bit split arithmetic is definable from k-bit split arithmetic");

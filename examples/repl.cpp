@@ -15,6 +15,9 @@
 //   <CALC_F formula>          evaluate a query (closed-form output)
 //   .solve <formula>          numerical evaluation (finite answer sets)
 //   .fp <k> <formula>         finite-precision evaluation under Z_k
+//   .explain <formula>        per-stage profile of the Figure-1 pipeline
+//   .stats                    process-wide metrics snapshot (JSON)
+//   .trace <on|off|path>      span tracing / Chrome trace export
 //   .list | .show <name> | .drop <name>
 //   .save <path> | .load <path>
 //   .help | .quit
@@ -24,6 +27,8 @@
 #include <sstream>
 #include <string>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "engine/database.h"
 
 namespace {
@@ -35,6 +40,10 @@ void PrintHelp() {
       "  <formula>               evaluate a CALC_F query\n"
       "  .solve <formula>        epsilon-approximate a finite answer set\n"
       "  .fp <k> <formula>       finite-precision query under Z_k\n"
+      "  .explain <formula>      per-stage profile (Figure-1 pipeline)\n"
+      "  .stats                  metrics snapshot as JSON\n"
+      "  .trace on|off           toggle span tracing\n"
+      "  .trace <path>           write collected spans as Chrome trace JSON\n"
       "  .list                   list relations\n"
       "  .show <name>            print a relation's constraints\n"
       "  .drop <name>            remove a relation\n"
@@ -90,6 +99,33 @@ void RunSolve(const ccdb::ConstraintDatabase& db, const std::string& text) {
       rendered += point[i].ToString();
     }
     std::printf("%s)\n", rendered.c_str());
+  }
+}
+
+void RunExplain(const ccdb::ConstraintDatabase& db, const std::string& text) {
+  auto explained = db.Explain(text);
+  if (!explained.ok()) {
+    std::printf("error: %s\n", explained.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", explained->ToString().c_str());
+}
+
+void RunTrace(const std::string& rest) {
+  ccdb::Tracer& tracer = ccdb::Tracer::Global();
+  if (rest == "on") {
+    tracer.SetEnabled(true);
+    std::printf("tracing on\n");
+  } else if (rest == "off") {
+    tracer.SetEnabled(false);
+    std::printf("tracing off\n");
+  } else {
+    ccdb::Status status = tracer.WriteChromeTrace(rest);
+    if (status.ok()) {
+      std::printf("wrote %zu span(s) to %s\n", tracer.size(), rest.c_str());
+    } else {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
   }
 }
 
@@ -175,6 +211,19 @@ int main() {
     }
     if (line.rfind(".fp ", 0) == 0) {
       RunFp(db, line.substr(4));
+      continue;
+    }
+    if (line.rfind(".explain ", 0) == 0) {
+      RunExplain(db, line.substr(9));
+      continue;
+    }
+    if (line == ".stats") {
+      std::printf("%s\n",
+                  ccdb::MetricsRegistry::Global().SnapshotJson().c_str());
+      continue;
+    }
+    if (line.rfind(".trace ", 0) == 0) {
+      RunTrace(line.substr(7));
       continue;
     }
     if (line[0] == '.') {

@@ -6,6 +6,8 @@
 
 #include "arith/floatk.h"
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "numeric/numerical_eval.h"
 #include "numeric/quadrature.h"
 #include "qe/cad.h"
@@ -160,6 +162,7 @@ StatusOr<Measure1D> MeasureUnary(const ConstraintRelation& relation,
 StatusOr<AggregateValue> AggregateModules::Min(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "MIN requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
                         DecomposeUnary(relation));
@@ -178,6 +181,7 @@ StatusOr<AggregateValue> AggregateModules::Min(
 StatusOr<AggregateValue> AggregateModules::Max(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "MAX requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
                         DecomposeUnary(relation));
@@ -195,6 +199,7 @@ StatusOr<AggregateValue> AggregateModules::Max(
 StatusOr<AggregateValue> AggregateModules::Avg(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "AVG requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
                         DecomposeUnary(relation));
@@ -257,6 +262,7 @@ StatusOr<AggregateValue> AggregateModules::Avg(
 StatusOr<AggregateValue> AggregateModules::Length(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "LENGTH requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(Measure1D measure, MeasureUnary(relation, tolerance_));
   if (measure.exact) return ExactValue(measure.exact_total);
@@ -274,6 +280,7 @@ StatusOr<double> AggregateModules::SliceMeasure(
 StatusOr<AggregateValue> AggregateModules::Surface(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 2, "SURFACE requires a binary relation");
   if (relation.is_empty_syntactically()) return ExactValue(Rational(0));
   CCDB_ASSIGN_OR_RETURN(Cad cad,
@@ -390,6 +397,7 @@ StatusOr<AggregateValue> AggregateModules::Surface(
 StatusOr<AggregateValue> AggregateModules::Volume(
     const ConstraintRelation& relation) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 3, "VOLUME requires a ternary relation");
   if (relation.is_empty_syntactically()) return ExactValue(Rational(0));
   // x-extent: decompose the projection onto x via a CAD of the level-0
@@ -446,6 +454,7 @@ StatusOr<AggregateValue> AggregateModules::Volume(
 StatusOr<ConstraintRelation> AggregateModules::Eval(
     const ConstraintRelation& relation, const Rational& epsilon) const {
   ++call_count_;
+  CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_ASSIGN_OR_RETURN(NumericalEvaluation eval,
                         EvaluateNumerically(relation));
   if (!eval.finite) return relation;  // "or to S itself otherwise"

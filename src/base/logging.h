@@ -3,10 +3,96 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <string>
 
 namespace ccdb {
+
+/// Severities for CCDB_LOG. The runtime minimum defaults to kWarn and can
+/// be changed with SetMinLogLevel() or the CCDB_LOG_LEVEL environment
+/// variable (DEBUG | INFO | WARN | ERROR | OFF), read once at first use.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Spellings used by the CCDB_LOG(severity) macro.
+namespace log_severity {
+inline constexpr LogLevel DEBUG = LogLevel::kDebug;
+inline constexpr LogLevel INFO = LogLevel::kInfo;
+inline constexpr LogLevel WARN = LogLevel::kWarn;
+inline constexpr LogLevel ERROR = LogLevel::kError;
+}  // namespace log_severity
+
+namespace internal_logging {
+
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+inline LogLevel& MinLogLevelSlot() {
+  static LogLevel level = [] {
+    const char* env = std::getenv("CCDB_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kWarn;
+    if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+    return LogLevel::kWarn;
+  }();
+  return level;
+}
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevelSlot());
+}
+
+/// One log statement: buffers the streamed message and emits a single
+/// formatted line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) {
+    // Basename only: paths are long and the line is for humans.
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LogLevelName(level) << " "
+            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Runtime minimum severity; statements below it are skipped (the check is
+/// one branch, the message is never formatted).
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::MinLogLevelSlot() = level;
+}
+inline LogLevel MinLogLevel() { return internal_logging::MinLogLevelSlot(); }
+
 namespace internal_logging {
 
 /// Terminates the process after printing a fatal invariant-violation message.
@@ -22,6 +108,18 @@ namespace internal_logging {
 
 }  // namespace internal_logging
 }  // namespace ccdb
+
+/// Leveled logging: CCDB_LOG(INFO) << "message" << value;
+/// Severity is one of DEBUG, INFO, WARN, ERROR. Statements below the
+/// runtime minimum (SetMinLogLevel / CCDB_LOG_LEVEL env var, default WARN)
+/// cost a single branch.
+#define CCDB_LOG(severity)                                                   \
+  if (!::ccdb::internal_logging::LogEnabled(::ccdb::log_severity::severity)) \
+    ;                                                                        \
+  else                                                                       \
+    ::ccdb::internal_logging::LogMessage(::ccdb::log_severity::severity,     \
+                                         __FILE__, __LINE__)                 \
+        .stream()
 
 /// Aborts if `cond` is false. For internal invariants only.
 #define CCDB_CHECK(cond)                                                    \

@@ -1,0 +1,209 @@
+#include "base/metrics.h"
+
+#include <cstdio>
+
+namespace ccdb {
+
+namespace {
+
+int BucketIndex(std::uint64_t v) {
+  int bucket = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+void Histogram::Record(std::uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t current_max = max_.load(std::memory_order_relaxed);
+  while (v > current_max &&
+         !max_.compare_exchange_weak(current_max, v,
+                                     std::memory_order_relaxed)) {
+  }
+  std::uint64_t current_min = min_.load(std::memory_order_relaxed);
+  while (v < current_min &&
+         !min_.compare_exchange_weak(current_min, v,
+                                     std::memory_order_relaxed)) {
+  }
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::min() const {
+  std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~0ull ? 0 : m;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+MaxGauge* MetricsRegistry::GetMaxGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MaxGauge>(name);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(name);
+  return slot.get();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotValues() const {
+  std::map<std::string, std::uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  for (const auto& [name, hist] : histograms_) {
+    out[name + ".count"] = hist->count();
+    out[name + ".sum"] = hist->sum();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonObjectBuilder counters;
+  for (const auto& [name, counter] : counters_) {
+    counters.Add(name, counter->value());
+  }
+  JsonObjectBuilder gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Add(name, gauge->value());
+  }
+  JsonObjectBuilder histograms;
+  for (const auto& [name, hist] : histograms_) {
+    JsonObjectBuilder entry;
+    entry.Add("count", hist->count())
+        .Add("sum", hist->sum())
+        .Add("min", hist->min())
+        .Add("max", hist->max())
+        .Add("mean", hist->mean());
+    histograms.AddRaw(name, entry.Build());
+  }
+  JsonObjectBuilder root;
+  root.AddRaw("counters", counters.Build())
+      .AddRaw("gauges", gauges.Build())
+      .AddRaw("histograms", histograms.Build());
+  return root.Build();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::string JsonObjectBuilder::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObjectBuilder::AddKey(const std::string& key) {
+  if (!first_) body_ += ',';
+  first_ = false;
+  body_ += '"';
+  body_ += Escape(key);
+  body_ += "\":";
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(const std::string& key,
+                                          std::uint64_t value) {
+  AddKey(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(const std::string& key,
+                                          std::int64_t value) {
+  AddKey(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(const std::string& key,
+                                          double value) {
+  AddKey(key);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  body_ += buffer;
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(const std::string& key, bool value) {
+  AddKey(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::Add(const std::string& key,
+                                          const std::string& value) {
+  AddKey(key);
+  body_ += '"';
+  body_ += Escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::AddRaw(const std::string& key,
+                                             const std::string& json) {
+  AddKey(key);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObjectBuilder::Build() const { return "{" + body_ + "}"; }
+
+}  // namespace ccdb

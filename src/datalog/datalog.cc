@@ -1,8 +1,11 @@
 #include "datalog/datalog.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "qe/fourier_motzkin.h"
 
 namespace ccdb {
@@ -162,10 +165,29 @@ StatusOr<bool> TupleContained(const GeneralizedTuple& candidate,
 
 }  // namespace
 
+std::string DatalogStats::ToString() const {
+  std::ostringstream out;
+  out << "iterations=" << iterations
+      << " fixpoint=" << (reached_fixpoint ? "yes" : "no")
+      << " qe_calls=" << qe_calls << " max_bits=" << max_bits;
+  return out.str();
+}
+
+std::string DatalogStats::ToJson() const {
+  return JsonObjectBuilder()
+      .Add("iterations", static_cast<std::int64_t>(iterations))
+      .Add("reached_fixpoint", reached_fixpoint)
+      .Add("qe_calls", qe_calls)
+      .Add("max_bits", max_bits)
+      .Build();
+}
+
 StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     const DatalogProgram& program,
     const std::map<std::string, ConstraintRelation>& edb,
     const DatalogOptions& options, DatalogStats* stats) {
+  CCDB_TRACE_SPAN("datalog.evaluate");
+  CCDB_METRIC_COUNT("datalog.runs", 1);
   DatalogStats local;
   DatalogStats* s = stats != nullptr ? stats : &local;
   *s = DatalogStats();
@@ -195,7 +217,9 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
   };
 
   for (int round = 0; round < options.max_iterations; ++round) {
+    CCDB_TRACE_SPAN("datalog.iteration");
     ++s->iterations;
+    CCDB_METRIC_COUNT("datalog.iterations", 1);
     bool grew = false;
     // Evaluate all rules against the CURRENT interpretation (simultaneous
     // inflationary step), then merge.
@@ -238,9 +262,13 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     }
     if (!grew) {
       s->reached_fixpoint = true;
+      CCDB_METRIC_COUNT("datalog.fixpoints", 1);
+      CCDB_METRIC_COUNT("datalog.qe_calls", s->qe_calls);
       return idb;
     }
   }
+  CCDB_LOG(WARN) << "Datalog evaluation hit the iteration cap ("
+                 << options.max_iterations << ") without reaching a fixpoint";
   return Status::OutOfRange(
       "Datalog evaluation did not reach a fixpoint within " +
       std::to_string(options.max_iterations) + " iterations");

@@ -58,6 +58,11 @@ struct DatalogStats {
   bool reached_fixpoint = false;
   std::uint64_t max_bits = 0;
   std::uint64_t qe_calls = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+  /// JSON object with one field per statistic.
+  std::string ToJson() const;
 };
 
 /// Evaluates the program under the INFLATIONARY semantics: each iteration

@@ -1,10 +1,70 @@
 #include "engine/database.h"
 
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "query/lower.h"
 #include "query/parser.h"
 
 namespace ccdb {
+
+namespace {
+
+std::string FormatMillis(double seconds) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3) << seconds * 1e3 << " ms";
+  return out.str();
+}
+
+}  // namespace
+
+std::string ExplainResult::ToString() const {
+  std::ostringstream out;
+  out << "EXPLAIN (Figure-1 pipeline)\n";
+  const CalcFStats& s = result.stats;
+  if (s.parse_seconds > 0.0) {
+    out << "  PARSE                   " << FormatMillis(s.parse_seconds)
+        << "\n";
+  }
+  out << "  INSTANTIATION           " << FormatMillis(s.instantiation_seconds)
+      << "\n";
+  out << "  QUANTIFIER ELIMINATION  " << FormatMillis(s.qe_seconds)
+      << "  (rounds=" << s.qe_rounds
+      << ", max_bits=" << s.max_intermediate_bits << ")\n";
+  if (ran_numeric) {
+    out << "  NUMERICAL EVALUATION    " << FormatMillis(numeric_seconds)
+        << "  ("
+        << (numeric_finite
+                ? "finite, " + std::to_string(numeric_points) + " point(s)"
+                : "infinite answer set")
+        << ")\n";
+  } else {
+    out << "  NUMERICAL EVALUATION    skipped (scalar aggregate answer)\n";
+  }
+  out << "  AGGREGATE EVALUATION    " << FormatMillis(s.aggregate_seconds)
+      << "  (aggregate_calls=" << s.aggregate_calls
+      << ", approximation_calls=" << s.approximation_calls << ")\n";
+  out << "  TOTAL                   " << FormatMillis(total_seconds) << "\n";
+  out << "result: " << result.relation.tuples().size() << " generalized "
+      << "tuple(s), arity " << result.relation.arity();
+  if (result.has_scalar) {
+    out << ", scalar "
+        << (result.scalar.exact ? result.scalar.exact_value.ToString()
+                                : std::to_string(result.scalar.approx_value));
+  }
+  out << "\n";
+  if (!metric_deltas.empty()) {
+    out << "metrics moved by this query:\n";
+    for (const auto& [name, delta] : metric_deltas) {
+      out << "  " << name << " += " << delta << "\n";
+    }
+  }
+  return out.str();
+}
 
 ConstraintDatabase::ConstraintDatabase(CalcFOptions options)
     : options_(std::move(options)) {}
@@ -30,13 +90,53 @@ Status ConstraintDatabase::Drop(const std::string& name) {
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
+  CCDB_TRACE_SPAN("db.query");
+  CCDB_METRIC_COUNT("db.queries", 1);
   CalcFEvaluator evaluator(MakeLookup(), options_);
   return evaluator.EvaluateText(text);
+}
+
+StatusOr<ExplainResult> ConstraintDatabase::Explain(
+    const std::string& text) const {
+  CCDB_TRACE_SPAN("db.explain");
+  CCDB_METRIC_COUNT("db.explains", 1);
+  ExplainResult explain;
+  auto before = MetricsRegistry::Global().SnapshotValues();
+  auto start = std::chrono::steady_clock::now();
+  CCDB_ASSIGN_OR_RETURN(explain.result, Query(text));
+  // NUMERICAL EVALUATION (Figure 1, step 3): only meaningful when the
+  // answer is a relation; a scalar aggregate is already a value.
+  if (!explain.result.has_scalar && explain.result.relation.arity() > 0) {
+    explain.ran_numeric = true;
+    auto numeric_start = std::chrono::steady_clock::now();
+    CCDB_ASSIGN_OR_RETURN(NumericalEvaluation numeric,
+                          EvaluateNumerically(explain.result.relation));
+    explain.numeric_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      numeric_start)
+            .count();
+    explain.numeric_finite = numeric.finite;
+    explain.numeric_points = numeric.points.size();
+  }
+  explain.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  auto after = MetricsRegistry::Global().SnapshotValues();
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    std::uint64_t previous = it == before.end() ? 0 : it->second;
+    // Max gauges can stay flat or even (after ResetAll) shrink; only
+    // report meters that moved forward.
+    if (value > previous) explain.metric_deltas[name] = value - previous;
+  }
+  return explain;
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
                                                   std::uint32_t k,
                                                   FpQeStats* stats) const {
+  CCDB_TRACE_SPAN("db.query_fp");
+  CCDB_METRIC_COUNT("db.fp_queries", 1);
   CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
   std::vector<std::string> columns = parsed->FreeVarNames();
   VarEnv env;
@@ -55,6 +155,8 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
 
 StatusOr<std::vector<std::vector<Rational>>> ConstraintDatabase::Solve(
     const std::string& text, const Rational& epsilon) const {
+  CCDB_TRACE_SPAN("db.solve");
+  CCDB_METRIC_COUNT("db.solves", 1);
   CCDB_ASSIGN_OR_RETURN(CalcFResult result, Query(text));
   return ApproximateSolutions(result.relation, epsilon);
 }

@@ -1,6 +1,8 @@
 #ifndef CCDB_ENGINE_DATABASE_H_
 #define CCDB_ENGINE_DATABASE_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,30 @@
 #include "storage/catalog.h"
 
 namespace ccdb {
+
+/// EXPLAIN output: the query's result plus a per-stage breakdown of the
+/// Figure-1 pipeline (INSTANTIATION, QUANTIFIER ELIMINATION, NUMERICAL
+/// EVALUATION, AGGREGATE EVALUATION) and the process-wide metric counters
+/// this query moved.
+struct ExplainResult {
+  CalcFResult result;
+  /// Whether the NUMERICAL EVALUATION stage ran (it is skipped for
+  /// scalar-aggregate answers, which are already values).
+  bool ran_numeric = false;
+  /// When it ran: was the answer set finite, and how many points?
+  bool numeric_finite = false;
+  std::size_t numeric_points = 0;
+  double numeric_seconds = 0.0;
+  /// Total wall time of the whole EXPLAIN-ed evaluation.
+  double total_seconds = 0.0;
+  /// Delta of every registry metric that changed during the query
+  /// (counter/gauge values after minus before; histograms contribute
+  /// `<name>.count` and `<name>.sum`).
+  std::map<std::string, std::uint64_t> metric_deltas;
+
+  /// Multi-line human-readable plan/profile rendering.
+  std::string ToString() const;
+};
 
 /// The public facade of the constraint database system: a catalog of
 /// finitely representable relations plus the CALC_F query processor,
@@ -43,6 +69,11 @@ class ConstraintDatabase {
   /// Evaluates a CALC_F query under the exact semantics; the result is a
   /// constraint relation in closed form plus scalar/statistics extras.
   StatusOr<CalcFResult> Query(const std::string& text) const;
+
+  /// EXPLAIN: evaluates `text` like Query, additionally running the
+  /// NUMERICAL EVALUATION stage when applicable, and reports per-stage
+  /// wall times plus the metric counters the evaluation moved.
+  StatusOr<ExplainResult> Explain(const std::string& text) const;
 
   /// Evaluates a pure first-order query under the finite precision
   /// semantics FO^F_QE with bit budget k (Section 4); partial — returns

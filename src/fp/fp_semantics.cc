@@ -1,11 +1,33 @@
 #include "fp/fp_semantics.h"
 
+#include <sstream>
+
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace ccdb {
+
+std::string FpQeStats::ToString() const {
+  std::ostringstream out;
+  out << "defined=" << (defined ? "yes" : "no") << " max_bits=" << max_bits
+      << " [" << qe.ToString() << "]";
+  return out.str();
+}
+
+std::string FpQeStats::ToJson() const {
+  return JsonObjectBuilder()
+      .Add("defined", defined)
+      .Add("max_bits", max_bits)
+      .AddRaw("qe", qe.ToJson())
+      .Build();
+}
 
 StatusOr<ConstraintRelation> EliminateQuantifiersFp(const Formula& formula,
                                                     int num_free_vars,
                                                     const FpContext& context,
                                                     FpQeStats* stats) {
+  CCDB_TRACE_SPAN("fp.eliminate");
+  CCDB_METRIC_COUNT("fp.queries", 1);
   FpQeStats local;
   FpQeStats* s = stats != nullptr ? stats : &local;
   *s = FpQeStats();
@@ -21,9 +43,11 @@ StatusOr<ConstraintRelation> EliminateQuantifiersFp(const Formula& formula,
       EliminateQuantifiers(formula, num_free_vars, QeOptions{}, &qe_stats);
   s->qe = qe_stats;
   s->max_bits = qe_stats.max_intermediate_bits;
+  CCDB_METRIC_MAX("fp.max_bits", s->max_bits);
   if (!result.ok()) return result.status();
   if (s->max_bits > context.k) {
     s->defined = false;
+    CCDB_METRIC_COUNT("fp.undefined", 1);
     return Status::Undefined(
         "FO^F_QE: evaluation needs integers of bit length " +
         std::to_string(s->max_bits) + " > k = " + std::to_string(context.k));

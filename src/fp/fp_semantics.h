@@ -26,6 +26,11 @@ struct FpQeStats {
   /// intermediates, projection factors, outputs) — the quantity Lemma 4.4
   /// bounds by C·k on the class K_{d,m}.
   std::uint64_t max_bits = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+  /// JSON object; embeds the inner QeStats as "qe".
+  std::string ToJson() const;
 };
 
 /// FO^F_QE query evaluation: the same fixed QE algorithm as

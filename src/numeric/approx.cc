@@ -4,6 +4,8 @@
 
 #include "arith/floatk.h"
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 
 namespace ccdb {
 
@@ -79,6 +81,8 @@ Rational RationalFromDouble(double x) {
 
 StatusOr<ApproxResult> ApproxModule::Approximate(AnalyticKind kind,
                                                  const Interval& domain) const {
+  CCDB_TRACE_SPAN("approx.approximate");
+  CCDB_METRIC_COUNT("approx.calls", 1);
   ++call_count_;
   if (!DefinedOn(kind, domain)) {
     return Status::InvalidArgument(
@@ -131,6 +135,9 @@ StatusOr<ApproxResult> ApproxModule::Approximate(AnalyticKind kind,
   exact_coeffs.reserve(n);
   for (double c : coeffs) {
     if (!std::isfinite(c)) {
+      CCDB_LOG(WARN) << "approximation of " << AnalyticKindName(kind)
+                     << " over " << domain.ToString()
+                     << " produced a non-finite coefficient";
       return Status::NumericalFailure("non-finite interpolation coefficient");
     }
     exact_coeffs.push_back(RationalFromDouble(c));

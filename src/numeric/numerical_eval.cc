@@ -1,6 +1,8 @@
 #include "numeric/numerical_eval.h"
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "qe/cad.h"
 
 namespace ccdb {
@@ -32,6 +34,8 @@ bool IsZeroDimensional(const CadCell& cell) {
 
 StatusOr<NumericalEvaluation> EvaluateNumerically(
     const ConstraintRelation& relation) {
+  CCDB_TRACE_SPAN("numeric.evaluate");
+  CCDB_METRIC_COUNT("numeric.evaluations", 1);
   NumericalEvaluation out;
   if (relation.arity() == 0) {
     out.finite = true;
@@ -66,6 +70,8 @@ StatusOr<std::vector<std::vector<Rational>>> ApproximateSolutions(
     return Status::InvalidArgument(
         "solution set is infinite; NUMERICAL EVALUATION does not apply");
   }
+  CCDB_TRACE_SPAN("numeric.approximate_solutions");
+  CCDB_METRIC_COUNT("numeric.points_approximated", eval.points.size());
   std::vector<std::vector<Rational>> out;
   out.reserve(eval.points.size());
   for (const AlgebraicPoint& point : eval.points) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "poly/resultant.h"
 #include "poly/root_isolation.h"
 
@@ -91,12 +93,14 @@ std::vector<Polynomial> Project(const std::vector<Polynomial>& basis,
       add(coeff);
     }
     if (p.DegreeIn(var) >= 2) {
+      CCDB_METRIC_COUNT("cad.discriminants", 1);
       add(Discriminant(p, var));
     }
   }
   for (std::size_t i = 0; i < basis.size(); ++i) {
     for (std::size_t j = i + 1; j < basis.size(); ++j) {
       if (basis[i].DegreeIn(var) >= 1 && basis[j].DegreeIn(var) >= 1) {
+        CCDB_METRIC_COUNT("cad.resultants", 1);
         add(Resultant(basis[i], basis[j], var));
       }
     }
@@ -140,6 +144,8 @@ std::vector<Polynomial> DerivativeClosure(std::vector<Polynomial> basis) {
 
 StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
                          const CadOptions& options) {
+  CCDB_TRACE_SPAN("cad.build");
+  CCDB_METRIC_COUNT("cad.builds", 1);
   CCDB_CHECK_MSG(num_vars >= 1, "CAD needs at least one variable");
   Cad cad;
   cad.num_vars_ = num_vars;
@@ -155,35 +161,41 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
   }
 
   // Projection phase, top level downwards.
-  for (int level = num_vars - 1; level >= 0; --level) {
-    std::vector<Polynomial> basis = SquarefreeBasis(level_sets[level]);
-    if (level < options.derivative_closure_below) {
-      basis = DerivativeClosure(std::move(basis));
-    }
-    if (level > 0) {
-      for (Polynomial& projected : Project(basis, level)) {
-        int target = projected.max_var();
-        CCDB_DCHECK(target < level);
-        level_sets[target].push_back(std::move(projected));
+  {
+    CCDB_TRACE_SPAN("cad.projection");
+    for (int level = num_vars - 1; level >= 0; --level) {
+      std::vector<Polynomial> basis = SquarefreeBasis(level_sets[level]);
+      if (level < options.derivative_closure_below) {
+        basis = DerivativeClosure(std::move(basis));
       }
+      if (level > 0) {
+        for (Polynomial& projected : Project(basis, level)) {
+          int target = projected.max_var();
+          CCDB_DCHECK(target < level);
+          level_sets[target].push_back(std::move(projected));
+        }
+      }
+      cad.factors_[level] = std::move(basis);
     }
-    cad.factors_[level] = std::move(basis);
   }
 
   // Base phase: roots of the level-0 factors.
-  std::vector<std::vector<AlgebraicNumber>> base_roots;
-  for (const Polynomial& p : cad.factors_[0]) {
-    auto u = UPoly::FromPolynomial(p, 0);
-    CCDB_CHECK(u.ok());
-    base_roots.push_back(AlgebraicNumber::RootsOf(*u));
-  }
-  std::vector<AlgebraicNumber> sections = MergeRoots(std::move(base_roots));
-  std::vector<AlgebraicNumber> coords = StackCoordinates(sections);
-  for (std::size_t i = 0; i < coords.size(); ++i) {
-    CadCell cell;
-    cell.index.push_back(static_cast<int>(i) + 1);
-    cell.sample.Append(std::move(coords[i]));
-    cad.roots_.push_back(std::move(cell));
+  {
+    CCDB_TRACE_SPAN("cad.base");
+    std::vector<std::vector<AlgebraicNumber>> base_roots;
+    for (const Polynomial& p : cad.factors_[0]) {
+      auto u = UPoly::FromPolynomial(p, 0);
+      CCDB_CHECK(u.ok());
+      base_roots.push_back(AlgebraicNumber::RootsOf(*u));
+    }
+    std::vector<AlgebraicNumber> sections = MergeRoots(std::move(base_roots));
+    std::vector<AlgebraicNumber> coords = StackCoordinates(sections);
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+      CadCell cell;
+      cell.index.push_back(static_cast<int>(i) + 1);
+      cell.sample.Append(std::move(coords[i]));
+      cad.roots_.push_back(std::move(cell));
+    }
   }
 
   // Lifting phase.
@@ -217,9 +229,13 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
     }
     return Status::Ok();
   };
-  for (CadCell& cell : cad.roots_) {
-    CCDB_RETURN_IF_ERROR(lift(cell, 1));
+  {
+    CCDB_TRACE_SPAN("cad.lift");
+    for (CadCell& cell : cad.roots_) {
+      CCDB_RETURN_IF_ERROR(lift(cell, 1));
+    }
   }
+  CCDB_METRIC_COUNT("cad.cells", cad.CountAllCells());
   return cad;
 }
 

@@ -1,6 +1,7 @@
 #include "qe/dense_order.h"
 
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "qe/fourier_motzkin.h"
 
 namespace ccdb {
@@ -50,6 +51,7 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateExistsDenseOrder(
     return Status::InvalidArgument(
         "dense-order elimination requires dense-order atoms");
   }
+  CCDB_METRIC_COUNT("qe.dense_order.eliminations", 1);
   // Over a dense linear order, ∃x elimination is the linear elimination
   // restricted to unit coefficients; crossing a lower bound l and an upper
   // bound u yields l θ u — again a dense-order atom, so the procedure is

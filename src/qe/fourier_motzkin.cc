@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "base/metrics.h"
 
 namespace ccdb {
 
@@ -130,6 +131,7 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
     }
   }
   // Cross every lower bound with every upper bound: l (op) u.
+  CCDB_METRIC_COUNT("fm.constraints_generated", lower.size() * upper.size());
   for (const Bound& l : lower) {
     for (const Bound& u : upper) {
       RelOp op = (l.strict || u.strict) ? RelOp::kLt : RelOp::kLe;
@@ -149,6 +151,7 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
   if (!IsLinearSystem(tuples)) {
     return Status::InvalidArgument("Fourier-Motzkin requires linear atoms");
   }
+  CCDB_METRIC_COUNT("fm.rounds", 1);
   std::vector<GeneralizedTuple> out;
   for (const GeneralizedTuple& tuple : SplitDisequalities(tuples)) {
     CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> eliminated,

@@ -1,9 +1,13 @@
 #include "qe/qe.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <sstream>
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "qe/cad.h"
 #include "qe/dense_order.h"
 #include "qe/fourier_motzkin.h"
@@ -217,15 +221,60 @@ StatusOr<CadEvalResult> EvaluateCad(const Cad& cad,
   return result;
 }
 
+// Folds a finished run's QeStats into the global metrics registry on every
+// exit path (including errors).
+struct QeMetricsFolder {
+  const QeStats* s;
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  ~QeMetricsFolder() {
+    CCDB_METRIC_COUNT("qe.calls", 1);
+    if (s->used_linear_path) CCDB_METRIC_COUNT("qe.linear_path", 1);
+    if (s->used_dense_order_path) CCDB_METRIC_COUNT("qe.dense_order_path", 1);
+    if (s->used_thom_augmentation) CCDB_METRIC_COUNT("qe.thom_augmentations", 1);
+    CCDB_METRIC_COUNT("qe.cad.cells", s->cad_cells);
+    CCDB_METRIC_COUNT("qe.cad.projection_factors", s->projection_factors);
+    CCDB_METRIC_MAX("qe.max_intermediate_bits", s->max_intermediate_bits);
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    CCDB_METRIC_HISTOGRAM("qe.eliminate.us",
+                          static_cast<std::uint64_t>(micros));
+  }
+};
+
 }  // namespace
+
+std::string QeStats::ToString() const {
+  std::ostringstream out;
+  out << "cad_cells=" << cad_cells
+      << " projection_factors=" << projection_factors
+      << " max_intermediate_bits=" << max_intermediate_bits
+      << " linear_path=" << (used_linear_path ? "yes" : "no")
+      << " dense_order_path=" << (used_dense_order_path ? "yes" : "no")
+      << " thom_augmentation=" << (used_thom_augmentation ? "yes" : "no");
+  return out.str();
+}
+
+std::string QeStats::ToJson() const {
+  return JsonObjectBuilder()
+      .Add("cad_cells", static_cast<std::uint64_t>(cad_cells))
+      .Add("projection_factors", static_cast<std::uint64_t>(projection_factors))
+      .Add("max_intermediate_bits", max_intermediate_bits)
+      .Add("used_linear_path", used_linear_path)
+      .Add("used_dense_order_path", used_dense_order_path)
+      .Add("used_thom_augmentation", used_thom_augmentation)
+      .Build();
+}
 
 StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
                                                   int num_free_vars,
                                                   const QeOptions& options,
                                                   QeStats* stats) {
+  CCDB_TRACE_SPAN("qe.eliminate");
   QeStats local_stats;
   QeStats* s = stats != nullptr ? stats : &local_stats;
   *s = QeStats();
+  QeMetricsFolder folder{s};
 
   CCDB_CHECK_MSG(!formula.has_relation_symbols(),
                  "instantiate relations before quantifier elimination");
@@ -275,6 +324,7 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   while (options.allow_equation_substitution && q > 0 &&
          prenex.prefix.back().is_exists &&
          TrySubstituteInnermostExists(&tuples, num_free_vars + q - 1)) {
+    CCDB_METRIC_COUNT("qe.equation_substitutions", 1);
     prenex.prefix.pop_back();
     --q;
     n = num_free_vars + q;
@@ -288,6 +338,7 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
 
   // Linear fast path: Fourier-Motzkin, innermost quantifier first.
   if (options.allow_linear_fast_path && IsLinearSystem(tuples)) {
+    CCDB_TRACE_SPAN("qe.fourier_motzkin");
     s->used_linear_path = true;
     s->used_dense_order_path = IsDenseOrderSystem(tuples);
     for (int i = q - 1; i >= 0; --i) {
@@ -306,11 +357,16 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   }
 
   // CAD path.
+  CCDB_TRACE_SPAN("qe.cad_path");
   std::vector<Polynomial> matrix_polys = CollectDistinctPolys(tuples);
   for (int attempt = 0; attempt < 2; ++attempt) {
     CadOptions cad_options;
     cad_options.derivative_closure_below = attempt == 0 ? 0 : num_free_vars;
-    if (attempt == 1) s->used_thom_augmentation = true;
+    if (attempt == 1) {
+      s->used_thom_augmentation = true;
+      CCDB_LOG(INFO) << "QE: retrying CAD with Thom-derivative augmentation "
+                        "(plain sign vectors could not separate cells)";
+    }
     CCDB_ASSIGN_OR_RETURN(Cad cad,
                           Cad::Build(matrix_polys, n, cad_options));
     s->cad_cells = cad.CountAllCells();

@@ -1,6 +1,8 @@
 #ifndef CCDB_QE_QE_H_
 #define CCDB_QE_QE_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/status.h"
@@ -23,6 +25,11 @@ struct QeStats {
   /// language.
   bool used_dense_order_path = false;
   bool used_thom_augmentation = false;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+  /// JSON object with one field per statistic.
+  std::string ToJson() const;
 };
 
 /// Options for quantifier elimination.

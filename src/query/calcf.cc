@@ -1,15 +1,25 @@
 #include "query/calcf.h"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 
 #include "arith/floatk.h"
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "query/lower.h"
 #include "query/parser.h"
 
 namespace ccdb {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double SecondsSince(const SteadyClock::time_point& start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
 
 // Renders a polynomial back into a QTerm over the given column names.
 std::shared_ptr<const QTerm> PolynomialToQTerm(
@@ -218,6 +228,31 @@ StatusOr<std::shared_ptr<const QFormula>> RewriteFunctions(
 
 }  // namespace
 
+std::string CalcFStats::ToString() const {
+  std::ostringstream out;
+  out << "approximation_calls=" << approximation_calls
+      << " aggregate_calls=" << aggregate_calls << " qe_rounds=" << qe_rounds
+      << " max_intermediate_bits=" << max_intermediate_bits
+      << " parse=" << parse_seconds * 1e3 << "ms"
+      << " instantiation=" << instantiation_seconds * 1e3 << "ms"
+      << " qe=" << qe_seconds * 1e3 << "ms"
+      << " aggregates=" << aggregate_seconds * 1e3 << "ms";
+  return out.str();
+}
+
+std::string CalcFStats::ToJson() const {
+  return JsonObjectBuilder()
+      .Add("approximation_calls", approximation_calls)
+      .Add("aggregate_calls", aggregate_calls)
+      .Add("qe_rounds", qe_rounds)
+      .Add("max_intermediate_bits", max_intermediate_bits)
+      .Add("parse_seconds", parse_seconds)
+      .Add("instantiation_seconds", instantiation_seconds)
+      .Add("qe_seconds", qe_seconds)
+      .Add("aggregate_seconds", aggregate_seconds)
+      .Build();
+}
+
 CalcFEvaluator::CalcFEvaluator(RelationLookup lookup, CalcFOptions options)
     : lookup_(std::move(lookup)),
       options_(std::move(options)),
@@ -282,10 +317,12 @@ StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
                        formula.aggregate_vars.end());
         CCDB_ASSIGN_OR_RETURN(ConstraintRelation rel,
                               EvaluateCore(*body, columns, stats));
+        auto agg_start = SteadyClock::now();
         CCDB_ASSIGN_OR_RETURN(
             ConstraintRelation by_cell,
             aggregate_modules_.ApplyParameterized(
                 formula.aggregate, rel, static_cast<int>(params.size())));
+        stats->aggregate_seconds += SecondsSince(agg_start);
         stats->aggregate_calls += aggregate_modules_.call_count();
         aggregate_modules_.ResetCallCount();
         std::vector<std::string> out_names = params;
@@ -301,9 +338,11 @@ StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
           return Status::InvalidArgument(
               "EVAL output arity must match the aggregation arity");
         }
+        auto agg_start = SteadyClock::now();
         CCDB_ASSIGN_OR_RETURN(ConstraintRelation evaluated,
                               aggregate_modules_.Eval(rel,
                                                       options_.eval_epsilon));
+        stats->aggregate_seconds += SecondsSince(agg_start);
         return RelationToQFormula(evaluated, formula.output_vars);
       }
       if (formula.output_vars.size() != 1) {
@@ -311,9 +350,11 @@ StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
             std::string(AggregateKindName(formula.aggregate)) +
             " has exactly one output variable");
       }
+      auto agg_start = SteadyClock::now();
       CCDB_ASSIGN_OR_RETURN(
           AggregateValue value,
           aggregate_modules_.ApplyNumeric(formula.aggregate, rel));
+      stats->aggregate_seconds += SecondsSince(agg_start);
       Rational result = value.exact ? value.exact_value
                                     : DyadicFromDouble(value.approx_value);
       return QFormula::Compare(QTerm::Var(formula.output_vars[0]), RelOp::kEq,
@@ -326,25 +367,38 @@ StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
 StatusOr<ConstraintRelation> CalcFEvaluator::EvaluateCore(
     const QFormula& formula, const std::vector<std::string>& columns,
     CalcFStats* stats) const {
-  CCDB_ASSIGN_OR_RETURN(
-      auto function_free,
-      RewriteFunctions(formula, &approx_module_, &options_.abase, stats));
-  VarEnv env;
-  for (const std::string& column : columns) env.Intern(column);
-  int arity = env.next_index;
-  CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*function_free, &env));
-  for (int v : lowered.FreeVars()) {
-    if (v >= arity) {
-      return Status::InvalidArgument(
-          "query mentions a free variable beyond the output columns");
+  // Stage INSTANTIATION (Figure 1): analytic-function rewriting, lowering
+  // to variable indices, and substitution of stored relations.
+  Formula instantiated = Formula::True();
+  int arity = 0;
+  {
+    CCDB_TRACE_SPAN("calcf.instantiate");
+    auto start = SteadyClock::now();
+    CCDB_ASSIGN_OR_RETURN(
+        auto function_free,
+        RewriteFunctions(formula, &approx_module_, &options_.abase, stats));
+    VarEnv env;
+    for (const std::string& column : columns) env.Intern(column);
+    arity = env.next_index;
+    CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*function_free, &env));
+    for (int v : lowered.FreeVars()) {
+      if (v >= arity) {
+        return Status::InvalidArgument(
+            "query mentions a free variable beyond the output columns");
+      }
     }
+    CCDB_ASSIGN_OR_RETURN(instantiated,
+                          lowered.InstantiateRelations(lookup_));
+    stats->instantiation_seconds += SecondsSince(start);
   }
-  CCDB_ASSIGN_OR_RETURN(Formula instantiated,
-                        lowered.InstantiateRelations(lookup_));
+
+  // Stage QUANTIFIER ELIMINATION.
+  auto qe_start = SteadyClock::now();
   QeStats qe_stats;
   CCDB_ASSIGN_OR_RETURN(
       ConstraintRelation rel,
       EliminateQuantifiers(instantiated, arity, options_.qe, &qe_stats));
+  stats->qe_seconds += SecondsSince(qe_start);
   ++stats->qe_rounds;
   stats->max_intermediate_bits =
       std::max(stats->max_intermediate_bits, qe_stats.max_intermediate_bits);
@@ -353,6 +407,8 @@ StatusOr<ConstraintRelation> CalcFEvaluator::EvaluateCore(
 
 StatusOr<CalcFResult> CalcFEvaluator::Evaluate(
     const QFormula& query, const std::vector<std::string>& output_order) const {
+  CCDB_TRACE_SPAN("calcf.evaluate");
+  CCDB_METRIC_COUNT("calcf.queries", 1);
   CalcFResult result;
   CCDB_ASSIGN_OR_RETURN(auto aggregate_free,
                         EvaluateAggregates(query, &result.stats));
@@ -386,8 +442,12 @@ StatusOr<CalcFResult> CalcFEvaluator::Evaluate(
 StatusOr<CalcFResult> CalcFEvaluator::EvaluateText(
     const std::string& text,
     const std::vector<std::string>& output_order) const {
+  auto parse_start = SteadyClock::now();
   CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
-  return Evaluate(*parsed, output_order);
+  double parse_seconds = SecondsSince(parse_start);
+  CCDB_ASSIGN_OR_RETURN(CalcFResult result, Evaluate(*parsed, output_order));
+  result.stats.parse_seconds += parse_seconds;
+  return result;
 }
 
 }  // namespace ccdb

@@ -30,12 +30,29 @@ struct CalcFOptions {
 };
 
 /// Evaluation statistics (Theorem 5.5: "polynomially many k-order
-/// approximation and aggregate computation calls").
+/// approximation and aggregate computation calls"), extended with the
+/// per-stage wall-time breakdown of the Figure-1 pipeline.
 struct CalcFStats {
   std::uint64_t approximation_calls = 0;
   std::uint64_t aggregate_calls = 0;
   std::uint64_t qe_rounds = 0;
   std::uint64_t max_intermediate_bits = 0;
+  /// Wall time spent parsing the query text (EvaluateText only).
+  double parse_seconds = 0.0;
+  /// INSTANTIATION: analytic-function rewriting, lowering, and relation
+  /// instantiation from the catalog.
+  double instantiation_seconds = 0.0;
+  /// QUANTIFIER ELIMINATION (all rounds, including nested aggregate
+  /// stages).
+  double qe_seconds = 0.0;
+  /// AGGREGATE EVALUATION: time inside the aggregate modules themselves
+  /// (their nested QE rounds are accounted to qe_seconds).
+  double aggregate_seconds = 0.0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+  /// JSON object with one field per statistic.
+  std::string ToJson() const;
 };
 
 /// Result of a CALC_F query: always a constraint relation in closed form

@@ -3,6 +3,8 @@
 #include <cctype>
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "query/lower.h"
 
 namespace ccdb {
@@ -508,6 +510,8 @@ class Parser {
 }  // namespace
 
 StatusOr<std::shared_ptr<const QFormula>> ParseFormula(std::string_view text) {
+  CCDB_TRACE_SPAN("parse.formula");
+  CCDB_METRIC_COUNT("parser.formulas", 1);
   Parser parser(text);
   return parser.ParseFormulaToEnd();
 }
@@ -518,6 +522,8 @@ StatusOr<std::shared_ptr<const QTerm>> ParseTerm(std::string_view text) {
 }
 
 StatusOr<ParsedRelationDef> ParseRelationDef(std::string_view text) {
+  CCDB_TRACE_SPAN("parse.relation_def");
+  CCDB_METRIC_COUNT("parser.relation_defs", 1);
   Parser parser(text);
   return parser.ParseRelationDefToEnd();
 }

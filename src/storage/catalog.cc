@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "base/logging.h"
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "query/parser.h"
 
 namespace ccdb {
@@ -80,6 +82,7 @@ bool TupleBox::MayContain(const std::vector<Rational>& point) const {
 
 Status Catalog::AddRelation(const std::string& name,
                             ConstraintRelation relation) {
+  CCDB_METRIC_COUNT("catalog.relations_added", 1);
   if (relations_.count(name) != 0) {
     return Status::AlreadyExists("relation " + name + " already exists");
   }
@@ -110,8 +113,10 @@ bool Catalog::HasRelation(const std::string& name) const {
 
 StatusOr<ConstraintRelation> Catalog::GetRelation(
     const std::string& name) const {
+  CCDB_METRIC_COUNT("catalog.lookups", 1);
   auto it = relations_.find(name);
   if (it == relations_.end()) {
+    CCDB_METRIC_COUNT("catalog.lookup_misses", 1);
     return Status::NotFound("relation " + name + " not found");
   }
   return it->second.relation;
@@ -135,7 +140,13 @@ StatusOr<bool> Catalog::Contains(const std::string& name,
     return Status::InvalidArgument("point arity mismatch");
   }
   for (std::size_t i = 0; i < entry.relation.tuples().size(); ++i) {
-    if (!entry.boxes[i].MayContain(point)) continue;  // index fast path
+    if (!entry.boxes[i].MayContain(point)) {
+      // Index fast path: the bounding box proves non-membership without
+      // evaluating the tuple's polynomial constraints.
+      CCDB_METRIC_COUNT("catalog.box_index.pruned", 1);
+      continue;
+    }
+    CCDB_METRIC_COUNT("catalog.box_index.evaluated", 1);
     if (entry.relation.tuples()[i].SatisfiedAt(point)) return true;
   }
   return false;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "engine/database.h"
 #include "poly/resultant.h"
 
@@ -59,6 +60,51 @@ TEST(IntegrationTest, ThreeVariableSphereProjection) {
   EXPECT_TRUE(disk->relation.Contains({R(1, 2), R(1, 2)}));
   EXPECT_FALSE(disk->relation.Contains({R(1), R(1)}));
   EXPECT_FALSE(disk->relation.Contains({R(0), R(11, 10)}));
+}
+
+TEST(IntegrationTest, QueryRecordsPipelineMetrics) {
+  // A nonlinear existential query must go down the CAD path and move the
+  // observability counters: cells constructed, resultants/discriminants
+  // computed during projection.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  auto before = registry.SnapshotValues();
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.Define("Circle(x, y) := x^2 + y^2 <= 1").ok());
+  auto shadow = db.Query("exists y (Circle(x, y))");
+  ASSERT_TRUE(shadow.ok()) << shadow.status().ToString();
+  auto after = registry.SnapshotValues();
+  auto delta = [&](const std::string& name) {
+    auto it_before = before.find(name);
+    std::uint64_t base = it_before == before.end() ? 0 : it_before->second;
+    auto it_after = after.find(name);
+    return (it_after == after.end() ? 0 : it_after->second) - base;
+  };
+  EXPECT_GT(delta("cad.cells"), 0u);
+  EXPECT_GT(delta("cad.resultants") + delta("cad.discriminants"), 0u);
+  EXPECT_GT(delta("qe.calls"), 0u);
+  EXPECT_GT(delta("catalog.lookups"), 0u);
+  EXPECT_GT(delta("db.queries"), 0u);
+}
+
+TEST(IntegrationTest, ExplainReportsStagesAndMetricDeltas) {
+  // The README surface example: EXPLAIN must attribute wall time to the
+  // Figure-1 stages and report the metric movement of this query alone.
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.Define("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0").ok());
+  auto explained = db.Explain("SURFACE[x, y](S(x, y) and y <= 9)(z)");
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_TRUE(explained->result.has_scalar);
+  EXPECT_EQ(explained->result.scalar.exact_value, R(18));
+  EXPECT_GT(explained->total_seconds, 0.0);
+  EXPECT_GT(explained->result.stats.qe_seconds, 0.0);
+  // At least five distinct meters must have moved (acceptance criterion).
+  EXPECT_GE(explained->metric_deltas.size(), 5u);
+  EXPECT_GT(explained->metric_deltas.count("qe.calls"), 0u);
+  std::string rendered = explained->ToString();
+  EXPECT_NE(rendered.find("INSTANTIATION"), std::string::npos);
+  EXPECT_NE(rendered.find("QUANTIFIER ELIMINATION"), std::string::npos);
+  EXPECT_NE(rendered.find("NUMERICAL EVALUATION"), std::string::npos);
+  EXPECT_NE(rendered.find("AGGREGATE EVALUATION"), std::string::npos);
 }
 
 TEST(IntegrationTest, ThreeVariableDoubleProjection) {

@@ -1,0 +1,156 @@
+#include "base/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ccdb {
+namespace {
+
+TEST(CounterTest, IncrementsAndResets) {
+  Counter c("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MaxGaugeTest, KeepsRunningMaximum) {
+  MaxGauge g("test.gauge");
+  g.RecordMax(7);
+  g.RecordMax(3);
+  EXPECT_EQ(g.value(), 7u);
+  g.RecordMax(19);
+  EXPECT_EQ(g.value(), 19u);
+}
+
+TEST(HistogramTest, TracksCountSumMinMax) {
+  Histogram h("test.hist");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // Empty histogram reads 0, not the sentinel.
+  EXPECT_EQ(h.max(), 0u);
+  h.Record(5);
+  h.Record(1);
+  h.Record(100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 106.0 / 3.0);
+}
+
+TEST(HistogramTest, PowerOfTwoBuckets) {
+  Histogram h("test.hist.buckets");
+  h.Record(0);  // bucket 0
+  h.Record(1);  // bucket 0
+  h.Record(2);  // bucket 1: [2, 4)
+  h.Record(3);  // bucket 1
+  h.Record(4);  // bucket 2: [4, 8)
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("registry_test.same");
+  Counter* b = registry.GetCounter("registry_test.same");
+  EXPECT_EQ(a, b);
+  // Distinct namespaces per instrument kind.
+  EXPECT_NE(static_cast<void*>(registry.GetMaxGauge("registry_test.same")),
+            static_cast<void*>(a));
+}
+
+TEST(MetricsRegistryTest, SnapshotValuesSeesUpdates) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("registry_test.snapshot_counter");
+  MaxGauge* g = registry.GetMaxGauge("registry_test.snapshot_gauge");
+  Histogram* h = registry.GetHistogram("registry_test.snapshot_hist");
+  auto before = registry.SnapshotValues();
+  c->Increment(3);
+  g->RecordMax(before["registry_test.snapshot_gauge"] + 11);
+  h->Record(6);
+  auto after = registry.SnapshotValues();
+  EXPECT_EQ(after["registry_test.snapshot_counter"] -
+                before["registry_test.snapshot_counter"],
+            3u);
+  EXPECT_EQ(after["registry_test.snapshot_gauge"],
+            before["registry_test.snapshot_gauge"] + 11);
+  EXPECT_EQ(after["registry_test.snapshot_hist.count"] -
+                before["registry_test.snapshot_hist.count"],
+            1u);
+  EXPECT_EQ(after["registry_test.snapshot_hist.sum"] -
+                before["registry_test.snapshot_hist.sum"],
+            6u);
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonShape) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("registry_test.json_counter")->Increment(9);
+  registry.GetMaxGauge("registry_test.json_gauge")->RecordMax(4);
+  registry.GetHistogram("registry_test.json_hist")->Record(2);
+  std::string json = registry.SnapshotJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"registry_test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry_test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry_test.json_hist\""), std::string::npos);
+  int braces = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    EXPECT_GE(braces, 0);
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(MetricsRegistryTest, MacrosRecordThroughRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::uint64_t before =
+      registry.GetCounter("registry_test.macro_counter")->value();
+  CCDB_METRIC_COUNT("registry_test.macro_counter", 5);
+  CCDB_METRIC_MAX("registry_test.macro_gauge", 123);
+  CCDB_METRIC_HISTOGRAM("registry_test.macro_hist", 8);
+  EXPECT_EQ(registry.GetCounter("registry_test.macro_counter")->value(),
+            before + 5);
+  EXPECT_GE(registry.GetMaxGauge("registry_test.macro_gauge")->value(), 123u);
+  EXPECT_GE(registry.GetHistogram("registry_test.macro_hist")->count(), 1u);
+}
+
+TEST(JsonObjectBuilderTest, BuildsAndEscapes) {
+  JsonObjectBuilder builder;
+  builder.Add("n", std::uint64_t{7})
+      .Add("pi", 3.5)
+      .Add("flag", true)
+      .Add("text", std::string("a\"b\\c\nd"))
+      .AddRaw("nested", "{\"x\":1}");
+  std::string json = builder.Build();
+  EXPECT_EQ(json,
+            "{\"n\":7,\"pi\":3.5,\"flag\":true,"
+            "\"text\":\"a\\\"b\\\\c\\nd\",\"nested\":{\"x\":1}}");
+}
+
+}  // namespace
+}  // namespace ccdb
