@@ -15,13 +15,21 @@ Polynomial X() { return Polynomial::Var(0); }
 Polynomial Y() { return Polynomial::Var(1); }
 Polynomial Z() { return Polynomial::Var(2); }
 
-double RunQe(const Formula& query, int free_vars, const QeOptions& options,
-             QeStats* stats, bool* ok) {
-  double elapsed = ccdb_bench::TimeSeconds([&] {
-    auto result = EliminateQuantifiers(query, free_vars, options, stats);
-    *ok = result.ok();
-  });
-  return elapsed;
+// Runs one configuration cell under the harness deadline (--deadline-ms):
+// an exhausted cell reports nullopt and lands as `null` in the JSON row.
+std::optional<double> RunQe(const Formula& query, int free_vars,
+                            QeOptions options, QeStats* stats, bool* ok) {
+  return ccdb_bench::GovernedCell(
+      [&](const ResourceGovernor* gov) -> Status {
+        options.governor = gov;
+        auto result = EliminateQuantifiers(query, free_vars, options, stats);
+        *ok = result.ok();
+        if (!result.ok() &&
+            result.status().code() == StatusCode::kResourceExhausted) {
+          return result.status();
+        }
+        return Status::Ok();  // solver-level failures are reported via *ok
+      });
 }
 
 }  // namespace
@@ -51,10 +59,12 @@ int main(int argc, char** argv) {
       options.allow_linear_fast_path = linear;
       QeStats stats;
       bool ok = false;
-      double t = RunQe(instantiated, 1, options, &stats, &ok);
-      ccdb_bench::Row("%-28s %12.2f %10s %12zu",
+      std::optional<double> t = RunQe(instantiated, 1, options, &stats, &ok);
+      ccdb_bench::RecordCell(linear ? "A/linear_on" : "A/linear_off", t);
+      ccdb_bench::Row("%-28s %12s %10s %12zu",
                       linear ? "linear fast path ON" : "linear fast path OFF",
-                      t * 1e3, stats.used_linear_path ? "FM" : "CAD",
+                      ccdb_bench::TableCell(t).c_str(),
+                      stats.used_linear_path ? "FM" : "CAD",
                       stats.cad_cells);
     }
   }
@@ -89,11 +99,12 @@ int main(int argc, char** argv) {
       options.allow_equation_substitution = substitution;
       QeStats stats;
       bool ok = false;
-      double t = RunQe(query, 1, options, &stats, &ok);
-      ccdb_bench::Row("%-28s %12.2f %12zu",
+      std::optional<double> t = RunQe(query, 1, options, &stats, &ok);
+      ccdb_bench::RecordCell(substitution ? "B/subst_on" : "B/subst_off", t);
+      ccdb_bench::Row("%-28s %12s %12zu",
                       substitution ? "equation substitution ON"
                                    : "equation substitution OFF",
-                      t * 1e3, stats.cad_cells);
+                      ccdb_bench::TableCell(t).c_str(), stats.cad_cells);
     }
   }
 
@@ -124,10 +135,12 @@ int main(int argc, char** argv) {
       options.allow_thom_augmentation = thom;
       QeStats stats;
       bool ok = false;
-      double t = RunQe(query, 1, options, &stats, &ok);
-      ccdb_bench::Row("%-28s %12.2f %10s %8s",
+      std::optional<double> t = RunQe(query, 1, options, &stats, &ok);
+      ccdb_bench::RecordCell(thom ? "C/thom_on" : "C/thom_off", t);
+      ccdb_bench::Row("%-28s %12s %10s %8s",
                       thom ? "Thom augmentation ON" : "Thom augmentation OFF",
-                      t * 1e3, stats.used_thom_augmentation ? "yes" : "no",
+                      ccdb_bench::TableCell(t).c_str(),
+                      stats.used_thom_augmentation ? "yes" : "no",
                       ok ? "yes" : "NO");
     }
   }

@@ -41,19 +41,30 @@ int main(int argc, char** argv) {
     CCDB_CHECK(result.ok());
     instantiated = *result;
   });
+  ccdb_bench::RecordCell("instantiation", t_instantiate);
   ccdb_bench::Row("stage 1 INSTANTIATION   : %s",
                   instantiated.ToString({"x", "y"}).c_str());
   ccdb_bench::Row("  paper                 : exists y (4x^2-y-20x+25 <= 0 "
                   "and y <= 0)");
 
-  // Stage 2: QUANTIFIER ELIMINATION.
+  // Stage 2: QUANTIFIER ELIMINATION (governed when --deadline-ms is set).
   ConstraintRelation closed_form;
   QeStats stats;
-  double t_qe = ccdb_bench::TimeSeconds([&] {
-    auto result = EliminateQuantifiers(instantiated, 1, QeOptions{}, &stats);
-    CCDB_CHECK(result.ok());
-    closed_form = *result;
-  });
+  std::optional<double> t_qe =
+      ccdb_bench::GovernedCell([&](const ResourceGovernor* gov) -> Status {
+        QeOptions options;
+        options.governor = gov;
+        auto result = EliminateQuantifiers(instantiated, 1, options, &stats);
+        CCDB_RETURN_IF_ERROR(result.status());
+        closed_form = *std::move(result);
+        return Status::Ok();
+      });
+  ccdb_bench::RecordCell("qe", t_qe);
+  if (!t_qe.has_value()) {
+    ccdb_bench::Row("stage 2 QE              : exhausted (deadline)");
+    ccdb_bench::RecordCell("numerical_eval", std::nullopt);
+    return 1;
+  }
   ccdb_bench::Row("stage 2 QE              : %s",
                   closed_form.ToString({"x"}).c_str());
   ccdb_bench::Row("  paper                 : 4x^2 - 20x + 25 = 0  "
@@ -63,13 +74,19 @@ int main(int argc, char** argv) {
 
   // Stage 3: NUMERICAL EVALUATION.
   std::vector<std::vector<Rational>> solutions;
-  double t_numeric = ccdb_bench::TimeSeconds([&] {
-    auto result =
-        ApproximateSolutions(closed_form, Rational(BigInt(1),
-                                                   BigInt(1000000)));
-    CCDB_CHECK(result.ok());
-    solutions = *result;
-  });
+  std::optional<double> t_numeric =
+      ccdb_bench::GovernedCell([&](const ResourceGovernor* gov) -> Status {
+        auto result = ApproximateSolutions(
+            closed_form, Rational(BigInt(1), BigInt(1000000)), gov);
+        CCDB_RETURN_IF_ERROR(result.status());
+        solutions = *std::move(result);
+        return Status::Ok();
+      });
+  ccdb_bench::RecordCell("numerical_eval", t_numeric);
+  if (!t_numeric.has_value()) {
+    ccdb_bench::Row("stage 3 NUMERICAL EVAL  : exhausted (deadline)");
+    return 1;
+  }
   std::string rendered;
   for (const auto& point : solutions) {
     rendered += "x = " + point[0].ToString() + " ";
@@ -83,11 +100,13 @@ int main(int argc, char** argv) {
   ccdb_bench::Row("%-24s %12s %12s", "stage", "time [ms]", "matches paper");
   ccdb_bench::Row("%-24s %12.3f %12s", "instantiation",
                   t_instantiate * 1e3, "n/a");
-  ccdb_bench::Row("%-24s %12.3f %12s", "quantifier elimination", t_qe * 1e3,
+  ccdb_bench::Row("%-24s %12s %12s", "quantifier elimination",
+                  ccdb_bench::TableCell(t_qe).c_str(),
                   closed_form.Contains({Rational(BigInt(5), BigInt(2))})
                       ? "yes"
                       : "NO");
-  ccdb_bench::Row("%-24s %12.3f %12s", "numerical evaluation",
-                  t_numeric * 1e3, match ? "yes" : "NO");
+  ccdb_bench::Row("%-24s %12s %12s", "numerical evaluation",
+                  ccdb_bench::TableCell(t_numeric).c_str(),
+                  match ? "yes" : "NO");
   return match ? 0 : 1;
 }

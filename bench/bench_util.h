@@ -12,27 +12,50 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "base/logging.h"
+#include "base/resource.h"
 #include "base/trace.h"
 #include "constraint/atom.h"
 #include "poly/upoly.h"
 
 namespace ccdb_bench {
 
-/// Processes the standard harness flags: `--trace-out=<file>` (or the
-/// `CCDB_TRACE_OUT` env var) enables span tracing for the run and writes a
-/// Chrome trace_event JSON file at exit. Call first thing in main().
+/// Per-cell deadline of the run in seconds; 0 = ungoverned (set by the
+/// `--deadline-ms=` flag or the CCDB_BENCH_DEADLINE_MS env var).
+inline double& BenchDeadlineSeconds() {
+  static double deadline = 0.0;
+  return deadline;
+}
+
+/// Processes the standard harness flags. Call first thing in main().
+///
+///   --trace-out=<file>    (or CCDB_TRACE_OUT) span tracing for the run,
+///                         written as a Chrome trace_event JSON at exit
+///   --deadline-ms=<N>     (or CCDB_BENCH_DEADLINE_MS) per-cell resource
+///                         deadline: cells run under a ResourceGovernor
+///                         (GovernedCell) and report `null` instead of a
+///                         timing when the budget is exhausted
 inline void InitBenchTracing(int argc, char** argv) {
   static std::string trace_path;
   if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
+  if (const char* env = std::getenv("CCDB_BENCH_DEADLINE_MS")) {
+    BenchDeadlineSeconds() = std::atof(env) / 1e3;
+  }
   for (int i = 1; i < argc; ++i) {
     constexpr const char kFlag[] = "--trace-out=";
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
       trace_path = argv[i] + (sizeof(kFlag) - 1);
+    }
+    constexpr const char kDeadlineFlag[] = "--deadline-ms=";
+    if (std::strncmp(argv[i], kDeadlineFlag, sizeof(kDeadlineFlag) - 1) ==
+        0) {
+      BenchDeadlineSeconds() =
+          std::atof(argv[i] + (sizeof(kDeadlineFlag) - 1)) / 1e3;
     }
   }
   if (trace_path.empty()) return;
@@ -46,6 +69,74 @@ inline void InitBenchTracing(int argc, char** argv) {
       std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
     }
   });
+}
+
+/// Runs one bench cell under the harness deadline (when set) and returns
+/// its wall time — or nullopt when the budget was exhausted. The body
+/// receives the cell's governor (null when ungoverned) and reports
+/// failure by returning a non-OK status; non-exhaustion errors abort the
+/// bench (they are bugs, not budget verdicts).
+inline std::optional<double> GovernedCell(
+    const std::function<ccdb::Status(const ccdb::ResourceGovernor*)>& body) {
+  double deadline = BenchDeadlineSeconds();
+  std::optional<ccdb::ResourceGovernor> governor;
+  if (deadline > 0.0) {
+    governor.emplace(ccdb::ResourceLimits::Deadline(deadline));
+  }
+  auto start = std::chrono::steady_clock::now();
+  ccdb::Status status = body(governor ? &*governor : nullptr);
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (status.ok()) return seconds;
+  CCDB_CHECK_MSG(status.code() == ccdb::StatusCode::kResourceExhausted,
+                 status.ToString().c_str());
+  return std::nullopt;
+}
+
+/// Renders a timing cell for the JSON report: milliseconds, or `null` for
+/// a cell that exhausted its budget (so downstream plots can gap it
+/// instead of charting a lie).
+inline std::string JsonCell(const std::optional<double>& seconds) {
+  if (!seconds.has_value()) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", *seconds * 1e3);
+  return buffer;
+}
+
+/// Renders a printf table cell: "12.345" ms or "exhausted".
+inline std::string TableCell(const std::optional<double>& seconds) {
+  if (!seconds.has_value()) return "exhausted";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", *seconds * 1e3);
+  return buffer;
+}
+
+/// Collects `{"cell": <name>, "ms": <value-or-null>}` rows; the report is
+/// printed as one JSON array line at exit (after the human-readable
+/// table), machine-readable for the experiment plots.
+inline std::vector<std::string>& JsonReportRows() {
+  // Leaked on purpose: must stay alive for the atexit printer.
+  static auto* rows = new std::vector<std::string>();
+  return *rows;
+}
+
+inline void RecordCell(const std::string& name,
+                       const std::optional<double>& seconds) {
+  static bool hooked = [] {
+    std::atexit(+[] {
+      std::printf("json: [");
+      const std::vector<std::string>& rows = JsonReportRows();
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("%s%s", i > 0 ? ", " : "", rows[i].c_str());
+      }
+      std::printf("]\n");
+    });
+    return true;
+  }();
+  (void)hooked;
+  JsonReportRows().push_back("{\"cell\": \"" + name +
+                             "\", \"ms\": " + JsonCell(seconds) + "}");
 }
 
 inline double TimeSeconds(const std::function<void()>& fn) {

@@ -22,6 +22,8 @@
 //   .save <path> | .load <path>
 //   .help | .quit
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -33,6 +35,15 @@
 
 namespace {
 
+// Set by the SIGINT handler; each governed query charges against it, so
+// Ctrl-C cancels the running evaluation instead of killing the shell.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void HandleSigint(int) { g_interrupted.store(true); }
+
+// Per-attempt deadline applied to every query; 0 = unlimited (.deadline).
+double g_deadline_seconds = 0.0;
+
 void PrintHelp() {
   std::printf(
       "commands:\n"
@@ -41,6 +52,8 @@ void PrintHelp() {
       "  .solve <formula>        epsilon-approximate a finite answer set\n"
       "  .fp <k> <formula>       finite-precision query under Z_k\n"
       "  .explain <formula>      per-stage profile (Figure-1 pipeline)\n"
+      "  .deadline <ms>          per-query deadline (0 = off); exhausted\n"
+      "                          queries degrade down the policy ladder\n"
       "  .stats                  metrics snapshot as JSON\n"
       "  .trace on|off           toggle span tracing\n"
       "  .trace <path>           write collected spans as Chrome trace JSON\n"
@@ -52,10 +65,20 @@ void PrintHelp() {
 }
 
 void RunQuery(const ccdb::ConstraintDatabase& db, const std::string& text) {
-  auto result = db.Query(text);
+  ccdb::QueryPolicy policy;
+  policy.limits = ccdb::ResourceLimits::Deadline(g_deadline_seconds);
+  policy.cancel = &g_interrupted;
+  ccdb::QueryVerdict verdict;
+  auto result = db.QueryWithPolicy(text, policy, &verdict);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
+    if (!verdict.exhausted_rungs.empty()) {
+      std::printf("governor: %s\n", verdict.ToString().c_str());
+    }
     return;
+  }
+  if (verdict.attempts > 1) {
+    std::printf("governor: %s\n", verdict.ToString().c_str());
   }
   if (result->has_scalar) {
     if (result->scalar.exact) {
@@ -155,13 +178,25 @@ void RunFp(const ccdb::ConstraintDatabase& db, const std::string& rest) {
 }  // namespace
 
 int main() {
+  // Ctrl-C cancels the running query (cooperatively, via the governor)
+  // rather than terminating the shell. SA_RESTART keeps the blocking
+  // getline at the prompt from failing with EINTR.
+  struct sigaction action = {};
+  action.sa_handler = HandleSigint;
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+
   ccdb::ConstraintDatabase db;
   std::printf("ccdb — constraint database shell (.help for commands)\n");
   std::string line;
   while (true) {
     std::printf("ccdb> ");
     std::fflush(stdout);
-    if (!std::getline(std::cin, line)) break;
+    g_interrupted.store(false);
+    if (!std::getline(std::cin, line)) {
+      std::printf("\n");  // clean EOF (Ctrl-D): end the line, exit 0
+      break;
+    }
     // Trim.
     std::size_t begin = line.find_first_not_of(" \t");
     if (begin == std::string::npos) continue;
@@ -203,6 +238,26 @@ int main() {
     if (line.rfind(".load ", 0) == 0) {
       ccdb::Status status = db.Load(line.substr(6));
       std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".deadline", 0) == 0) {
+      std::istringstream in(line.substr(9));
+      double ms = -1.0;
+      in >> ms;
+      if (ms < 0.0) {
+        if (g_deadline_seconds > 0.0) {
+          std::printf("deadline: %.0f ms\n", g_deadline_seconds * 1e3);
+        } else {
+          std::printf("deadline: off\n");
+        }
+      } else {
+        g_deadline_seconds = ms / 1e3;
+        if (ms > 0.0) {
+          std::printf("deadline set to %.0f ms\n", ms);
+        } else {
+          std::printf("deadline off\n");
+        }
+      }
       continue;
     }
     if (line.rfind(".solve ", 0) == 0) {

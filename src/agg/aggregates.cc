@@ -135,9 +135,10 @@ struct Measure1D {
 };
 
 StatusOr<Measure1D> MeasureUnary(const ConstraintRelation& relation,
-                                 double tolerance) {
+                                 double tolerance,
+                                 const ResourceGovernor* gov) {
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
-                        DecomposeUnary(relation));
+                        DecomposeUnary(relation, gov));
   Measure1D out;
   for (const auto& piece : decomposition.pieces) {
     if (piece.is_point) continue;
@@ -165,7 +166,7 @@ StatusOr<AggregateValue> AggregateModules::Min(
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "MIN requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
-                        DecomposeUnary(relation));
+                        DecomposeUnary(relation, governor_));
   if (decomposition.pieces.empty()) {
     return Status::Undefined("MIN of an empty set");
   }
@@ -184,7 +185,7 @@ StatusOr<AggregateValue> AggregateModules::Max(
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "MAX requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
-                        DecomposeUnary(relation));
+                        DecomposeUnary(relation, governor_));
   if (decomposition.pieces.empty()) {
     return Status::Undefined("MAX of an empty set");
   }
@@ -202,7 +203,7 @@ StatusOr<AggregateValue> AggregateModules::Avg(
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "AVG requires a unary relation");
   CCDB_ASSIGN_OR_RETURN(UnaryDecomposition decomposition,
-                        DecomposeUnary(relation));
+                        DecomposeUnary(relation, governor_));
   if (decomposition.pieces.empty()) {
     return Status::Undefined("AVG of an empty set");
   }
@@ -264,7 +265,8 @@ StatusOr<AggregateValue> AggregateModules::Length(
   ++call_count_;
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 1, "LENGTH requires a unary relation");
-  CCDB_ASSIGN_OR_RETURN(Measure1D measure, MeasureUnary(relation, tolerance_));
+  CCDB_ASSIGN_OR_RETURN(Measure1D measure,
+                        MeasureUnary(relation, tolerance_, governor_));
   if (measure.exact) return ExactValue(measure.exact_total);
   return ApproxValue(measure.approx_total, tolerance_);
 }
@@ -273,7 +275,8 @@ StatusOr<double> AggregateModules::SliceMeasure(
     const ConstraintRelation& relation, const Rational& x0) const {
   CCDB_CHECK(relation.arity() == 2);
   ConstraintRelation slice = SubstituteFirstVar(relation, x0);
-  CCDB_ASSIGN_OR_RETURN(Measure1D measure, MeasureUnary(slice, tolerance_));
+  CCDB_ASSIGN_OR_RETURN(Measure1D measure,
+                        MeasureUnary(slice, tolerance_, governor_));
   return measure.approx_total;
 }
 
@@ -283,8 +286,11 @@ StatusOr<AggregateValue> AggregateModules::Surface(
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_CHECK_MSG(relation.arity() == 2, "SURFACE requires a binary relation");
   if (relation.is_empty_syntactically()) return ExactValue(Rational(0));
+  CadOptions surface_cad_options;
+  surface_cad_options.governor = governor_;
   CCDB_ASSIGN_OR_RETURN(Cad cad,
-                        Cad::Build(relation.CollectPolynomials(), 2));
+                        Cad::Build(relation.CollectPolynomials(), 2,
+                                   surface_cad_options));
   const std::vector<CadCell>& base = cad.roots();
   bool exact = true;
   Rational exact_total(0);
@@ -384,7 +390,8 @@ StatusOr<AggregateValue> AggregateModules::Surface(
       }
       return *m;
     };
-    auto quad = AdaptiveSimpson(integrand, a_d, c_d, numeric_tol, 24);
+    auto quad = AdaptiveSimpson(integrand, a_d, c_d, numeric_tol, 24,
+                                governor_);
     if (!slice_error.ok()) return slice_error;
     if (!quad.ok()) return quad.status();
     approx_total += quad->value;
@@ -403,8 +410,11 @@ StatusOr<AggregateValue> AggregateModules::Volume(
   // x-extent: decompose the projection onto x via a CAD of the level-0
   // projection factors (cheap: build the full projection but only the base
   // phase matters for the extent).
+  CadOptions volume_cad_options;
+  volume_cad_options.governor = governor_;
   CCDB_ASSIGN_OR_RETURN(Cad cad,
-                        Cad::Build(relation.CollectPolynomials(), 3));
+                        Cad::Build(relation.CollectPolynomials(), 3,
+                                   volume_cad_options));
   const std::vector<CadCell>& base = cad.roots();
   // Find satisfied leaves to detect x-unboundedness and collect the
   // satisfied base range.
@@ -431,7 +441,7 @@ StatusOr<AggregateValue> AggregateModules::Volume(
     double a_d = base[b - 1].sample.coord(0).Approximate(eps).ToDouble();
     double c_d = base[b + 1].sample.coord(0).Approximate(eps).ToDouble();
     Status inner_error = Status::Ok();
-    AggregateModules inner_modules(volume_tol);
+    AggregateModules inner_modules(volume_tol, governor_);
     auto integrand = [&](double x) -> double {
       ConstraintRelation slice =
           SubstituteFirstVar(relation, FloatK::FromDouble(x).ToRational());
@@ -442,7 +452,8 @@ StatusOr<AggregateValue> AggregateModules::Volume(
       }
       return area->Value();
     };
-    auto quad = AdaptiveSimpson(integrand, a_d, c_d, volume_tol, 16);
+    auto quad = AdaptiveSimpson(integrand, a_d, c_d, volume_tol, 16,
+                                governor_);
     if (!inner_error.ok()) return inner_error;
     if (!quad.ok()) return quad.status();
     total += quad->value;
@@ -456,7 +467,7 @@ StatusOr<ConstraintRelation> AggregateModules::Eval(
   ++call_count_;
   CCDB_METRIC_COUNT("agg.module_calls", 1);
   CCDB_ASSIGN_OR_RETURN(NumericalEvaluation eval,
-                        EvaluateNumerically(relation));
+                        EvaluateNumerically(relation, governor_));
   if (!eval.finite) return relation;  // "or to S itself otherwise"
   ConstraintRelation out(relation.arity());
   for (const AlgebraicPoint& point : eval.points) {
@@ -533,6 +544,7 @@ StatusOr<ConstraintRelation> AggregateModules::ApplyParameterized(
   for (int attempt = 0; attempt < 2; ++attempt) {
     CadOptions cad_options;
     cad_options.derivative_closure_below = attempt == 0 ? 0 : num_params;
+    cad_options.governor = governor_;
     CCDB_ASSIGN_OR_RETURN(Cad cad,
                           Cad::Build(x_polys, num_params, cad_options));
     std::vector<Polynomial> factors = cad.FactorsBelow(num_params);

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "constraint/atom.h"
 
@@ -45,8 +46,12 @@ struct AggregateValue {
 /// region, is kUndefined ("return ... if they exist, undefined otherwise").
 class AggregateModules {
  public:
-  explicit AggregateModules(double tolerance = 1e-9)
-      : tolerance_(tolerance) {}
+  /// `governor`, when non-null, bounds every CAD decomposition and
+  /// quadrature the modules run; exceeded budgets surface as
+  /// kResourceExhausted from the aggregate call. Borrowed, not owned.
+  explicit AggregateModules(double tolerance = 1e-9,
+                            const ResourceGovernor* governor = nullptr)
+      : tolerance_(tolerance), governor_(governor) {}
 
   /// Number of aggregate-module calls served (Theorem 5.5 counts these).
   std::uint64_t call_count() const { return call_count_; }
@@ -98,6 +103,7 @@ class AggregateModules {
 
  private:
   double tolerance_;
+  const ResourceGovernor* governor_ = nullptr;
   mutable std::uint64_t call_count_ = 0;
 };
 

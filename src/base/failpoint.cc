@@ -1,0 +1,150 @@
+#include "base/failpoint.h"
+
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "base/metrics.h"
+
+namespace ccdb {
+
+namespace {
+
+Status MakeInjected(FailpointSpec::Kind kind, const std::string& site) {
+  std::string message = "failpoint " + site + " injected";
+  switch (kind) {
+    case FailpointSpec::Kind::kError:
+      return Status::Internal(message);
+    case FailpointSpec::Kind::kExhaust:
+      return Status::ResourceExhausted(message);
+    case FailpointSpec::Kind::kUndefined:
+      return Status::Undefined(message);
+    case FailpointSpec::Kind::kNumericalFailure:
+      return Status::NumericalFailure(message);
+  }
+  return Status::Internal(message);
+}
+
+StatusOr<FailpointSpec::Kind> ParseKind(const std::string& name) {
+  if (name == "error") return FailpointSpec::Kind::kError;
+  if (name == "exhaust") return FailpointSpec::Kind::kExhaust;
+  if (name == "undefined") return FailpointSpec::Kind::kUndefined;
+  if (name == "numfail") return FailpointSpec::Kind::kNumericalFailure;
+  return Status::InvalidArgument("unknown failpoint kind \"" + name +
+                                 "\" (error|exhaust|undefined|numfail)");
+}
+
+}  // namespace
+
+FailpointRegistry::FailpointRegistry() = default;
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("CCDB_FAILPOINTS")) {
+      Status status = r->Configure(env);
+      if (!status.ok()) {
+        CCDB_LOG(ERROR) << "CCDB_FAILPOINTS ignored: " << status.ToString();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status FailpointRegistry::Configure(const std::string& config) {
+  // Parse the whole spec before arming anything: a malformed entry must not
+  // leave the registry half-configured.
+  std::vector<std::pair<std::string, FailpointSpec>> parsed;
+  std::size_t pos = 0;
+  while (pos < config.size()) {
+    std::size_t comma = config.find(',', pos);
+    std::string entry = config.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? config.size() : comma + 1;
+    // Trim spaces.
+    std::size_t b = entry.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;  // empty entry tolerated
+    std::size_t e = entry.find_last_not_of(" \t");
+    entry = entry.substr(b, e - b + 1);
+
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry \"" + entry +
+                                     "\" is not site=kind[@N]");
+    }
+    std::string site = entry.substr(0, eq);
+    std::string rhs = entry.substr(eq + 1);
+    FailpointSpec spec;
+    std::size_t at = rhs.find('@');
+    std::string kind_name = at == std::string::npos ? rhs : rhs.substr(0, at);
+    CCDB_ASSIGN_OR_RETURN(spec.kind, ParseKind(kind_name));
+    if (at != std::string::npos) {
+      std::string count = rhs.substr(at + 1);
+      if (count.empty() ||
+          count.find_first_not_of("0123456789") != std::string::npos) {
+        return Status::InvalidArgument("failpoint entry \"" + entry +
+                                       "\" has a malformed hit count");
+      }
+      spec.fire_at = std::strtoull(count.c_str(), nullptr, 10);
+      if (spec.fire_at == 0) {
+        return Status::InvalidArgument("failpoint hit count must be >= 1 in \"" +
+                                       entry + "\"");
+      }
+    }
+    parsed.emplace_back(std::move(site), spec);
+  }
+  for (auto& [site, spec] : parsed) {
+    Set(site, spec);
+  }
+  return Status::Ok();
+}
+
+void FailpointRegistry::Set(const std::string& site, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.armed = true;
+  state.spec = spec;
+  state.hits = 0;
+  CCDB_LOG(INFO) << "failpoint armed: " << site << " fire_at=" << spec.fire_at;
+}
+
+void FailpointRegistry::Clear(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FailpointRegistry::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+std::uint64_t FailpointRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> armed;
+  for (const auto& [site, state] : sites_) {
+    if (state.armed) armed.push_back(site);
+  }
+  return armed;
+}
+
+Status FailpointRegistry::Hit(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (!state.armed || state.hits != state.spec.fire_at) return Status::Ok();
+  // One-shot: firing disarms the site so recovery paths (a ladder retry,
+  // the next query) run clean.
+  state.armed = false;
+  CCDB_METRIC_COUNT("failpoint.injected", 1);
+  CCDB_LOG(INFO) << "failpoint fired: " << site << " at hit " << state.hits;
+  return MakeInjected(state.spec.kind, site);
+}
+
+}  // namespace ccdb

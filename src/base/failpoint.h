@@ -1,0 +1,118 @@
+#ifndef CCDB_BASE_FAILPOINT_H_
+#define CCDB_BASE_FAILPOINT_H_
+
+/// Deterministic fault injection for robustness tests.
+///
+/// Failpoints are named sites planted at the stage boundaries of the query
+/// pipeline (e.g. "qe.drive", "cad.lift", "datalog.iteration"). A site is
+/// inert until armed; an armed site injects a configured error Status on a
+/// configured hit, letting tests force every error path and assert the
+/// engine degrades — never crashes, never leaks a half-built relation into
+/// the catalog.
+///
+/// The check itself is compiled in only under -DCCDB_FAILPOINTS=ON (the
+/// CMake option adds the CCDB_FAILPOINTS preprocessor define); production
+/// builds pay nothing. The registry API (parsing, arming, hit counting) is
+/// always available so configuration handling can be tested everywhere.
+///
+/// Configuration syntax — programmatic or via the CCDB_FAILPOINTS
+/// environment variable, read once at first registry use:
+///
+///   CCDB_FAILPOINTS="cad.lift=error@3,qe.drive=exhaust@1"
+///
+/// Each entry is `site=kind[@N]`: the site fires once, on its N-th hit
+/// (1-based, default 1), with the error mapped from `kind`:
+///
+///   error     -> kInternal            exhaust  -> kResourceExhausted
+///   undefined -> kUndefined           numfail  -> kNumericalFailure
+///
+/// Usage at a stage boundary (returns the injected Status to the caller):
+///
+///   Status DoStage(...) {
+///     CCDB_FAILPOINT("cad.lift");
+///     ...
+///   }
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace ccdb {
+
+/// What an armed failpoint injects, and when.
+struct FailpointSpec {
+  enum class Kind {
+    kError,             // kInternal
+    kExhaust,           // kResourceExhausted
+    kUndefined,         // kUndefined
+    kNumericalFailure,  // kNumericalFailure
+  };
+  Kind kind = Kind::kError;
+  /// Fires on this hit (1-based) of the site, exactly once.
+  std::uint64_t fire_at = 1;
+};
+
+/// Process-wide failpoint registry. Thread-safe.
+class FailpointRegistry {
+ public:
+  /// The global registry; on first use arms everything named by the
+  /// CCDB_FAILPOINTS environment variable (malformed entries are ignored
+  /// with a log line — startup must not crash on a bad env var).
+  static FailpointRegistry& Global();
+
+  /// Parses "site=kind[@N],site2=kind2[@M]" and arms each entry.
+  /// kInvalidArgument on malformed input (nothing armed from a bad spec).
+  Status Configure(const std::string& config);
+
+  /// Arms one site.
+  void Set(const std::string& site, FailpointSpec spec);
+  /// Disarms one site (its hit count is kept).
+  void Clear(const std::string& site);
+  /// Disarms every site and zeroes all hit counts.
+  void ClearAll();
+
+  /// Times the site was passed (armed or not) since the last ClearAll.
+  std::uint64_t HitCount(const std::string& site) const;
+  /// Names of currently armed sites.
+  std::vector<std::string> ArmedSites() const;
+
+  /// Counts a pass through `site`; returns the injected error iff the site
+  /// is armed and this is its fire_at-th hit. Called by CCDB_FAILPOINT.
+  Status Hit(const char* site);
+
+ private:
+  FailpointRegistry();
+
+  struct SiteState {
+    bool armed = false;
+    FailpointSpec spec;
+    std::uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace ccdb
+
+/// Plants a failpoint: under CCDB_FAILPOINTS builds, returns the injected
+/// Status to the caller when the site is armed and due; otherwise (and in
+/// production builds) a no-op.
+#if defined(CCDB_FAILPOINTS)
+#define CCDB_FAILPOINT(site)                               \
+  do {                                                     \
+    ::ccdb::Status _ccdb_fp_st =                           \
+        ::ccdb::FailpointRegistry::Global().Hit(site);     \
+    if (!_ccdb_fp_st.ok()) return _ccdb_fp_st;             \
+  } while (0)
+#else
+#define CCDB_FAILPOINT(site) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // CCDB_BASE_FAILPOINT_H_

@@ -1,0 +1,133 @@
+#include "base/resource.h"
+
+#include <sstream>
+
+#include "base/metrics.h"
+
+namespace ccdb {
+
+const char* ExhaustionReasonName(ExhaustionReason reason) {
+  switch (reason) {
+    case ExhaustionReason::kNone:
+      return "none";
+    case ExhaustionReason::kDeadline:
+      return "deadline";
+    case ExhaustionReason::kSteps:
+      return "steps";
+    case ExhaustionReason::kBytes:
+      return "bytes";
+    case ExhaustionReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+ResourceGovernor::ResourceGovernor(ResourceLimits limits,
+                                   std::atomic<bool>* cancel)
+    : limits_(limits),
+      cancel_(cancel),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ResourceGovernor::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ExhaustionReason ResourceGovernor::reason() const {
+  if (!exhausted()) return ExhaustionReason::kNone;
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  return reason_;
+}
+
+std::string ResourceGovernor::tripped_stage() const {
+  if (!exhausted()) return "";
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  return tripped_stage_;
+}
+
+Status ResourceGovernor::ExhaustedStatus() const {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  return Status(StatusCode::kResourceExhausted, verdict_message_);
+}
+
+Status ResourceGovernor::Trip(ExhaustionReason reason,
+                              const char* stage) const {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  // Another thread may have tripped between our check and the lock; the
+  // first verdict wins so every caller sees one consistent story.
+  if (!tripped_.load(std::memory_order_relaxed)) {
+    reason_ = reason;
+    tripped_stage_ = stage;
+    double elapsed = elapsed_seconds();
+    std::ostringstream out;
+    out << "stage=" << stage << " reason=" << ExhaustionReasonName(reason)
+        << " steps=" << steps_consumed() << " bytes=" << bytes_consumed()
+        << " elapsed_ms=" << elapsed * 1e3;
+    if (limits_.deadline_seconds > 0.0) {
+      out << " deadline_ms=" << limits_.deadline_seconds * 1e3;
+    }
+    if (limits_.step_budget > 0) out << " step_budget=" << limits_.step_budget;
+    if (limits_.byte_budget > 0) out << " byte_budget=" << limits_.byte_budget;
+    verdict_message_ = out.str();
+    CCDB_METRIC_COUNT("governor.exhausted", 1);
+    switch (reason) {
+      case ExhaustionReason::kDeadline:
+        CCDB_METRIC_COUNT("governor.exhausted.deadline", 1);
+        break;
+      case ExhaustionReason::kSteps:
+        CCDB_METRIC_COUNT("governor.exhausted.steps", 1);
+        break;
+      case ExhaustionReason::kBytes:
+        CCDB_METRIC_COUNT("governor.exhausted.bytes", 1);
+        break;
+      case ExhaustionReason::kCancelled:
+        CCDB_METRIC_COUNT("governor.exhausted.cancelled", 1);
+        break;
+      case ExhaustionReason::kNone:
+        break;
+    }
+    CCDB_METRIC_HISTOGRAM("governor.steps_at_trip", steps_consumed());
+    CCDB_METRIC_HISTOGRAM("governor.elapsed_us_at_trip",
+                          static_cast<std::uint64_t>(elapsed * 1e6));
+    tripped_.store(true, std::memory_order_release);
+  }
+  return Status(StatusCode::kResourceExhausted, verdict_message_);
+}
+
+Status ResourceGovernor::Charge(const char* stage, std::uint64_t steps) const {
+  if (tripped_.load(std::memory_order_acquire)) return ExhaustedStatus();
+  std::uint64_t consumed =
+      steps_.fetch_add(steps, std::memory_order_relaxed) + steps;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    return Trip(ExhaustionReason::kCancelled, stage);
+  }
+  if (limits_.step_budget > 0 && consumed > limits_.step_budget) {
+    return Trip(ExhaustionReason::kSteps, stage);
+  }
+  if (limits_.byte_budget > 0 &&
+      bytes_.load(std::memory_order_relaxed) > limits_.byte_budget) {
+    return Trip(ExhaustionReason::kBytes, stage);
+  }
+  // The clock is read on every charge: charges sit at loop heads whose
+  // bodies dwarf a steady_clock read, and a coarser cadence would let a
+  // slow step overshoot the deadline unobserved.
+  if (limits_.deadline_seconds > 0.0 &&
+      elapsed_seconds() > limits_.deadline_seconds) {
+    return Trip(ExhaustionReason::kDeadline, stage);
+  }
+  return Status::Ok();
+}
+
+void ResourceGovernor::Reset() {
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  steps_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
+  reason_ = ExhaustionReason::kNone;
+  tripped_stage_.clear();
+  verdict_message_.clear();
+  start_ = std::chrono::steady_clock::now();
+  tripped_.store(false, std::memory_order_release);
+}
+
+}  // namespace ccdb

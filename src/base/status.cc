@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNDEFINED";
     case StatusCode::kNumericalFailure:
       return "NUMERICAL_FAILURE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,12 @@ enum class StatusCode {
   kUndefined,
   /// A numerical module failed to converge within its budget.
   kNumericalFailure,
+  /// A ResourceGovernor budget (deadline, steps, bytes) was exceeded or the
+  /// evaluation was cancelled. Distinguished from kUndefined: kUndefined is
+  /// a *semantic* outcome of the finite-precision model (retrying cannot
+  /// help), kResourceExhausted is an *operational* one (a retry with more
+  /// budget, or under a degraded policy rung, may well succeed).
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for a status code.
@@ -68,6 +74,9 @@ class Status {
   static Status NumericalFailure(std::string msg) {
     return Status(StatusCode::kNumericalFailure, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,16 +106,48 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return *value_; }
-  T& value() & { return *value_; }
-  T&& value() && { return *std::move(value_); }
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
 
-  const T& operator*() const& { return *value_; }
-  T& operator*() & { return *value_; }
-  const T* operator->() const { return &*value_; }
-  T* operator->() { return &*value_; }
+  const T& operator*() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& operator*() & {
+    EnsureOk();
+    return *value_;
+  }
+  const T* operator->() const {
+    EnsureOk();
+    return &*value_;
+  }
+  T* operator->() {
+    EnsureOk();
+    return &*value_;
+  }
 
  private:
+  // Accessing the value of an error StatusOr is a programming error; abort
+  // with the held status instead of dereferencing an empty optional (UB).
+  void EnsureOk() const {
+    if (!status_.ok()) {
+      std::fprintf(stderr,
+                   "StatusOr: value accessed on error status — %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
   Status status_;
   std::optional<T> value_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -216,8 +217,11 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     return Status::NotFound("unknown relation " + name);
   };
 
+  const ResourceGovernor* gov = options.qe.governor;
   for (int round = 0; round < options.max_iterations; ++round) {
     CCDB_TRACE_SPAN("datalog.iteration");
+    CCDB_FAILPOINT("datalog.iteration");
+    CCDB_CHECK_BUDGET(gov, "datalog.iteration");
     ++s->iterations;
     CCDB_METRIC_COUNT("datalog.iterations", 1);
     bool grew = false;
@@ -250,10 +254,18 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     for (auto& [name, tuples] : derived) {
       ConstraintRelation& current = idb.at(name);
       for (GeneralizedTuple& tuple : tuples) {
+        CCDB_CHECK_BUDGET(gov, "datalog.iteration");
         CCDB_ASSIGN_OR_RETURN(
             bool contained,
             TupleContained(tuple, current, options.qe, &s->qe_calls));
         if (contained) continue;
+        if (gov != nullptr) {
+          std::size_t bytes = 0;
+          for (const Atom& atom : tuple.atoms) {
+            bytes += atom.poly.EstimateBytes();
+          }
+          gov->ChargeBytes(bytes);
+        }
         current.AddTuple(std::move(tuple));
         grew = true;
       }

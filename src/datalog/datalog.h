@@ -50,6 +50,10 @@ struct DatalogOptions {
   /// undefined as soon as any materialized integer exceeds k bits
   /// (Theorem 4.7's setting; guarantees termination in PTIME).
   std::uint32_t precision_k = 0;
+  /// QE options for each rule evaluation. `qe.governor`, when set, is also
+  /// charged once per fixpoint round and per derived tuple (stage
+  /// "datalog.iteration"), so a budget bounds the whole fixpoint — not just
+  /// the individual QE calls.
   QeOptions qe;
 };
 

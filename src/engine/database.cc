@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
@@ -64,6 +65,81 @@ std::string ExplainResult::ToString() const {
     }
   }
   return out.str();
+}
+
+std::string QueryVerdict::ToString() const {
+  std::ostringstream out;
+  if (ok) {
+    out << "answered at rung '" << rung << "'";
+  } else {
+    out << "resource-exhausted on every rung";
+  }
+  out << " after " << attempts << " attempt(s)";
+  out << "; last attempt: steps=" << steps_consumed
+      << " bytes=" << bytes_consumed << " elapsed=" << FormatMillis(elapsed_seconds);
+  for (const std::string& entry : exhausted_rungs) {
+    out << "\n  exhausted: " << entry;
+  }
+  return out.str();
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
+    const std::string& text, const QueryPolicy& policy,
+    QueryVerdict* verdict) const {
+  CCDB_TRACE_SPAN("db.query_with_policy");
+  CCDB_METRIC_COUNT("db.governed_queries", 1);
+  QueryVerdict local;
+  QueryVerdict& v = verdict != nullptr ? *verdict : local;
+  v = QueryVerdict{};
+  static constexpr const char* kRungNames[] = {"full", "reduced-precision",
+                                               "linear-only"};
+  const int num_rungs = policy.allow_degradation ? 3 : 1;
+  Status last = Status::Ok();
+  for (int rung = 0; rung < num_rungs; ++rung) {
+    // Each rung gets a fresh governor so degraded attempts receive the
+    // full budget, not the exhausted remainder of the previous attempt.
+    ResourceGovernor gov(policy.limits, policy.cancel);
+    CalcFOptions opts = options_;
+    opts.governor = &gov;
+    opts.qe.governor = &gov;
+    if (rung >= 1) {
+      // Reduced precision: halve the approximation order and coarsen the
+      // tolerances — cheaper modules, same query semantics up to epsilon.
+      opts.approx_order = std::max(2, opts.approx_order / 2);
+      opts.tolerance = std::max(opts.tolerance * 1e3, 1e-6);
+      opts.eval_epsilon = Rational(BigInt(1), BigInt::Pow2(12));
+    }
+    if (rung >= 2) {
+      // Linear-only: Fourier-Motzkin without the CAD fallback. Queries
+      // that genuinely need CAD exhaust immediately instead of blowing up.
+      opts.qe.linear_only = true;
+    }
+    CalcFEvaluator evaluator(MakeLookup(), opts);
+    StatusOr<CalcFResult> result = evaluator.EvaluateText(text);
+    ++v.attempts;
+    v.steps_consumed = gov.steps_consumed();
+    v.bytes_consumed = gov.bytes_consumed();
+    v.elapsed_seconds = gov.elapsed_seconds();
+    if (result.ok()) {
+      v.ok = true;
+      v.rung = kRungNames[rung];
+      CCDB_METRIC_COUNT(rung == 0 ? "db.governed_answered_full"
+                                  : "db.governed_answered_degraded",
+                        1);
+      return result;
+    }
+    if (result.status().code() != StatusCode::kResourceExhausted) {
+      // Semantic errors (parse failure, kUndefined, ...) are not budget
+      // problems; degrading would not help.
+      return result.status();
+    }
+    v.exhausted_rungs.push_back(std::string(kRungNames[rung]) + ": " +
+                                result.status().message());
+    last = result.status();
+    if (gov.reason() == ExhaustionReason::kCancelled) break;  // user asked to stop
+  }
+  CCDB_METRIC_COUNT("db.governed_exhausted", 1);
+  return last;
 }
 
 ConstraintDatabase::ConstraintDatabase(CalcFOptions options)

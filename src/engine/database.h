@@ -1,11 +1,13 @@
 #ifndef CCDB_ENGINE_DATABASE_H_
 #define CCDB_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "fp/fp_semantics.h"
 #include "numeric/numerical_eval.h"
@@ -35,6 +37,45 @@ struct ExplainResult {
   std::map<std::string, std::uint64_t> metric_deltas;
 
   /// Multi-line human-readable plan/profile rendering.
+  std::string ToString() const;
+};
+
+/// Resource policy of a governed query (QueryWithPolicy): the budgets each
+/// attempt runs under, an optional external cancellation flag, and whether
+/// the engine may degrade the answer quality to fit the budget.
+struct QueryPolicy {
+  /// Budget of each ladder attempt (deadline / steps / bytes). Each rung
+  /// gets a fresh governor armed with these limits.
+  ResourceLimits limits;
+  /// Optional cooperative cancellation flag (e.g. flipped by a SIGINT
+  /// handler). Borrowed, not owned; null = not cancellable.
+  std::atomic<bool>* cancel = nullptr;
+  /// When true (the default), a kResourceExhausted attempt retries on the
+  /// next rung of the degradation ladder:
+  ///   full -> reduced-precision -> linear-only.
+  /// When false, the first exhaustion is final.
+  bool allow_degradation = true;
+};
+
+/// What a governed query actually did: which rung answered (or that none
+/// could), how many attempts ran, and the resources the answering (or
+/// final failing) attempt consumed.
+struct QueryVerdict {
+  /// True when some rung produced an answer.
+  bool ok = false;
+  /// Name of the rung that answered: "full", "reduced-precision",
+  /// "linear-only" — or "" when every rung was exhausted.
+  std::string rung;
+  /// Number of attempts made (1 = answered at full quality).
+  int attempts = 0;
+  /// Exhaustion messages of the rungs that ran out of budget, in order.
+  std::vector<std::string> exhausted_rungs;
+  /// Resources consumed by the last attempt.
+  std::uint64_t steps_consumed = 0;
+  std::uint64_t bytes_consumed = 0;
+  double elapsed_seconds = 0.0;
+
+  /// One-line human-readable rendering.
   std::string ToString() const;
 };
 
@@ -69,6 +110,19 @@ class ConstraintDatabase {
   /// Evaluates a CALC_F query under the exact semantics; the result is a
   /// constraint relation in closed form plus scalar/statistics extras.
   StatusOr<CalcFResult> Query(const std::string& text) const;
+
+  /// Governed query: evaluates `text` under `policy`'s budgets, walking
+  /// the graceful-degradation ladder when an attempt exhausts them —
+  /// full quality first, then reduced precision (coarser approximation
+  /// order / tolerances), then the linear-only fragment (Fourier–Motzkin
+  /// without CAD). Each rung runs under a fresh governor armed with
+  /// `policy.limits`. Returns the first rung's answer, or the last
+  /// kResourceExhausted when every rung runs out; other errors surface
+  /// immediately. `verdict`, when non-null, reports which rung answered
+  /// and what the attempt consumed.
+  StatusOr<CalcFResult> QueryWithPolicy(const std::string& text,
+                                        const QueryPolicy& policy,
+                                        QueryVerdict* verdict = nullptr) const;
 
   /// EXPLAIN: evaluates `text` like Query, additionally running the
   /// NUMERICAL EVALUATION stage when applicable, and reports per-stage

@@ -1,5 +1,6 @@
 #include "numeric/numerical_eval.h"
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -33,8 +34,10 @@ bool IsZeroDimensional(const CadCell& cell) {
 }  // namespace
 
 StatusOr<NumericalEvaluation> EvaluateNumerically(
-    const ConstraintRelation& relation) {
+    const ConstraintRelation& relation, const ResourceGovernor* gov) {
   CCDB_TRACE_SPAN("numeric.evaluate");
+  CCDB_FAILPOINT("numeric.eval");
+  CCDB_CHECK_BUDGET(gov, "numeric.eval");
   CCDB_METRIC_COUNT("numeric.evaluations", 1);
   NumericalEvaluation out;
   if (relation.arity() == 0) {
@@ -45,8 +48,11 @@ StatusOr<NumericalEvaluation> EvaluateNumerically(
     out.finite = true;
     return out;
   }
+  CadOptions cad_options;
+  cad_options.governor = gov;
   CCDB_ASSIGN_OR_RETURN(
-      Cad cad, Cad::Build(relation.CollectPolynomials(), relation.arity()));
+      Cad cad, Cad::Build(relation.CollectPolynomials(), relation.arity(),
+                          cad_options));
   bool finite = true;
   std::vector<AlgebraicPoint> points;
   cad.ForEachCellAtDimension(relation.arity(), [&](const CadCell& cell) {
@@ -63,9 +69,10 @@ StatusOr<NumericalEvaluation> EvaluateNumerically(
 }
 
 StatusOr<std::vector<std::vector<Rational>>> ApproximateSolutions(
-    const ConstraintRelation& relation, const Rational& epsilon) {
+    const ConstraintRelation& relation, const Rational& epsilon,
+    const ResourceGovernor* gov) {
   CCDB_ASSIGN_OR_RETURN(NumericalEvaluation eval,
-                        EvaluateNumerically(relation));
+                        EvaluateNumerically(relation, gov));
   if (!eval.finite) {
     return Status::InvalidArgument(
         "solution set is infinite; NUMERICAL EVALUATION does not apply");
@@ -81,12 +88,17 @@ StatusOr<std::vector<std::vector<Rational>>> ApproximateSolutions(
 }
 
 StatusOr<UnaryDecomposition> DecomposeUnary(
-    const ConstraintRelation& relation) {
+    const ConstraintRelation& relation, const ResourceGovernor* gov) {
   CCDB_CHECK_MSG(relation.arity() == 1, "DecomposeUnary requires arity 1");
+  CCDB_FAILPOINT("numeric.eval");
+  CCDB_CHECK_BUDGET(gov, "numeric.eval");
   UnaryDecomposition out;
   if (relation.is_empty_syntactically()) return out;
+  CadOptions cad_options;
+  cad_options.governor = gov;
   CCDB_ASSIGN_OR_RETURN(Cad cad,
-                        Cad::Build(relation.CollectPolynomials(), 1));
+                        Cad::Build(relation.CollectPolynomials(), 1,
+                                   cad_options));
   const std::vector<CadCell>& cells = cad.roots();
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (!CellSatisfies(cells[i], relation)) continue;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "constraint/atom.h"
 #include "qe/algebraic_point.h"
@@ -25,14 +26,17 @@ struct NumericalEvaluation {
 /// is finite iff every satisfied cell is a section at every level
 /// (dimension-0 cells). PTIME data complexity for fixed arity
 /// (Theorem 3.2).
+/// A non-null `gov` bounds the underlying CAD construction (stage
+/// "numeric.eval") and fails with kResourceExhausted on a budget trip.
 StatusOr<NumericalEvaluation> EvaluateNumerically(
-    const ConstraintRelation& relation);
+    const ConstraintRelation& relation, const ResourceGovernor* gov = nullptr);
 
 /// Convenience: epsilon-approximations of all solutions of a finite
 /// solution set, in lexicographic cell order. Fails with kInvalidArgument
 /// when the set is infinite.
 StatusOr<std::vector<std::vector<Rational>>> ApproximateSolutions(
-    const ConstraintRelation& relation, const Rational& epsilon);
+    const ConstraintRelation& relation, const Rational& epsilon,
+    const ResourceGovernor* gov = nullptr);
 
 /// Exact 1-D measure data of a unary relation: the satisfied cells of its
 /// CAD, described as intervals between algebraic endpoints.
@@ -53,7 +57,8 @@ struct UnaryDecomposition {
 
 /// Decomposes the solution set of a unary relation into maximal-cell
 /// pieces (CAD base phase).
-StatusOr<UnaryDecomposition> DecomposeUnary(const ConstraintRelation& relation);
+StatusOr<UnaryDecomposition> DecomposeUnary(
+    const ConstraintRelation& relation, const ResourceGovernor* gov = nullptr);
 
 }  // namespace ccdb
 

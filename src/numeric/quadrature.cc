@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 
 namespace ccdb {
@@ -10,10 +11,13 @@ namespace {
 
 struct SimpsonState {
   const std::function<double(double)>* f;
+  const ResourceGovernor* gov = nullptr;
   std::uint64_t evaluations = 0;
   // Residual |delta| accumulated on subintervals whose recursion budget ran
   // out (integrable endpoint singularities); reported as extra error.
   double unconverged_error = 0.0;
+  // Set on governor trip; unwinds the recursion without further charges.
+  Status abort = Status::Ok();
 };
 
 double Eval(SimpsonState* state, double x) {
@@ -24,6 +28,14 @@ double Eval(SimpsonState* state, double x) {
 // Classic adaptive Simpson with Richardson correction.
 double Recurse(SimpsonState* state, double a, double b, double fa, double fm,
                double fb, double whole, double tol, int depth) {
+  if (!state->abort.ok()) return 0.0;
+  if (state->gov != nullptr) {
+    Status st = state->gov->Charge("numeric.quadrature");
+    if (!st.ok()) {
+      state->abort = std::move(st);
+      return 0.0;
+    }
+  }
   double m = 0.5 * (a + b);
   double lm = 0.5 * (a + m);
   double rm = 0.5 * (m + b);
@@ -47,15 +59,17 @@ double Recurse(SimpsonState* state, double a, double b, double fa, double fm,
 
 StatusOr<QuadratureResult> AdaptiveSimpson(
     const std::function<double(double)>& f, double a, double b, double tol,
-    int max_depth) {
+    int max_depth, const ResourceGovernor* gov) {
   CCDB_CHECK_MSG(tol > 0.0, "tolerance must be positive");
+  CCDB_FAILPOINT("numeric.quadrature");
   if (a == b) return QuadratureResult{0.0, 0.0, 0};
-  SimpsonState state{&f};
+  SimpsonState state{&f, gov};
   double fa = Eval(&state, a);
   double fb = Eval(&state, b);
   double fm = Eval(&state, 0.5 * (a + b));
   double whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
   double value = Recurse(&state, a, b, fa, fm, fb, whole, tol, max_depth);
+  if (!state.abort.ok()) return state.abort;
   if (!std::isfinite(value)) {
     return Status::NumericalFailure("non-finite integral value");
   }

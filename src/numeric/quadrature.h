@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "arith/rational.h"
+#include "base/resource.h"
 #include "base/status.h"
 #include "poly/upoly.h"
 
@@ -19,10 +20,12 @@ struct QuadratureResult {
 /// Adaptive Simpson integration of f over [a, b] to absolute tolerance
 /// `tol`. The workhorse of the numerical aggregate modules (the paper cites
 /// [BF85, PTVF92] for these; we implement our own). Fails with
-/// kNumericalFailure if the recursion budget is exhausted.
+/// kNumericalFailure if the recursion budget is exhausted. A non-null
+/// `gov` is charged per subdivision (stage "numeric.quadrature") and turns
+/// budget trips into kResourceExhausted.
 StatusOr<QuadratureResult> AdaptiveSimpson(
     const std::function<double(double)>& f, double a, double b, double tol,
-    int max_depth = 40);
+    int max_depth = 40, const ResourceGovernor* gov = nullptr);
 
 /// Exact antiderivative of a univariate polynomial (constant term 0).
 UPoly AntiDerivative(const UPoly& p);

@@ -23,9 +23,18 @@ AlgebraicNumber::AlgebraicNumber(const UPoly& defining, IsolatedRoot root)
 }
 
 std::vector<AlgebraicNumber> AlgebraicNumber::RootsOf(const UPoly& p) {
+  auto numbers = RootsOf(p, nullptr);
+  CCDB_CHECK(numbers.ok());  // a null governor never trips
+  return *std::move(numbers);
+}
+
+StatusOr<std::vector<AlgebraicNumber>> AlgebraicNumber::RootsOf(
+    const UPoly& p, const ResourceGovernor* gov) {
   std::vector<AlgebraicNumber> numbers;
   UPoly f = p.SquarefreePart();
-  for (IsolatedRoot& root : IsolateRealRoots(f)) {
+  CCDB_ASSIGN_OR_RETURN(std::vector<IsolatedRoot> isolated,
+                        IsolateRealRoots(f, gov));
+  for (IsolatedRoot& root : isolated) {
     if (root.is_exact) {
       numbers.emplace_back(root.interval.lo());
     } else {

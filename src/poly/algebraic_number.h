@@ -31,6 +31,11 @@ class AlgebraicNumber {
   /// All real roots of p, in increasing order, as algebraic numbers.
   static std::vector<AlgebraicNumber> RootsOf(const UPoly& p);
 
+  /// Governed variant: root isolation charges `gov` and fails with
+  /// kResourceExhausted on budget trip. Null governor never fails.
+  static StatusOr<std::vector<AlgebraicNumber>> RootsOf(
+      const UPoly& p, const ResourceGovernor* gov);
+
   /// True iff the number is (known) rational. Numbers constructed from
   /// irrational roots stay non-exact even when the underlying value happens
   /// to be rational but undetected; exactness is a representation property.

@@ -354,6 +354,18 @@ std::uint64_t Polynomial::MaxCoefficientBitLength() const {
   return bits;
 }
 
+std::size_t Polynomial::EstimateBytes() const {
+  std::size_t bytes = sizeof(Polynomial);
+  for (const auto& [monomial, coeff] : terms_) {
+    // Map node + monomial exponent vector + coefficient limbs.
+    bytes += 64;
+    bytes += static_cast<std::size_t>(monomial.max_var() + 1) *
+             sizeof(std::uint32_t);
+    bytes += static_cast<std::size_t>(coeff.bit_length() / 8) + 8;
+  }
+  return bytes;
+}
+
 bool Polynomial::operator<(const Polynomial& other) const {
   auto it = terms_.begin();
   auto jt = other.terms_.begin();

@@ -151,6 +151,11 @@ class Polynomial {
   /// measure of the paper's complexity bounds.
   std::uint64_t MaxCoefficientBitLength() const;
 
+  /// Rough heap footprint of this polynomial (term-map nodes, exponent
+  /// vectors, coefficient limbs). Used as the tracked-allocation unit for
+  /// ResourceGovernor byte budgets; an estimate, not an exact accounting.
+  std::size_t EstimateBytes() const;
+
   bool operator==(const Polynomial& other) const {
     return terms_ == other.terms_;
   }

@@ -1,6 +1,7 @@
 #include "poly/resultant.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/logging.h"
 
@@ -15,15 +16,28 @@ std::pair<Monomial, Rational> LeadingTerm(const Polynomial& p) {
   return {it->first, it->second};
 }
 
+// Passes budget trips through; any other error from an exact division in
+// the PRS machinery is a broken invariant, not an input condition.
+StatusOr<Polynomial> ExactOrDie(StatusOr<Polynomial> divided,
+                                const char* what) {
+  if (!divided.ok() &&
+      divided.status().code() != StatusCode::kResourceExhausted) {
+    CCDB_CHECK_MSG(false, what);
+  }
+  return divided;
+}
+
 }  // namespace
 
-StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b) {
+StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b,
+                                   const ResourceGovernor* gov) {
   CCDB_CHECK_MSG(!b.is_zero(), "multivariate division by zero");
   if (a.is_zero()) return Polynomial();
   Polynomial remainder = a;
   Polynomial quotient;
   auto [lead_b_mono, lead_b_coeff] = LeadingTerm(b);
   while (!remainder.is_zero()) {
+    CCDB_CHECK_BUDGET(gov, "poly.divide");
     auto [lead_r_mono, lead_r_coeff] = LeadingTerm(remainder);
     auto mono = lead_r_mono.Divide(lead_b_mono);
     if (!mono.ok()) {
@@ -37,7 +51,13 @@ StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b) {
   return quotient;
 }
 
-Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var) {
+namespace {
+
+// Governed pseudo-remainder core; the public PseudoRem wraps it with a null
+// governor (which can never trip).
+StatusOr<Polynomial> PseudoRemGoverned(const Polynomial& a,
+                                       const Polynomial& b, int var,
+                                       const ResourceGovernor* gov) {
   std::uint32_t deg_b = b.DegreeIn(var);
   CCDB_CHECK_MSG(!b.is_zero(), "pseudo-remainder by zero");
   Polynomial lc_b = b.LeadingCoefficientIn(var);
@@ -50,6 +70,7 @@ Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var) {
       static_cast<std::int64_t>(deg_a) - static_cast<std::int64_t>(deg_b) + 1;
   std::int64_t steps = 0;
   while (!r.is_zero() && r.DegreeIn(var) >= deg_b) {
+    CCDB_CHECK_BUDGET(gov, "poly.prs");
     std::uint32_t deg_r = r.DegreeIn(var);
     Polynomial lc_r = r.LeadingCoefficientIn(var);
     Polynomial shift =
@@ -58,8 +79,19 @@ Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var) {
     ++steps;
   }
   // Scale so the result equals lc_b^{deg_a - deg_b + 1} * a mod b exactly.
-  for (; steps < steps_budget; ++steps) r *= lc_b;
+  for (; steps < steps_budget; ++steps) {
+    CCDB_CHECK_BUDGET(gov, "poly.prs");
+    r *= lc_b;
+  }
   return r;
+}
+
+}  // namespace
+
+Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var) {
+  auto r = PseudoRemGoverned(a, b, var, nullptr);
+  CCDB_CHECK(r.ok());
+  return *std::move(r);
 }
 
 namespace {
@@ -67,7 +99,10 @@ namespace {
 // Subresultant PRS core (Cohen, "A Course in Computational Algebraic Number
 // Theory", algorithms 3.3.1/3.3.7). Returns the resultant of a and b with
 // respect to `var`; both must be nonzero with deg_var(a) >= deg_var(b) >= 0.
-Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
+// The PRS iterations are where the coefficient swell happens, so each one
+// charges the governor (steps, plus the bytes of the new remainder).
+StatusOr<Polynomial> ResultantOrdered(Polynomial a, Polynomial b, int var,
+                                      const ResourceGovernor* gov) {
   std::uint32_t deg_a = a.DegreeIn(var);
   std::uint32_t deg_b = b.DegreeIn(var);
   CCDB_DCHECK(deg_a >= deg_b);
@@ -79,11 +114,13 @@ Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
   Polynomial g(Rational(1));
   Polynomial h(Rational(1));
   while (true) {
+    CCDB_CHECK_BUDGET(gov, "poly.prs");
     deg_a = a.DegreeIn(var);
     deg_b = b.DegreeIn(var);
     std::uint32_t delta = deg_a - deg_b;
     if ((deg_a % 2 == 1) && (deg_b % 2 == 1)) sign = -sign;
-    Polynomial r = PseudoRem(a, b, var);
+    CCDB_ASSIGN_OR_RETURN(Polynomial r, PseudoRemGoverned(a, b, var, gov));
+    if (gov != nullptr) gov->ChargeBytes(r.EstimateBytes());
     a = b;
     // b = r / (g * h^delta), exact by the subresultant theorem.
     Polynomial divisor = g * h.Pow(delta);
@@ -91,9 +128,9 @@ Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
       // Common factor of positive degree: resultant is zero.
       return Polynomial();
     }
-    auto divided = DivideExactMv(r, divisor);
-    CCDB_CHECK_MSG(divided.ok(), "subresultant PRS division not exact");
-    b = std::move(*divided);
+    CCDB_ASSIGN_OR_RETURN(
+        b, ExactOrDie(DivideExactMv(r, divisor, gov),
+                      "subresultant PRS division not exact"));
     g = a.LeadingCoefficientIn(var);
     // h = g^delta * h^{1-delta} (exact division when delta > 1).
     if (delta == 0) {
@@ -101,9 +138,9 @@ Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
     } else if (delta == 1) {
       h = g;
     } else {
-      auto hh = DivideExactMv(g.Pow(delta), h.Pow(delta - 1));
-      CCDB_CHECK_MSG(hh.ok(), "subresultant h-update division not exact");
-      h = std::move(*hh);
+      CCDB_ASSIGN_OR_RETURN(
+          h, ExactOrDie(DivideExactMv(g.Pow(delta), h.Pow(delta - 1), gov),
+                        "subresultant h-update division not exact"));
     }
     if (b.DegreeIn(var) == 0) break;
   }
@@ -114,22 +151,24 @@ Polynomial ResultantOrdered(Polynomial a, Polynomial b, int var) {
   if (final_deg_a == 0) {
     result = Polynomial(Rational(1));
   } else {
-    auto divided = DivideExactMv(numerator, h.Pow(final_deg_a - 1));
-    CCDB_CHECK_MSG(divided.ok(), "subresultant tail division not exact");
-    result = std::move(*divided);
+    CCDB_ASSIGN_OR_RETURN(
+        result,
+        ExactOrDie(DivideExactMv(numerator, h.Pow(final_deg_a - 1), gov),
+                   "subresultant tail division not exact"));
   }
   return sign < 0 ? -result : result;
 }
 
 }  // namespace
 
-Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var) {
+StatusOr<Polynomial> Resultant(const Polynomial& a, const Polynomial& b,
+                               int var, const ResourceGovernor* gov) {
   if (a.is_zero() || b.is_zero()) return Polynomial();
   std::uint32_t deg_a = a.DegreeIn(var);
   std::uint32_t deg_b = b.DegreeIn(var);
   if (deg_a == 0 && deg_b == 0) return Polynomial(Rational(1));
-  if (deg_a >= deg_b) return ResultantOrdered(a, b, var);
-  Polynomial swapped = ResultantOrdered(b, a, var);
+  if (deg_a >= deg_b) return ResultantOrdered(a, b, var, gov);
+  CCDB_ASSIGN_OR_RETURN(Polynomial swapped, ResultantOrdered(b, a, var, gov));
   // res(a,b) = (-1)^{deg_a * deg_b} res(b,a).
   if ((static_cast<std::uint64_t>(deg_a) * deg_b) % 2 == 1) {
     return -swapped;
@@ -137,14 +176,22 @@ Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var) {
   return swapped;
 }
 
-Polynomial Discriminant(const Polynomial& p, int var) {
+Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var) {
+  auto result = Resultant(a, b, var, nullptr);
+  CCDB_CHECK(result.ok());
+  return *std::move(result);
+}
+
+StatusOr<Polynomial> Discriminant(const Polynomial& p, int var,
+                                  const ResourceGovernor* gov) {
   std::uint32_t d = p.DegreeIn(var);
   CCDB_CHECK_MSG(d >= 1, "discriminant requires positive degree");
-  Polynomial res = Resultant(p, p.Derivative(var), var);
+  CCDB_ASSIGN_OR_RETURN(Polynomial res,
+                        Resultant(p, p.Derivative(var), var, gov));
   Polynomial lc = p.LeadingCoefficientIn(var);
-  auto divided = DivideExactMv(res, lc);
-  CCDB_CHECK_MSG(divided.ok(), "discriminant division not exact");
-  Polynomial result = std::move(*divided);
+  CCDB_ASSIGN_OR_RETURN(Polynomial result,
+                        ExactOrDie(DivideExactMv(res, lc, gov),
+                                   "discriminant division not exact"));
   // Sign (-1)^{d(d-1)/2}.
   if ((static_cast<std::uint64_t>(d) * (d - 1) / 2) % 2 == 1) {
     return -result;
@@ -152,12 +199,22 @@ Polynomial Discriminant(const Polynomial& p, int var) {
   return result;
 }
 
-Polynomial ContentIn(const Polynomial& p, int var) {
+Polynomial Discriminant(const Polynomial& p, int var) {
+  auto result = Discriminant(p, var, nullptr);
+  CCDB_CHECK(result.ok());
+  return *std::move(result);
+}
+
+namespace {
+
+StatusOr<Polynomial> ContentInGoverned(const Polynomial& p, int var,
+                                       const ResourceGovernor* gov) {
   if (p.is_zero()) return Polynomial();
   Polynomial content;
   for (const Polynomial& coeff : p.CoefficientsIn(var)) {
+    CCDB_CHECK_BUDGET(gov, "poly.gcd");
     if (coeff.is_zero()) continue;
-    content = MvGcd(content, coeff);
+    CCDB_ASSIGN_OR_RETURN(content, MvGcd(content, coeff, gov));
     // Stop only at a unit: for univariate inputs the content is a
     // CONSTANT rational gcd that must keep accumulating (it is what keeps
     // the pseudo-remainder sequences primitive).
@@ -168,12 +225,26 @@ Polynomial ContentIn(const Polynomial& p, int var) {
   return content;
 }
 
-Polynomial PrimitivePartIn(const Polynomial& p, int var) {
+StatusOr<Polynomial> PrimitivePartInGoverned(const Polynomial& p, int var,
+                                             const ResourceGovernor* gov) {
   if (p.is_zero()) return Polynomial();
-  Polynomial content = ContentIn(p, var);
-  auto divided = DivideExactMv(p, content);
-  CCDB_CHECK_MSG(divided.ok(), "content division not exact");
-  return *divided;
+  CCDB_ASSIGN_OR_RETURN(Polynomial content, ContentInGoverned(p, var, gov));
+  return ExactOrDie(DivideExactMv(p, content, gov),
+                    "content division not exact");
+}
+
+}  // namespace
+
+Polynomial ContentIn(const Polynomial& p, int var) {
+  auto content = ContentInGoverned(p, var, nullptr);
+  CCDB_CHECK(content.ok());
+  return *std::move(content);
+}
+
+Polynomial PrimitivePartIn(const Polynomial& p, int var) {
+  auto pp = PrimitivePartInGoverned(p, var, nullptr);
+  CCDB_CHECK(pp.ok());
+  return *std::move(pp);
 }
 
 namespace {
@@ -187,7 +258,9 @@ Polynomial GcdWithZero(const Polynomial& p) {
 
 }  // namespace
 
-Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {
+StatusOr<Polynomial> MvGcd(const Polynomial& a, const Polynomial& b,
+                           const ResourceGovernor* gov) {
+  CCDB_CHECK_BUDGET(gov, "poly.gcd");
   if (a.is_zero()) return b.is_zero() ? Polynomial() : GcdWithZero(b);
   if (b.is_zero()) return GcdWithZero(a);
   if (a.is_constant() && b.is_constant()) {
@@ -208,9 +281,11 @@ Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {
     // the full content.
     Polynomial content = poly;
     while (!content.is_constant()) {
-      content = ContentIn(content, content.max_var());
+      CCDB_CHECK_BUDGET(gov, "poly.gcd");
+      CCDB_ASSIGN_OR_RETURN(
+          content, ContentInGoverned(content, content.max_var(), gov));
     }
-    return MvGcd(constant, content);
+    return MvGcd(constant, content, gov);
   }
   int var = std::max(a.max_var(), b.max_var());
   bool a_has = a.Mentions(var);
@@ -221,51 +296,80 @@ Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {
   }
   if (!a_has) {
     // gcd(a, b) divides a (free of var) hence divides content_var(b).
-    return MvGcd(a, ContentIn(b, var));
+    CCDB_ASSIGN_OR_RETURN(Polynomial content, ContentInGoverned(b, var, gov));
+    return MvGcd(a, content, gov);
   }
   if (!b_has) {
-    return MvGcd(b, ContentIn(a, var));
+    CCDB_ASSIGN_OR_RETURN(Polynomial content, ContentInGoverned(a, var, gov));
+    return MvGcd(b, content, gov);
   }
-  Polynomial content_a = ContentIn(a, var);
-  Polynomial content_b = ContentIn(b, var);
-  Polynomial pp_a = PrimitivePartIn(a, var);
-  Polynomial pp_b = PrimitivePartIn(b, var);
+  CCDB_ASSIGN_OR_RETURN(Polynomial content_a, ContentInGoverned(a, var, gov));
+  CCDB_ASSIGN_OR_RETURN(Polynomial content_b, ContentInGoverned(b, var, gov));
+  CCDB_ASSIGN_OR_RETURN(Polynomial pp_a, PrimitivePartInGoverned(a, var, gov));
+  CCDB_ASSIGN_OR_RETURN(Polynomial pp_b, PrimitivePartInGoverned(b, var, gov));
   // Primitive PRS on the primitive parts.
   if (pp_a.DegreeIn(var) < pp_b.DegreeIn(var)) std::swap(pp_a, pp_b);
   while (!pp_b.is_zero()) {
-    Polynomial r = PseudoRem(pp_a, pp_b, var);
+    CCDB_CHECK_BUDGET(gov, "poly.gcd");
+    CCDB_ASSIGN_OR_RETURN(Polynomial r,
+                          PseudoRemGoverned(pp_a, pp_b, var, gov));
+    if (gov != nullptr) gov->ChargeBytes(r.EstimateBytes());
     pp_a = std::move(pp_b);
     if (r.is_zero()) {
       pp_b = Polynomial();
     } else {
-      pp_b = PrimitivePartIn(r, var);
+      CCDB_ASSIGN_OR_RETURN(pp_b, PrimitivePartInGoverned(r, var, gov));
     }
   }
   Polynomial gcd_pp =
       pp_a.DegreeIn(var) == 0 ? Polynomial(Rational(1)) : pp_a;
-  Polynomial result = MvGcd(content_a, content_b) * gcd_pp;
+  CCDB_ASSIGN_OR_RETURN(Polynomial content_gcd,
+                        MvGcd(content_a, content_b, gov));
+  Polynomial result = content_gcd * gcd_pp;
   return result.IntegerNormalized();
 }
 
-Polynomial SquarefreePartIn(const Polynomial& p, int var) {
+Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {
+  auto result = MvGcd(a, b, nullptr);
+  CCDB_CHECK(result.ok());
+  return *std::move(result);
+}
+
+namespace {
+
+StatusOr<Polynomial> SquarefreePartInGoverned(const Polynomial& p, int var,
+                                              const ResourceGovernor* gov) {
   if (p.is_zero()) return Polynomial();
   if (p.DegreeIn(var) == 0) return p.IntegerNormalized();
-  Polynomial g = MvGcd(p, p.Derivative(var));
+  CCDB_ASSIGN_OR_RETURN(Polynomial g, MvGcd(p, p.Derivative(var), gov));
   if (g.is_constant()) return p.IntegerNormalized();
-  auto divided = DivideExactMv(p, g);
+  auto divided = DivideExactMv(p, g, gov);
   if (!divided.ok()) {
+    if (divided.status().code() == StatusCode::kResourceExhausted) {
+      return divided.status();
+    }
     // MvGcd is normalized up to a rational unit; retry against the exact
     // (non-normalized) gcd scale by dividing the product form.
     // gcd divides p over Q, so scaling g to match p's content fixes it.
-    Polynomial scaled = g;
-    auto retry = DivideExactMv(p.IntegerNormalized(), scaled);
-    CCDB_CHECK_MSG(retry.ok(), "squarefree division not exact");
-    return retry->IntegerNormalized();
+    CCDB_ASSIGN_OR_RETURN(
+        Polynomial retry,
+        ExactOrDie(DivideExactMv(p.IntegerNormalized(), g, gov),
+                   "squarefree division not exact"));
+    return retry.IntegerNormalized();
   }
   return divided->IntegerNormalized();
 }
 
-std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
+}  // namespace
+
+Polynomial SquarefreePartIn(const Polynomial& p, int var) {
+  auto result = SquarefreePartInGoverned(p, var, nullptr);
+  CCDB_CHECK(result.ok());
+  return *std::move(result);
+}
+
+StatusOr<std::vector<Polynomial>> SquarefreeBasis(
+    const std::vector<Polynomial>& polys, const ResourceGovernor* gov) {
   std::vector<Polynomial> basis;
   auto push_unique = [&basis](const Polynomial& p) {
     if (p.is_constant()) return;
@@ -276,8 +380,11 @@ std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
     basis.push_back(std::move(normalized));
   };
   for (const Polynomial& p : polys) {
+    CCDB_CHECK_BUDGET(gov, "poly.gcd");
     if (p.is_constant()) continue;
-    push_unique(SquarefreePartIn(p, p.max_var()));
+    CCDB_ASSIGN_OR_RETURN(Polynomial part,
+                          SquarefreePartInGoverned(p, p.max_var(), gov));
+    push_unique(part);
   }
   // Refine until pairwise coprime.
   bool changed = true;
@@ -285,18 +392,22 @@ std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
     changed = false;
     for (std::size_t i = 0; i < basis.size() && !changed; ++i) {
       for (std::size_t j = i + 1; j < basis.size() && !changed; ++j) {
-        Polynomial g = MvGcd(basis[i], basis[j]);
+        CCDB_CHECK_BUDGET(gov, "poly.gcd");
+        CCDB_ASSIGN_OR_RETURN(Polynomial g, MvGcd(basis[i], basis[j], gov));
         if (g.is_constant()) continue;
-        auto pi = DivideExactMv(basis[i], g);
-        auto pj = DivideExactMv(basis[j], g);
-        CCDB_CHECK_MSG(pi.ok() && pj.ok(), "basis refinement division failed");
+        CCDB_ASSIGN_OR_RETURN(
+            Polynomial pi, ExactOrDie(DivideExactMv(basis[i], g, gov),
+                                      "basis refinement division failed"));
+        CCDB_ASSIGN_OR_RETURN(
+            Polynomial pj, ExactOrDie(DivideExactMv(basis[j], g, gov),
+                                      "basis refinement division failed"));
         std::vector<Polynomial> next;
         for (std::size_t t = 0; t < basis.size(); ++t) {
           if (t != i && t != j) next.push_back(basis[t]);
         }
         basis = std::move(next);
-        push_unique(*pi);
-        push_unique(*pj);
+        push_unique(pi);
+        push_unique(pj);
         push_unique(g);
         changed = true;
       }
@@ -304,6 +415,12 @@ std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
   }
   std::sort(basis.begin(), basis.end());
   return basis;
+}
+
+std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys) {
+  auto basis = SquarefreeBasis(polys, nullptr);
+  CCDB_CHECK(basis.ok());
+  return *std::move(basis);
 }
 
 }  // namespace ccdb

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "poly/polynomial.h"
 
@@ -14,9 +15,17 @@ namespace ccdb {
 /// Appendix I: "polynomials of PROJ(P_i) are formed by addition,
 /// subtraction, and multiplication of the coefficients … with the technique
 /// of subresultants").
+///
+/// The coefficient swell of these pseudo-remainder sequences is where the
+/// doubly-exponential CAD cost concentrates, so every PRS / gcd /
+/// refinement loop below accepts a nullable `const ResourceGovernor*` and
+/// charges it at its loop head ("poly.prs", "poly.gcd", "poly.divide");
+/// the governed overloads return kResourceExhausted when a budget trips.
+/// The Polynomial-returning forms are ungoverned conveniences.
 
 /// Exact multivariate division; kInvalidArgument when b does not divide a.
-StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b);
+StatusOr<Polynomial> DivideExactMv(const Polynomial& a, const Polynomial& b,
+                                   const ResourceGovernor* gov = nullptr);
 
 /// Pseudo-remainder of a by b with respect to variable `var`:
 /// lc_var(b)^(deg_a - deg_b + 1) * a = q*b + prem. Requires
@@ -27,11 +36,15 @@ Polynomial PseudoRem(const Polynomial& a, const Polynomial& b, int var);
 /// variables). Zero iff a and b share a common factor with positive degree
 /// in `var` (over the fraction field).
 Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var);
+StatusOr<Polynomial> Resultant(const Polynomial& a, const Polynomial& b,
+                               int var, const ResourceGovernor* gov);
 
 /// Discriminant of p with respect to `var`:
 /// (-1)^{d(d-1)/2} res_var(p, dp/dvar) / lc_var(p). Requires
 /// deg_var(p) >= 1.
 Polynomial Discriminant(const Polynomial& p, int var);
+StatusOr<Polynomial> Discriminant(const Polynomial& p, int var,
+                                  const ResourceGovernor* gov);
 
 /// Content of p with respect to `var`: gcd (up to units, normalized) of the
 /// coefficients of p viewed as univariate in `var`.
@@ -44,6 +57,8 @@ Polynomial PrimitivePartIn(const Polynomial& p, int var);
 /// coefficients with positive leading coefficient; MvGcd(0,0) == 0 and
 /// the gcd of coprime polynomials is 1.
 Polynomial MvGcd(const Polynomial& a, const Polynomial& b);
+StatusOr<Polynomial> MvGcd(const Polynomial& a, const Polynomial& b,
+                           const ResourceGovernor* gov);
 
 /// Squarefree part of p with respect to `var`: p / gcd(p, dp/dvar),
 /// normalized.
@@ -56,6 +71,8 @@ Polynomial SquarefreePartIn(const Polynomial& p, int var);
 /// CAD projection — pairwise resultants and discriminants of basis
 /// elements are then guaranteed nonzero.
 std::vector<Polynomial> SquarefreeBasis(const std::vector<Polynomial>& polys);
+StatusOr<std::vector<Polynomial>> SquarefreeBasis(
+    const std::vector<Polynomial>& polys, const ResourceGovernor* gov);
 
 }  // namespace ccdb
 

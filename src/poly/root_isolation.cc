@@ -98,6 +98,13 @@ bool TrySnapRationalRoot(const UPoly& f, Rational* lo, Rational* hi,
 }  // namespace
 
 std::vector<IsolatedRoot> IsolateRealRoots(const UPoly& p) {
+  auto roots = IsolateRealRoots(p, nullptr);
+  CCDB_CHECK(roots.ok());  // a null governor never trips
+  return *std::move(roots);
+}
+
+StatusOr<std::vector<IsolatedRoot>> IsolateRealRoots(
+    const UPoly& p, const ResourceGovernor* gov) {
   std::vector<IsolatedRoot> roots;
   CCDB_CHECK_MSG(!p.is_zero(), "cannot isolate roots of the zero polynomial");
   UPoly f = p.SquarefreePart();
@@ -125,6 +132,7 @@ std::vector<IsolatedRoot> IsolateRealRoots(const UPoly& p) {
   if (total > 0) work.push_back({lo, hi, total});
 
   while (!work.empty()) {
+    CCDB_CHECK_BUDGET(gov, "poly.isolate");
     Segment seg = work.front();
     work.pop_front();
     if (seg.count == 1) {

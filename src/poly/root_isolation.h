@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "arith/interval.h"
+#include "base/resource.h"
 #include "base/status.h"
 #include "poly/upoly.h"
 
@@ -24,6 +25,12 @@ struct IsolatedRoot {
 /// identified [CL82]", paper Appendix I) and the heart of the paper's
 /// NUMERICAL EVALUATION step.
 std::vector<IsolatedRoot> IsolateRealRoots(const UPoly& p);
+
+/// Governed variant: charges `gov` per Sturm bisection segment and fails
+/// with kResourceExhausted when the budget trips (stage "poly.isolate").
+/// Null governor = identical to the ungoverned overload.
+StatusOr<std::vector<IsolatedRoot>> IsolateRealRoots(
+    const UPoly& p, const ResourceGovernor* gov);
 
 /// Shrinks an isolating interval of squarefree `p` below `width` by
 /// bisection, preserving the isolation invariant. No-op for exact roots.

@@ -27,7 +27,8 @@ std::vector<Rational> AlgebraicPoint::RationalCoords() const {
   return out;
 }
 
-Polynomial AlgebraicPoint::EliminateCoords(Polynomial q, int extra_var) const {
+StatusOr<Polynomial> AlgebraicPoint::EliminateCoords(
+    Polynomial q, int extra_var, const ResourceGovernor* gov) const {
   // Substitute rational coordinates exactly first (cheap, lowers degrees).
   for (int i = 0; i < dimension(); ++i) {
     if (coords_[i].is_rational() && q.Mentions(i)) {
@@ -38,15 +39,22 @@ Polynomial AlgebraicPoint::EliminateCoords(Polynomial q, int extra_var) const {
   // defining polynomials.
   for (int i = 0; i < dimension(); ++i) {
     if (coords_[i].is_rational() || !q.Mentions(i)) continue;
+    CCDB_CHECK_BUDGET(gov, "cad.stack");
     Polynomial defining =
         coords_[i].defining_polynomial().ToPolynomial(i);
-    q = Resultant(defining, q, i);
+    CCDB_ASSIGN_OR_RETURN(q, Resultant(defining, q, i, gov));
     if (q.is_zero()) break;
   }
   // Now q mentions at most extra_var.
   CCDB_DCHECK(q.is_zero() || q.max_var() <= extra_var);
   (void)extra_var;
   return q;
+}
+
+Polynomial AlgebraicPoint::EliminateCoords(Polynomial q, int extra_var) const {
+  auto result = EliminateCoords(std::move(q), extra_var, nullptr);
+  CCDB_CHECK(result.ok());
+  return *std::move(result);
 }
 
 int AlgebraicPoint::SignAt(const Polynomial& p) const {
@@ -137,7 +145,7 @@ AlgebraicNumber AlgebraicPoint::ValueAt(const Polynomial& p) const {
 }
 
 StatusOr<std::vector<AlgebraicNumber>> AlgebraicPoint::StackRoots(
-    const Polynomial& p) const {
+    const Polynomial& p, const ResourceGovernor* gov) const {
   int y_var = dimension();
   CCDB_CHECK_MSG(p.max_var() <= y_var,
                  "stack polynomial mentions variables beyond the next level");
@@ -158,7 +166,7 @@ StatusOr<std::vector<AlgebraicNumber>> AlgebraicPoint::StackRoots(
     }
     auto u = UPoly::FromPolynomial(q, y_var);
     CCDB_CHECK(u.ok());
-    return AlgebraicNumber::RootsOf(*u);
+    return AlgebraicNumber::RootsOf(*u, gov);
   }
 
   // Trim leading coefficients (in y) that vanish at the point to expose the
@@ -179,19 +187,22 @@ StatusOr<std::vector<AlgebraicNumber>> AlgebraicPoint::StackRoots(
   Polynomial effective = Polynomial::FromCoefficientsIn(y_var, trimmed);
 
   // Candidate roots: real roots of the iterated resultant.
-  Polynomial r = EliminateCoords(effective, y_var);
+  CCDB_ASSIGN_OR_RETURN(Polynomial r,
+                        EliminateCoords(effective, y_var, gov));
   if (r.is_zero()) {
     return Status::NumericalFailure(
         "degenerate lifting: candidate resultant vanished identically");
   }
   auto r_upoly = UPoly::FromPolynomial(r, y_var);
   CCDB_CHECK(r_upoly.ok());
-  std::vector<AlgebraicNumber> candidates = AlgebraicNumber::RootsOf(*r_upoly);
+  CCDB_ASSIGN_OR_RETURN(std::vector<AlgebraicNumber> candidates,
+                        AlgebraicNumber::RootsOf(*r_upoly, gov));
 
   // Keep exactly the candidates where p(point, candidate) == 0, tested
   // exactly via the extended point.
   std::vector<AlgebraicNumber> roots;
   for (AlgebraicNumber& candidate : candidates) {
+    CCDB_CHECK_BUDGET(gov, "cad.stack");
     AlgebraicPoint extended = Extended(candidate);
     if (extended.SignAt(effective) == 0) {
       roots.push_back(std::move(candidate));

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "poly/algebraic_number.h"
 #include "poly/polynomial.h"
@@ -51,8 +52,11 @@ class AlgebraicPoint {
   /// algebraic number over Q (via the iterated-resultant candidate set).
   /// Fails with kNumericalFailure in the degenerate case where the
   /// candidate resultant vanishes identically, and with kInvalidArgument
-  /// when p vanishes identically over the stack.
-  StatusOr<std::vector<AlgebraicNumber>> StackRoots(const Polynomial& p) const;
+  /// when p vanishes identically over the stack. A non-null `gov` is
+  /// charged during root isolation and candidate filtering and turns
+  /// budget trips into kResourceExhausted.
+  StatusOr<std::vector<AlgebraicNumber>> StackRoots(
+      const Polynomial& p, const ResourceGovernor* gov = nullptr) const;
 
   /// Rational approximations of all coordinates within epsilon.
   std::vector<Rational> Approximate(const Rational& epsilon) const;
@@ -62,7 +66,10 @@ class AlgebraicPoint {
  private:
   // Eliminates all non-rational coordinates from q (rational coordinates
   // are substituted exactly). Variable `extra_var`, if >= 0, is kept.
-  // Returns a polynomial mentioning only extra_var (or a constant).
+  // Returns a polynomial mentioning only extra_var (or a constant). The
+  // iterated resultants charge `gov` when non-null.
+  StatusOr<Polynomial> EliminateCoords(Polynomial q, int extra_var,
+                                       const ResourceGovernor* gov) const;
   Polynomial EliminateCoords(Polynomial q, int extra_var) const;
 
   std::vector<AlgebraicNumber> coords_;

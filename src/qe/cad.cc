@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -77,31 +78,40 @@ namespace {
 // paper's Appendix I: "polynomials of PROJ(P_i) are formed by addition,
 // subtraction, and multiplication of the coefficients ... with the
 // technique of subresultants".
-std::vector<Polynomial> Project(const std::vector<Polynomial>& basis,
-                                int var) {
+StatusOr<std::vector<Polynomial>> Project(const std::vector<Polynomial>& basis,
+                                          int var,
+                                          const ResourceGovernor* gov) {
   std::vector<Polynomial> out;
-  auto add = [&out](Polynomial p) {
+  auto add = [&out, gov](Polynomial p) {
     if (p.is_constant()) return;
     Polynomial normalized = p.IntegerNormalized();
     for (const Polynomial& existing : out) {
       if (existing == normalized) return;
     }
+    if (gov != nullptr) {
+      gov->ChargeBytes(normalized.EstimateBytes());
+    }
     out.push_back(std::move(normalized));
   };
   for (const Polynomial& p : basis) {
+    CCDB_CHECK_BUDGET(gov, "cad.project");
     for (const Polynomial& coeff : p.CoefficientsIn(var)) {
       add(coeff);
     }
     if (p.DegreeIn(var) >= 2) {
       CCDB_METRIC_COUNT("cad.discriminants", 1);
-      add(Discriminant(p, var));
+      CCDB_ASSIGN_OR_RETURN(Polynomial disc, Discriminant(p, var, gov));
+      add(std::move(disc));
     }
   }
   for (std::size_t i = 0; i < basis.size(); ++i) {
     for (std::size_t j = i + 1; j < basis.size(); ++j) {
       if (basis[i].DegreeIn(var) >= 1 && basis[j].DegreeIn(var) >= 1) {
+        CCDB_CHECK_BUDGET(gov, "cad.project");
         CCDB_METRIC_COUNT("cad.resultants", 1);
-        add(Resultant(basis[i], basis[j], var));
+        CCDB_ASSIGN_OR_RETURN(Polynomial res,
+                              Resultant(basis[i], basis[j], var, gov));
+        add(std::move(res));
       }
     }
   }
@@ -111,8 +121,10 @@ std::vector<Polynomial> Project(const std::vector<Polynomial>& basis,
 // Closes a factor set under derivatives with respect to each factor's main
 // variable, then re-extracts a squarefree basis; iterates to a fixpoint
 // (bounded by the total degree, which strictly drops along derivatives).
-std::vector<Polynomial> DerivativeClosure(std::vector<Polynomial> basis) {
+StatusOr<std::vector<Polynomial>> DerivativeClosure(
+    std::vector<Polynomial> basis, const ResourceGovernor* gov) {
   for (int guard = 0; guard < 64; ++guard) {
+    CCDB_CHECK_BUDGET(gov, "cad.project");
     std::vector<Polynomial> augmented = basis;
     bool grew = false;
     for (const Polynomial& p : basis) {
@@ -122,7 +134,8 @@ std::vector<Polynomial> DerivativeClosure(std::vector<Polynomial> basis) {
       if (d.is_constant()) continue;
       augmented.push_back(d);
     }
-    std::vector<Polynomial> next = SquarefreeBasis(augmented);
+    CCDB_ASSIGN_OR_RETURN(std::vector<Polynomial> next,
+                          SquarefreeBasis(augmented, gov));
     if (next.size() == basis.size()) {
       bool same = true;
       for (std::size_t i = 0; i < next.size(); ++i) {
@@ -160,16 +173,24 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
     level_sets[p.max_var()].push_back(p);
   }
 
+  const ResourceGovernor* gov = options.governor;
+
   // Projection phase, top level downwards.
   {
     CCDB_TRACE_SPAN("cad.projection");
+    CCDB_FAILPOINT("cad.project");
     for (int level = num_vars - 1; level >= 0; --level) {
-      std::vector<Polynomial> basis = SquarefreeBasis(level_sets[level]);
+      CCDB_CHECK_BUDGET(gov, "cad.project");
+      CCDB_ASSIGN_OR_RETURN(std::vector<Polynomial> basis,
+                            SquarefreeBasis(level_sets[level], gov));
       if (level < options.derivative_closure_below) {
-        basis = DerivativeClosure(std::move(basis));
+        CCDB_ASSIGN_OR_RETURN(basis,
+                              DerivativeClosure(std::move(basis), gov));
       }
       if (level > 0) {
-        for (Polynomial& projected : Project(basis, level)) {
+        CCDB_ASSIGN_OR_RETURN(std::vector<Polynomial> projected_set,
+                              Project(basis, level, gov));
+        for (Polynomial& projected : projected_set) {
           int target = projected.max_var();
           CCDB_DCHECK(target < level);
           level_sets[target].push_back(std::move(projected));
@@ -182,11 +203,15 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
   // Base phase: roots of the level-0 factors.
   {
     CCDB_TRACE_SPAN("cad.base");
+    CCDB_FAILPOINT("cad.base");
     std::vector<std::vector<AlgebraicNumber>> base_roots;
     for (const Polynomial& p : cad.factors_[0]) {
+      CCDB_CHECK_BUDGET(gov, "cad.base");
       auto u = UPoly::FromPolynomial(p, 0);
       CCDB_CHECK(u.ok());
-      base_roots.push_back(AlgebraicNumber::RootsOf(*u));
+      CCDB_ASSIGN_OR_RETURN(std::vector<AlgebraicNumber> roots,
+                            AlgebraicNumber::RootsOf(*u, gov));
+      base_roots.push_back(std::move(roots));
     }
     std::vector<AlgebraicNumber> sections = MergeRoots(std::move(base_roots));
     std::vector<AlgebraicNumber> coords = StackCoordinates(sections);
@@ -198,13 +223,16 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
     }
   }
 
-  // Lifting phase.
+  // Lifting phase. Each stack construction charges one step; every created
+  // cell charges tracked bytes, so a byte budget bounds the cell explosion
+  // even when individual stacks are cheap.
   std::function<Status(CadCell&, int)> lift = [&](CadCell& cell,
                                                   int level) -> Status {
     if (level >= num_vars) return Status::Ok();
+    CCDB_CHECK_BUDGET(gov, "cad.lift");
     std::vector<std::vector<AlgebraicNumber>> stack_roots;
     for (const Polynomial& p : cad.factors_[level]) {
-      auto roots = cell.sample.StackRoots(p);
+      auto roots = cell.sample.StackRoots(p, gov);
       if (!roots.ok()) {
         if (roots.status().code() == StatusCode::kInvalidArgument) {
           // The factor vanishes identically over this stack: it
@@ -222,6 +250,12 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
       child.index = cell.index;
       child.index.push_back(static_cast<int>(i) + 1);
       child.sample = cell.sample.Extended(std::move(stack_coords[i]));
+      if (gov != nullptr) {
+        gov->ChargeBytes(sizeof(CadCell) +
+                         child.index.size() * sizeof(int) +
+                         static_cast<std::size_t>(child.sample.dimension()) *
+                             64);
+      }
       cell.children.push_back(std::move(child));
     }
     for (CadCell& child : cell.children) {
@@ -231,6 +265,7 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
   };
   {
     CCDB_TRACE_SPAN("cad.lift");
+    CCDB_FAILPOINT("cad.lift");
     for (CadCell& cell : cad.roots_) {
       CCDB_RETURN_IF_ERROR(lift(cell, 1));
     }

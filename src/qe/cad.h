@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "poly/polynomial.h"
 #include "qe/algebraic_point.h"
@@ -33,6 +34,10 @@ struct CadOptions {
   /// closed under main-variable derivatives before the base/lifting phases.
   /// Used by solution-formula construction (Thom-style cell discrimination).
   int derivative_closure_below = 0;
+  /// Resource budget charged per projection factor, per isolated root, and
+  /// per lifted cell — the loops where the doubly exponential blowup
+  /// materializes. Null = unlimited. Borrowed, not owned.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// A cylindrical algebraic decomposition of R^num_vars, sign-invariant for

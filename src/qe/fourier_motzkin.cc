@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 
@@ -52,7 +53,7 @@ std::vector<GeneralizedTuple> SplitDisequalities(
 // Eliminates var from one tuple (conjunction) of linear atoms without
 // disequalities. Returns the resulting tuples (usually one).
 StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
-    const GeneralizedTuple& tuple, int var) {
+    const GeneralizedTuple& tuple, int var, const ResourceGovernor* gov) {
   // Normalize each atom mentioning var to: coeff * var + rest (op) 0.
   // First, if an equation mentions var, solve and substitute.
   for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
@@ -130,10 +131,13 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
         CCDB_CHECK_MSG(false, "equations/disequalities handled earlier");
     }
   }
-  // Cross every lower bound with every upper bound: l (op) u.
+  // Cross every lower bound with every upper bound: l (op) u. This product
+  // is where FM's output-size blowup lives, so each generated constraint
+  // charges the governor.
   CCDB_METRIC_COUNT("fm.constraints_generated", lower.size() * upper.size());
   for (const Bound& l : lower) {
     for (const Bound& u : upper) {
+      CCDB_CHECK_BUDGET(gov, "qe.fm");
       RelOp op = (l.strict || u.strict) ? RelOp::kLt : RelOp::kLe;
       remainder.atoms.emplace_back(l.value - u.value, op);
     }
@@ -147,17 +151,26 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
 }  // namespace
 
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
-    const std::vector<GeneralizedTuple>& tuples, int var) {
+    const std::vector<GeneralizedTuple>& tuples, int var,
+    const ResourceGovernor* gov) {
   if (!IsLinearSystem(tuples)) {
     return Status::InvalidArgument("Fourier-Motzkin requires linear atoms");
   }
+  CCDB_FAILPOINT("qe.fm");
   CCDB_METRIC_COUNT("fm.rounds", 1);
   std::vector<GeneralizedTuple> out;
   for (const GeneralizedTuple& tuple : SplitDisequalities(tuples)) {
+    CCDB_CHECK_BUDGET(gov, "qe.fm");
     CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> eliminated,
-                          EliminateFromTuple(tuple, var));
-    out.insert(out.end(), std::make_move_iterator(eliminated.begin()),
-               std::make_move_iterator(eliminated.end()));
+                          EliminateFromTuple(tuple, var, gov));
+    for (GeneralizedTuple& t : eliminated) {
+      if (gov != nullptr) {
+        std::size_t bytes = 0;
+        for (const Atom& atom : t.atoms) bytes += atom.poly.EstimateBytes();
+        gov->ChargeBytes(bytes);
+      }
+      out.push_back(std::move(t));
+    }
   }
   return SimplifyTuples(std::move(out));
 }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "constraint/atom.h"
 
@@ -21,8 +22,12 @@ bool IsLinearSystem(const std::vector<GeneralizedTuple>& tuples);
 /// FO(<=, +, 0, 1) of Theorem 4.2; its intermediate coefficient bit lengths
 /// grow only linearly in the input bit length (Lemma 4.4 for the linear
 /// case), which bench E6 measures.
+/// A non-null `gov` is charged once per eliminated tuple and per generated
+/// cross constraint (stage "qe.fm"); on a budget trip the round fails with
+/// kResourceExhausted.
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
-    const std::vector<GeneralizedTuple>& tuples, int var);
+    const std::vector<GeneralizedTuple>& tuples, int var,
+    const ResourceGovernor* gov = nullptr);
 
 /// Removes syntactically redundant atoms and trivially false tuples.
 std::vector<GeneralizedTuple> SimplifyTuples(

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -275,6 +276,9 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   QeStats* s = stats != nullptr ? stats : &local_stats;
   *s = QeStats();
   QeMetricsFolder folder{s};
+  const ResourceGovernor* gov = options.governor;
+  CCDB_FAILPOINT("qe.drive");
+  CCDB_CHECK_BUDGET(gov, "qe.drive");
 
   CCDB_CHECK_MSG(!formula.has_relation_symbols(),
                  "instantiate relations before quantifier elimination");
@@ -324,6 +328,7 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   while (options.allow_equation_substitution && q > 0 &&
          prenex.prefix.back().is_exists &&
          TrySubstituteInnermostExists(&tuples, num_free_vars + q - 1)) {
+    CCDB_CHECK_BUDGET(gov, "qe.drive");
     CCDB_METRIC_COUNT("qe.equation_substitutions", 1);
     prenex.prefix.pop_back();
     --q;
@@ -342,12 +347,14 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
     s->used_linear_path = true;
     s->used_dense_order_path = IsDenseOrderSystem(tuples);
     for (int i = q - 1; i >= 0; --i) {
+      CCDB_CHECK_BUDGET(gov, "qe.fm");
       int var = num_free_vars + i;
       if (prenex.prefix[i].is_exists) {
-        CCDB_ASSIGN_OR_RETURN(tuples, EliminateExistsLinear(tuples, var));
+        CCDB_ASSIGN_OR_RETURN(tuples, EliminateExistsLinear(tuples, var, gov));
       } else {
         std::vector<GeneralizedTuple> negated = NegateTuples(tuples);
-        CCDB_ASSIGN_OR_RETURN(negated, EliminateExistsLinear(negated, var));
+        CCDB_ASSIGN_OR_RETURN(negated,
+                              EliminateExistsLinear(negated, var, gov));
         tuples = NegateTuples(negated);
       }
       s->max_intermediate_bits =
@@ -357,11 +364,21 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   }
 
   // CAD path.
+  if (options.linear_only) {
+    // Degradation rung: the caller asked for the linear fragment only.
+    // Refusing CAD with kResourceExhausted lets policy ladders treat "this
+    // rung cannot answer" uniformly with budget trips.
+    return Status::ResourceExhausted(
+        "stage=qe.drive reason=linear_only: query needs CAD but the policy "
+        "restricts this attempt to the linear fragment");
+  }
   CCDB_TRACE_SPAN("qe.cad_path");
   std::vector<Polynomial> matrix_polys = CollectDistinctPolys(tuples);
   for (int attempt = 0; attempt < 2; ++attempt) {
+    CCDB_CHECK_BUDGET(gov, "qe.drive");
     CadOptions cad_options;
     cad_options.derivative_closure_below = attempt == 0 ? 0 : num_free_vars;
+    cad_options.governor = gov;
     if (attempt == 1) {
       s->used_thom_augmentation = true;
       CCDB_LOG(INFO) << "QE: retrying CAD with Thom-derivative augmentation "

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
 #include "constraint/atom.h"
 #include "constraint/formula.h"
@@ -45,6 +46,15 @@ struct QeOptions {
   /// equations by exact substitution before running CAD (a large win for
   /// CALC_F's function-approximation rewriting). Disable for ablation.
   bool allow_equation_substitution = true;
+  /// Degradation rung: refuse the CAD path entirely (linear systems are
+  /// still eliminated exactly by Fourier-Motzkin). A nonlinear input then
+  /// fails with kResourceExhausted instead of risking a doubly exponential
+  /// CAD — the last rung of ConstraintDatabase::QueryWithPolicy's ladder.
+  bool linear_only = false;
+  /// Resource budget charged at every hot-loop head of the elimination
+  /// (driver rounds, CAD projection/base/lifting, root isolation,
+  /// Fourier-Motzkin tuples). Null = unlimited. Borrowed, not owned.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// The QUANTIFIER ELIMINATION step of the paper's pipeline (Section 2,

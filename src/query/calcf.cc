@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "arith/floatk.h"
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -255,9 +256,14 @@ std::string CalcFStats::ToJson() const {
 
 CalcFEvaluator::CalcFEvaluator(RelationLookup lookup, CalcFOptions options)
     : lookup_(std::move(lookup)),
-      options_(std::move(options)),
+      options_([](CalcFOptions opts) {
+        // One governor bounds the whole evaluation unless the caller split
+        // the budgets explicitly.
+        if (opts.qe.governor == nullptr) opts.qe.governor = opts.governor;
+        return opts;
+      }(std::move(options))),
       approx_module_(options_.approx_order),
-      aggregate_modules_(options_.tolerance) {}
+      aggregate_modules_(options_.tolerance, options_.governor) {}
 
 StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
     const QFormula& formula, CalcFStats* stats) const {
@@ -289,6 +295,8 @@ StatusOr<std::shared_ptr<const QFormula>> CalcFEvaluator::EvaluateAggregates(
       return QFormula::Quantifier(formula.kind, formula.bound_vars, inner);
     }
     case QFormula::Kind::kAggregate: {
+      CCDB_FAILPOINT("calcf.aggregate");
+      CCDB_CHECK_BUDGET(options_.governor, "calcf.aggregate");
       // Inner stages first (the DAG order of Section 5).
       CCDB_ASSIGN_OR_RETURN(auto body,
                             EvaluateAggregates(*formula.children[0], stats));
@@ -373,6 +381,8 @@ StatusOr<ConstraintRelation> CalcFEvaluator::EvaluateCore(
   int arity = 0;
   {
     CCDB_TRACE_SPAN("calcf.instantiate");
+    CCDB_FAILPOINT("calcf.instantiate");
+    CCDB_CHECK_BUDGET(options_.governor, "calcf.instantiate");
     auto start = SteadyClock::now();
     CCDB_ASSIGN_OR_RETURN(
         auto function_free,

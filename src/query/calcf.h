@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "agg/aggregates.h"
+#include "base/resource.h"
 #include "base/status.h"
 #include "numeric/approx.h"
 #include "qe/qe.h"
@@ -27,6 +28,11 @@ struct CalcFOptions {
   /// Epsilon for EVAL's solution approximation.
   Rational eval_epsilon = Rational(BigInt(1), BigInt::Pow2(24));
   QeOptions qe;
+  /// Resource budget for the whole evaluation: threaded into every QE
+  /// round, CAD, and aggregate module the query runs. Null = unlimited.
+  /// Borrowed, not owned; also copied into `qe.governor` when that is
+  /// unset.
+  const ResourceGovernor* governor = nullptr;
 };
 
 /// Evaluation statistics (Theorem 5.5: "polynomially many k-order

@@ -226,6 +226,25 @@ class Parser {
   }
 
  private:
+  // Recursive descent bounds its own stack: pathological inputs such as
+  // ten thousand '(' must come back as kInvalidArgument, not overflow.
+  static constexpr int kMaxDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+
+  Status CheckDepth() const {
+    if (depth_ > kMaxDepth) {
+      return Status::InvalidArgument(
+          "formula nesting deeper than " + std::to_string(kMaxDepth) +
+          " levels");
+    }
+    return Status::Ok();
+  }
+
   Status Expect(TokenKind kind, const char* what) {
     if (lexer_.current().kind != kind) {
       return Status::InvalidArgument(
@@ -260,6 +279,8 @@ class Parser {
   }
 
   StatusOr<std::shared_ptr<const QFormula>> ParseUnary() {
+    DepthGuard guard(&depth_);
+    CCDB_RETURN_IF_ERROR(CheckDepth());
     const Token& token = lexer_.current();
     if (IsKeyword(token, "not")) {
       CCDB_RETURN_IF_ERROR(lexer_.Advance());
@@ -444,6 +465,8 @@ class Parser {
   }
 
   StatusOr<std::shared_ptr<const QTerm>> ParsePower() {
+    DepthGuard guard(&depth_);
+    CCDB_RETURN_IF_ERROR(CheckDepth());
     // Unary minus binds looser than '^': -x^2 is -(x^2).
     if (lexer_.current().kind == TokenKind::kMinus) {
       CCDB_RETURN_IF_ERROR(lexer_.Advance());
@@ -471,6 +494,8 @@ class Parser {
   }
 
   StatusOr<std::shared_ptr<const QTerm>> ParseAtomTerm() {
+    DepthGuard guard(&depth_);
+    CCDB_RETURN_IF_ERROR(CheckDepth());
     const Token& token = lexer_.current();
     switch (token.kind) {
       case TokenKind::kNumber: {
@@ -505,6 +530,7 @@ class Parser {
   }
 
   Lexer lexer_;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
@@ -86,6 +87,9 @@ Status Catalog::AddRelation(const std::string& name,
   if (relations_.count(name) != 0) {
     return Status::AlreadyExists("relation " + name + " already exists");
   }
+  // Simulated mid-ingest failure: must not leak a half-built entry into
+  // `relations_` (the emplace below is the single commit point).
+  CCDB_FAILPOINT("catalog.add");
   Entry entry;
   for (const GeneralizedTuple& tuple : relation.tuples()) {
     entry.boxes.push_back(TupleBox::Of(tuple, relation.arity()));

@@ -1,0 +1,135 @@
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "query/parser.h"
+
+namespace ccdb {
+namespace {
+
+// Seeded-PRNG fuzzing of the parser entry points: every input — random
+// bytes, random token soup, or a mutated valid query — must come back as a
+// Status. A crash, abort, or hang here is a bug; the REPL feeds user input
+// straight into these functions.
+
+constexpr std::uint64_t kSeed = 0x5eed5eed5eedull;
+
+void ExpectParseSurvives(const std::string& input) {
+  auto formula = ParseFormula(input);
+  (void)formula;  // ok or error — both fine; the point is "no crash"
+  auto def = ParseRelationDef(input);
+  (void)def;
+  auto term = ParseTerm(input);
+  (void)term;
+}
+
+TEST(ParserFuzzTest, RandomBytes) {
+  std::mt19937_64 rng(kSeed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 200);
+  for (int round = 0; round < 500; ++round) {
+    std::string input;
+    int n = length(rng);
+    input.reserve(n);
+    for (int i = 0; i < n; ++i) input.push_back(static_cast<char>(byte(rng)));
+    ExpectParseSurvives(input);
+  }
+}
+
+TEST(ParserFuzzTest, RandomTokenSoup) {
+  // Valid lexemes in invalid orders stress the grammar rather than the
+  // lexer.
+  const std::vector<std::string> tokens = {
+      "exists", "forall", "and",  "or",   "not",  "true", "false", "(",
+      ")",      "<=",     "<",    ">=",   ">",    "=",    "!=",    "+",
+      "-",      "*",      "/",    "^",    ",",    ":=",   "x",     "y",
+      "S",      "MIN",    "MAX",  "AVG",  "LENGTH", "SURFACE", "VOLUME",
+      "EVAL",   "[",      "]",    "0",    "1",    "42",   "1/3",   "sin",
+      "exp",    "sqrt"};
+  std::mt19937_64 rng(kSeed + 1);
+  std::uniform_int_distribution<std::size_t> pick(0, tokens.size() - 1);
+  std::uniform_int_distribution<int> length(1, 40);
+  for (int round = 0; round < 1000; ++round) {
+    std::string input;
+    int n = length(rng);
+    for (int i = 0; i < n; ++i) {
+      input += tokens[pick(rng)];
+      input += ' ';
+    }
+    ExpectParseSurvives(input);
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidQueries) {
+  const std::vector<std::string> corpus = {
+      "exists y (S(x, y) and y <= 0)",
+      "S(x, y) := 4*x^2 - y - 20*x + 25 <= 0",
+      "SURFACE[x, y](S(x, y) and y <= 9)(z)",
+      "forall x (x^2 >= 0)",
+      "MIN[x](exists y (S(x, y)))(m)",
+      "sin(x) <= 1/2 and not (x >= 3)",
+  };
+  std::mt19937_64 rng(kSeed + 2);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> mutations(1, 4);
+  for (int round = 0; round < 1000; ++round) {
+    std::string input = corpus[round % corpus.size()];
+    int edits = mutations(rng);
+    for (int e = 0; e < edits && !input.empty(); ++e) {
+      std::uniform_int_distribution<std::size_t> at(0, input.size() - 1);
+      switch (rng() % 3) {
+        case 0:  // flip
+          input[at(rng)] = static_cast<char>(byte(rng));
+          break;
+        case 1:  // delete
+          input.erase(at(rng), 1);
+          break;
+        default:  // duplicate a chunk
+          input.insert(at(rng), input.substr(at(rng), 5));
+          break;
+      }
+    }
+    ExpectParseSurvives(input);
+  }
+}
+
+TEST(ParserFuzzTest, DeepNestingReturnsErrorNotOverflow) {
+  // 50k levels of parentheses / negations must be rejected by the parser's
+  // depth cap, not blow the call stack.
+  std::string parens(50000, '(');
+  parens += "x <= 0";
+  parens += std::string(50000, ')');
+  auto deep_formula = ParseFormula(parens);
+  ASSERT_FALSE(deep_formula.ok());
+  EXPECT_EQ(deep_formula.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(deep_formula.status().message().find("nesting"),
+            std::string::npos);
+
+  std::string nots;
+  for (int i = 0; i < 50000; ++i) nots += "not ";
+  nots += "x <= 0";
+  auto deep_nots = ParseFormula(nots);
+  ASSERT_FALSE(deep_nots.ok());
+  EXPECT_EQ(deep_nots.status().code(), StatusCode::kInvalidArgument);
+
+  std::string minuses(50000, '-');
+  minuses += "x";
+  auto deep_term = ParseTerm(minuses);
+  ASSERT_FALSE(deep_term.ok());
+  EXPECT_EQ(deep_term.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserFuzzTest, ReasonableNestingStillParses) {
+  // The depth cap must not reject sane queries.
+  std::string nested = "x <= 0";
+  for (int i = 0; i < 50; ++i) nested = "(" + nested + ")";
+  auto formula = ParseFormula(nested);
+  EXPECT_TRUE(formula.ok()) << formula.status().ToString();
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,0 +1,135 @@
+#include "base/resource.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace ccdb {
+namespace {
+
+TEST(ResourceLimitsTest, DefaultIsUnlimited) {
+  ResourceLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  EXPECT_FALSE(ResourceLimits::Deadline(1.0).unlimited());
+  EXPECT_FALSE(ResourceLimits::Steps(10).unlimited());
+  EXPECT_FALSE(ResourceLimits::Bytes(1024).unlimited());
+}
+
+TEST(ResourceGovernorTest, UnlimitedNeverTrips) {
+  ResourceGovernor gov(ResourceLimits{});
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(gov.Charge("test.loop").ok());
+  }
+  gov.ChargeBytes(1ull << 40);
+  EXPECT_TRUE(gov.Charge("test.loop").ok());
+  EXPECT_FALSE(gov.exhausted());
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kNone);
+}
+
+TEST(ResourceGovernorTest, StepBudgetTrips) {
+  ResourceGovernor gov(ResourceLimits::Steps(5));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(gov.Charge("test.loop").ok()) << "step " << i;
+  }
+  Status tripped = gov.Charge("test.loop");
+  EXPECT_FALSE(tripped.ok());
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(gov.exhausted());
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kSteps);
+  EXPECT_EQ(gov.tripped_stage(), "test.loop");
+  EXPECT_NE(tripped.message().find("test.loop"), std::string::npos);
+  EXPECT_NE(tripped.message().find("steps"), std::string::npos);
+}
+
+TEST(ResourceGovernorTest, TripIsSticky) {
+  ResourceGovernor gov(ResourceLimits::Steps(1));
+  ASSERT_TRUE(gov.Charge("stage.a").ok());
+  ASSERT_FALSE(gov.Charge("stage.a").ok());
+  // A later charge at a different stage reports the original trip site.
+  Status again = gov.Charge("stage.b");
+  EXPECT_EQ(again.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gov.tripped_stage(), "stage.a");
+}
+
+TEST(ResourceGovernorTest, ByteBudgetEnforcedOnNextCharge) {
+  ResourceGovernor gov(ResourceLimits::Bytes(100));
+  gov.ChargeBytes(50);
+  EXPECT_TRUE(gov.Charge("test.alloc").ok());
+  gov.ChargeBytes(60);  // now over budget; does not trip by itself
+  EXPECT_FALSE(gov.exhausted());
+  Status tripped = gov.Charge("test.alloc");
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kBytes);
+  EXPECT_GE(gov.bytes_consumed(), 110u);
+}
+
+TEST(ResourceGovernorTest, DeadlineTrips) {
+  ResourceGovernor gov(ResourceLimits::Deadline(0.01));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  Status tripped = gov.Charge("test.slow");
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kDeadline);
+  EXPECT_GE(gov.elapsed_seconds(), 0.01);
+}
+
+TEST(ResourceGovernorTest, CancellationFlagTrips) {
+  std::atomic<bool> cancel{false};
+  ResourceGovernor gov(ResourceLimits{}, &cancel);
+  EXPECT_TRUE(gov.Charge("test.loop").ok());
+  cancel.store(true);
+  Status tripped = gov.Charge("test.loop");
+  EXPECT_EQ(tripped.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kCancelled);
+}
+
+TEST(ResourceGovernorTest, ResetReArms) {
+  ResourceGovernor gov(ResourceLimits::Steps(2));
+  ASSERT_TRUE(gov.Charge("test.loop", 2).ok());
+  ASSERT_FALSE(gov.Charge("test.loop").ok());
+  gov.Reset();
+  EXPECT_FALSE(gov.exhausted());
+  EXPECT_EQ(gov.reason(), ExhaustionReason::kNone);
+  EXPECT_EQ(gov.steps_consumed(), 0u);
+  EXPECT_EQ(gov.bytes_consumed(), 0u);
+  EXPECT_TRUE(gov.Charge("test.loop").ok());
+}
+
+TEST(ResourceGovernorTest, MultiStepChargeCountsAll) {
+  ResourceGovernor gov(ResourceLimits::Steps(10));
+  ASSERT_TRUE(gov.Charge("test.batch", 7).ok());
+  EXPECT_EQ(gov.steps_consumed(), 7u);
+  EXPECT_FALSE(gov.Charge("test.batch", 7).ok());
+}
+
+TEST(ResourceGovernorTest, ExhaustionReasonNames) {
+  EXPECT_STREQ(ExhaustionReasonName(ExhaustionReason::kDeadline), "deadline");
+  EXPECT_STREQ(ExhaustionReasonName(ExhaustionReason::kSteps), "steps");
+  EXPECT_STREQ(ExhaustionReasonName(ExhaustionReason::kBytes), "bytes");
+  EXPECT_STREQ(ExhaustionReasonName(ExhaustionReason::kCancelled),
+               "cancelled");
+}
+
+// The macro must be a no-op (one pointer comparison) for a null governor.
+Status GovernedLoop(const ResourceGovernor* gov, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    CCDB_CHECK_BUDGET(gov, "test.macro");
+  }
+  return Status::Ok();
+}
+
+TEST(CheckBudgetMacroTest, NullGovernorIsUnlimited) {
+  EXPECT_TRUE(GovernedLoop(nullptr, 100000).ok());
+}
+
+TEST(CheckBudgetMacroTest, PropagatesExhaustion) {
+  ResourceGovernor gov(ResourceLimits::Steps(10));
+  Status status = GovernedLoop(&gov, 100);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace ccdb
