@@ -63,16 +63,60 @@ int main(int argc, char** argv) {
     edb.emplace("Edge", SegmentEdge(diameter));
     DatalogOptions options;
     options.max_iterations = diameter + 8;
+    options.qe.pool = ccdb_bench::Pool();
     DatalogStats stats;
     double elapsed = ccdb_bench::TimeSeconds([&] {
       auto result = EvaluateDatalog(program, edb, options, &stats);
       CCDB_CHECK_MSG(result.ok(), result.status().ToString());
     });
+    ccdb_bench::RecordCell("closure_d" + std::to_string(diameter), elapsed);
     ccdb_bench::Row("%-10d %12d %10llu %12.2f %10.2f", diameter,
                     stats.iterations,
                     static_cast<unsigned long long>(stats.qe_calls),
                     elapsed * 1e3, previous > 0 ? elapsed / previous : 0.0);
     previous = elapsed;
+  }
+
+  // Wide program: one closure per independent segment relation — R rules
+  // with disjoint heads, so every inflationary round evaluates R rule
+  // bodies that the pool can fan out (--threads sweep; rule-order merge
+  // keeps the fixpoint identical at every width).
+  ccdb_bench::Row("");
+  ccdb_bench::Row("wide program (threads=%d):", ccdb_bench::BenchThreads());
+  ccdb_bench::Row("%-10s %12s %10s %12s", "rules", "iterations", "QE calls",
+                  "time [ms]");
+  for (int width : {4, 16}) {
+    DatalogProgram wide;
+    std::map<std::string, ConstraintRelation> edb;
+    for (int r = 0; r < width; ++r) {
+      std::string reach = "Reach" + std::to_string(r);
+      std::string edge = "Edge" + std::to_string(r);
+      wide.idb_arities[reach] = 2;
+      DatalogRule base;
+      base.head = reach;
+      base.head_vars = {0, 1};
+      base.body.push_back(DatalogLiteral::Rel(edge, {0, 1}));
+      wide.rules.push_back(base);
+      DatalogRule inductive;
+      inductive.head = reach;
+      inductive.head_vars = {0, 1};
+      inductive.body.push_back(DatalogLiteral::Rel(reach, {0, 2}));
+      inductive.body.push_back(DatalogLiteral::Rel(edge, {2, 1}));
+      wide.rules.push_back(inductive);
+      edb.emplace(edge, SegmentEdge(6 + r % 4));
+    }
+    DatalogOptions options;
+    options.max_iterations = 24;
+    options.qe.pool = ccdb_bench::Pool();
+    DatalogStats stats;
+    double elapsed = ccdb_bench::TimeSeconds([&] {
+      auto result = EvaluateDatalog(wide, edb, options, &stats);
+      CCDB_CHECK_MSG(result.ok(), result.status().ToString());
+    });
+    ccdb_bench::RecordCell("wide_r" + std::to_string(width), elapsed);
+    ccdb_bench::Row("%-10d %12d %10llu %12.2f", 2 * width, stats.iterations,
+                    static_cast<unsigned long long>(stats.qe_calls),
+                    elapsed * 1e3);
   }
 
   ccdb_bench::Row("");

@@ -54,6 +54,7 @@ int main(int argc, char** argv) {
       ccdb_bench::GovernedCell([&](const ResourceGovernor* gov) -> Status {
         QeOptions options;
         options.governor = gov;
+        options.pool = ccdb_bench::Pool();
         auto result = EliminateQuantifiers(instantiated, 1, options, &stats);
         CCDB_RETURN_IF_ERROR(result.status());
         closed_form = *std::move(result);
@@ -93,6 +94,54 @@ int main(int argc, char** argv) {
   }
   ccdb_bench::Row("stage 3 NUMERICAL EVAL  : %s", rendered.c_str());
   ccdb_bench::Row("  paper                 : x = 2.5");
+
+  // Scaled Figure 1: the same query shape over a union of m shifted,
+  // scaled parabola bands — exists y (∨_k  a_k(x-k)^2 - y - c_k <= 0 and
+  // y <= b_k). The all-existential prefix distributes over the union, so
+  // QE runs m independent CADs; this is the engine's parallel fan-out
+  // instance. Sweep with --threads=1 / --threads=8 and compare the
+  // scaled_qe_m* cells (the answers are identical at every width).
+  ccdb_bench::Row("");
+  ccdb_bench::Row("scaled pipeline: union of m parabola bands (threads=%d)",
+                  ccdb_bench::BenchThreads());
+  ccdb_bench::Row("%-10s %10s %12s %12s", "disjuncts", "tuples", "CAD cells",
+                  "time [ms]");
+  for (int m : {4, 8, 16}) {
+    std::vector<Formula> bands;
+    for (int k = 1; k <= m; ++k) {
+      Polynomial x = Polynomial::Var(0), y = Polynomial::Var(1);
+      Polynomial shifted = (x - Polynomial(k)) * (x - Polynomial(k));
+      // Vary curvature and clip each band against a shifted circle so
+      // every CAD has distinct projection factors (no sharing between
+      // disjuncts) while staying at degree 2.
+      Polynomial circle = shifted + (y - Polynomial(k)) * (y - Polynomial(k));
+      bands.push_back(Formula::And(
+          {Formula::Compare(Polynomial(1 + k % 3) * shifted - y,
+                            RelOp::kLe, Polynomial(k)),
+           Formula::Compare(y, RelOp::kLe, Polynomial(2 * k + 1)),
+           Formula::Compare(circle, RelOp::kLe,
+                            Polynomial((k + 2) * (k + 2)))}));
+    }
+    Formula scaled = Formula::Exists(1, Formula::Or(bands));
+    ConstraintRelation scaled_answer;
+    QeStats scaled_stats;
+    std::optional<double> t_scaled =
+        ccdb_bench::GovernedCell([&](const ResourceGovernor* gov) -> Status {
+          QeOptions options;
+          options.governor = gov;
+          options.pool = ccdb_bench::Pool();
+          scaled_stats = QeStats{};
+          auto result = EliminateQuantifiers(scaled, 1, options,
+                                             &scaled_stats);
+          CCDB_RETURN_IF_ERROR(result.status());
+          scaled_answer = *std::move(result);
+          return Status::Ok();
+        });
+    ccdb_bench::RecordCell("scaled_qe_m" + std::to_string(m), t_scaled);
+    ccdb_bench::Row("%-10d %10zu %12zu %12s", m,
+                    scaled_answer.tuples().size(), scaled_stats.cad_cells,
+                    ccdb_bench::TableCell(t_scaled).c_str());
+  }
 
   bool match = solutions.size() == 1 &&
                solutions[0][0] == Rational(BigInt(5), BigInt(2));

@@ -19,6 +19,7 @@
 
 #include "base/logging.h"
 #include "base/resource.h"
+#include "base/thread_pool.h"
 #include "base/trace.h"
 #include "constraint/atom.h"
 #include "poly/upoly.h"
@@ -32,6 +33,19 @@ inline double& BenchDeadlineSeconds() {
   return deadline;
 }
 
+/// Worker count of the run (set by `--threads=N` or CCDB_THREADS; defaults
+/// to 1 = the serial engine). Also the value of the JSON report's
+/// "threads" column, so sweep runs at several widths can be merged into
+/// one speedup plot.
+inline int& BenchThreads() {
+  static int threads = ccdb::ThreadPool::DefaultThreads();
+  return threads;
+}
+
+/// The pool every bench cell should hand to QeOptions/DatalogOptions —
+/// the process-wide shared pool, sized by InitBenchTracing.
+inline ccdb::ThreadPool* Pool() { return ccdb::ThreadPool::Shared(); }
+
 /// Processes the standard harness flags. Call first thing in main().
 ///
 ///   --trace-out=<file>    (or CCDB_TRACE_OUT) span tracing for the run,
@@ -40,6 +54,10 @@ inline double& BenchDeadlineSeconds() {
 ///                         deadline: cells run under a ResourceGovernor
 ///                         (GovernedCell) and report `null` instead of a
 ///                         timing when the budget is exhausted
+///   --threads=<N>         (or CCDB_THREADS) size the process-wide worker
+///                         pool; N = total runners, 1 = serial. Results
+///                         are identical at every N (see DESIGN.md), only
+///                         the timings change.
 inline void InitBenchTracing(int argc, char** argv) {
   static std::string trace_path;
   if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
@@ -57,7 +75,13 @@ inline void InitBenchTracing(int argc, char** argv) {
       BenchDeadlineSeconds() =
           std::atof(argv[i] + (sizeof(kDeadlineFlag) - 1)) / 1e3;
     }
+    constexpr const char kThreadsFlag[] = "--threads=";
+    if (std::strncmp(argv[i], kThreadsFlag, sizeof(kThreadsFlag) - 1) == 0) {
+      BenchThreads() = std::atoi(argv[i] + (sizeof(kThreadsFlag) - 1));
+    }
   }
+  if (BenchThreads() < 1) BenchThreads() = 1;
+  ccdb::ThreadPool::ConfigureShared(BenchThreads());
   if (trace_path.empty()) return;
   ccdb::Tracer::Global().SetEnabled(true);
   std::atexit(+[] {
@@ -112,9 +136,11 @@ inline std::string TableCell(const std::optional<double>& seconds) {
   return buffer;
 }
 
-/// Collects `{"cell": <name>, "ms": <value-or-null>}` rows; the report is
-/// printed as one JSON array line at exit (after the human-readable
-/// table), machine-readable for the experiment plots.
+/// Collects `{"cell": <name>, "threads": <N>, "ms": <value-or-null>}`
+/// rows; the report is printed as one JSON array line at exit (after the
+/// human-readable table), machine-readable for the experiment plots. The
+/// "threads" column lets a sweep (`--threads=1`, `--threads=8`, ...)
+/// concatenate its reports into one speedup table.
 inline std::vector<std::string>& JsonReportRows() {
   // Leaked on purpose: must stay alive for the atexit printer.
   static auto* rows = new std::vector<std::string>();
@@ -135,8 +161,10 @@ inline void RecordCell(const std::string& name,
     return true;
   }();
   (void)hooked;
-  JsonReportRows().push_back("{\"cell\": \"" + name +
-                             "\", \"ms\": " + JsonCell(seconds) + "}");
+  JsonReportRows().push_back(
+      "{\"cell\": \"" + name +
+      "\", \"threads\": " + std::to_string(BenchThreads()) +
+      ", \"ms\": " + JsonCell(seconds) + "}");
 }
 
 inline double TimeSeconds(const std::function<void()>& fn) {

@@ -22,16 +22,30 @@ const char* ExhaustionReasonName(ExhaustionReason reason) {
   return "?";
 }
 
+namespace {
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
 ResourceGovernor::ResourceGovernor(ResourceLimits limits,
                                    std::atomic<bool>* cancel)
-    : limits_(limits),
-      cancel_(cancel),
-      start_(std::chrono::steady_clock::now()) {}
+    : limits_(limits), cancel_(cancel), start_ns_(SteadyNowNanos()) {}
 
 double ResourceGovernor::elapsed_seconds() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start_)
-      .count();
+  return static_cast<double>(SteadyNowNanos() -
+                             start_ns_.load(std::memory_order_acquire)) *
+         1e-9;
+}
+
+ResourceGovernor::Consumption ResourceGovernor::Snapshot() const {
+  Consumption snapshot;
+  snapshot.steps = steps_consumed();
+  snapshot.bytes = bytes_consumed();
+  snapshot.elapsed_seconds = elapsed_seconds();
+  return snapshot;
 }
 
 ExhaustionReason ResourceGovernor::reason() const {
@@ -126,7 +140,7 @@ void ResourceGovernor::Reset() {
   reason_ = ExhaustionReason::kNone;
   tripped_stage_.clear();
   verdict_message_.clear();
-  start_ = std::chrono::steady_clock::now();
+  start_ns_.store(SteadyNowNanos(), std::memory_order_release);
   tripped_.store(false, std::memory_order_release);
 }
 

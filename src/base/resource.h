@@ -23,7 +23,9 @@
 ///
 /// Governors are intended to be stack-allocated per query attempt (see
 /// ConstraintDatabase::QueryWithPolicy) or re-armed per bench cell with
-/// Reset(). Charging is thread-safe; Reset() is not (quiesce first).
+/// Reset(). Charging is thread-safe and may come from many pool workers
+/// at once; Reset() is data-race-free but logically racy against
+/// in-flight charges (quiesce first for meaningful budgets).
 
 #include <atomic>
 #include <chrono>
@@ -82,6 +84,12 @@ struct ResourceLimits {
 /// Charge() is const so that the pipeline can thread `const
 /// ResourceGovernor*` everywhere (the counters are mutable atomics); the
 /// object itself carries the mutable budget state.
+///
+/// One governor may be charged from many pool workers at once (parallel
+/// CAD lifting / disjunct QE / datalog rules all share the query's
+/// governor): the step and byte counters are atomics, the deadline origin
+/// is an atomic nanosecond stamp, and the trip verdict is guarded by a
+/// mutex on the cold path — so a charge stays ~one atomic load + add.
 class ResourceGovernor {
  public:
   /// `cancel`, when non-null, is an external flag (e.g. set from a signal
@@ -116,13 +124,24 @@ class ResourceGovernor {
   std::string tripped_stage() const;
 
   std::uint64_t steps_consumed() const {
-    return steps_.load(std::memory_order_relaxed);
+    return steps_.load(std::memory_order_acquire);
   }
   std::uint64_t bytes_consumed() const {
-    return bytes_.load(std::memory_order_relaxed);
+    return bytes_.load(std::memory_order_acquire);
   }
   /// Wall time since construction / the last Reset.
   double elapsed_seconds() const;
+
+  /// One coherent reading of everything a verdict reports. Safe to call
+  /// while workers are still charging (each field is an atomic read); use
+  /// this instead of separate steps/bytes/elapsed getters when the three
+  /// values are reported together (e.g. QueryVerdict).
+  struct Consumption {
+    std::uint64_t steps = 0;
+    std::uint64_t bytes = 0;
+    double elapsed_seconds = 0.0;
+  };
+  Consumption Snapshot() const;
 
   const ResourceLimits& limits() const { return limits_; }
 
@@ -136,7 +155,10 @@ class ResourceGovernor {
 
   ResourceLimits limits_;
   std::atomic<bool>* cancel_;
-  std::chrono::steady_clock::time_point start_;
+  // Deadline origin as a steady_clock nanosecond stamp. Atomic because
+  // Reset() re-arms it while observers (metrics, verdict snapshots) may
+  // still be reading; charging threads load it on every deadline check.
+  mutable std::atomic<std::int64_t> start_ns_;
 
   mutable std::atomic<std::uint64_t> steps_{0};
   mutable std::atomic<std::uint64_t> bytes_{0};

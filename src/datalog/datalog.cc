@@ -6,6 +6,7 @@
 #include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
+#include "base/thread_pool.h"
 #include "base/trace.h"
 #include "qe/fourier_motzkin.h"
 
@@ -226,20 +227,38 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     CCDB_METRIC_COUNT("datalog.iterations", 1);
     bool grew = false;
     // Evaluate all rules against the CURRENT interpretation (simultaneous
-    // inflationary step), then merge.
-    std::map<std::string, std::vector<GeneralizedTuple>> derived;
-    for (const DatalogRule& rule : program.rules) {
-      CCDB_ASSIGN_OR_RETURN(Formula body, RuleToFormula(rule));
-      CCDB_ASSIGN_OR_RETURN(Formula instantiated,
-                            body.InstantiateRelations(lookup));
+    // inflationary step), then merge. Rule bodies are independent QE
+    // problems over a frozen interpretation, so they evaluate across the
+    // pool into index-addressed slots; the merge below walks the slots in
+    // rule order, which keeps derived-tuple order, stats accumulation, and
+    // the Z_k precision verdict identical at every thread count.
+    struct RuleSlot {
+      ConstraintRelation rel;
       QeStats qe_stats;
+    };
+    CCDB_ASSIGN_OR_RETURN(
+        std::vector<RuleSlot> rule_slots,
+        ThreadPool::Resolve(options.qe.pool)->ParallelMap<RuleSlot>(
+            program.rules.size(),
+            [&](std::size_t i) -> StatusOr<RuleSlot> {
+              const DatalogRule& rule = program.rules[i];
+              CCDB_ASSIGN_OR_RETURN(Formula body, RuleToFormula(rule));
+              CCDB_ASSIGN_OR_RETURN(Formula instantiated,
+                                    body.InstantiateRelations(lookup));
+              RuleSlot slot;
+              CCDB_ASSIGN_OR_RETURN(
+                  slot.rel,
+                  EliminateQuantifiers(instantiated,
+                                       static_cast<int>(rule.head_vars.size()),
+                                       options.qe, &slot.qe_stats));
+              return slot;
+            }));
+    std::map<std::string, std::vector<GeneralizedTuple>> derived;
+    for (std::size_t i = 0; i < program.rules.size(); ++i) {
+      const DatalogRule& rule = program.rules[i];
+      RuleSlot& slot = rule_slots[i];
       ++s->qe_calls;
-      CCDB_ASSIGN_OR_RETURN(
-          ConstraintRelation result,
-          EliminateQuantifiers(instantiated,
-                               static_cast<int>(rule.head_vars.size()),
-                               options.qe, &qe_stats));
-      s->max_bits = std::max(s->max_bits, qe_stats.max_intermediate_bits);
+      s->max_bits = std::max(s->max_bits, slot.qe_stats.max_intermediate_bits);
       if (options.precision_k != 0 && s->max_bits > options.precision_k) {
         return Status::Undefined(
             "Datalog^F_QE: iteration needs integers of bit length " +
@@ -247,8 +266,8 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
             std::to_string(options.precision_k));
       }
       auto& bucket = derived[rule.head];
-      for (const GeneralizedTuple& tuple : result.tuples()) {
-        bucket.push_back(tuple);
+      for (GeneralizedTuple& tuple : *slot.rel.mutable_tuples()) {
+        bucket.push_back(std::move(tuple));
       }
     }
     for (auto& [name, tuples] : derived) {

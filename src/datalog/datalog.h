@@ -53,7 +53,10 @@ struct DatalogOptions {
   /// QE options for each rule evaluation. `qe.governor`, when set, is also
   /// charged once per fixpoint round and per derived tuple (stage
   /// "datalog.iteration"), so a budget bounds the whole fixpoint — not just
-  /// the individual QE calls.
+  /// the individual QE calls. `qe.pool` additionally drives the per-rule
+  /// fan-out of each inflationary round: rule bodies evaluate in parallel
+  /// against the frozen current interpretation and merge in rule order,
+  /// so the fixpoint is identical at every thread count.
   QeOptions qe;
 };
 

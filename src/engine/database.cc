@@ -117,9 +117,13 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
     CalcFEvaluator evaluator(MakeLookup(), opts);
     StatusOr<CalcFResult> result = evaluator.EvaluateText(text);
     ++v.attempts;
-    v.steps_consumed = gov.steps_consumed();
-    v.bytes_consumed = gov.bytes_consumed();
-    v.elapsed_seconds = gov.elapsed_seconds();
+    // One coherent snapshot: workers spawned by a parallel attempt all
+    // charge this governor, so the three readings are taken through the
+    // governor's atomic snapshot rather than three bare field reads.
+    ResourceGovernor::Consumption consumed = gov.Snapshot();
+    v.steps_consumed = consumed.steps;
+    v.bytes_consumed = consumed.bytes;
+    v.elapsed_seconds = consumed.elapsed_seconds;
     if (result.ok()) {
       v.ok = true;
       v.rung = kRungNames[rung];

@@ -266,9 +266,16 @@ StatusOr<Cad> Cad::Build(const std::vector<Polynomial>& polys, int num_vars,
   {
     CCDB_TRACE_SPAN("cad.lift");
     CCDB_FAILPOINT("cad.lift");
-    for (CadCell& cell : cad.roots_) {
-      CCDB_RETURN_IF_ERROR(lift(cell, 1));
-    }
+    // Base-phase cells lift as independent stacks: each subtree writes
+    // only its own cells and refines only its own sample coordinates, the
+    // projection factor sets are read-only, and the shared governor is
+    // atomic. Cells stay index-addressed inside cad.roots_, so the tree
+    // is assembled in stack order regardless of completion order.
+    CCDB_RETURN_IF_ERROR(ThreadPool::Resolve(options.pool)
+                             ->ParallelFor(cad.roots_.size(),
+                                           [&](std::size_t i) -> Status {
+                                             return lift(cad.roots_[i], 1);
+                                           }));
   }
   CCDB_METRIC_COUNT("cad.cells", cad.CountAllCells());
   return cad;

@@ -6,6 +6,7 @@
 
 #include "base/resource.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "poly/polynomial.h"
 #include "qe/algebraic_point.h"
 
@@ -38,6 +39,12 @@ struct CadOptions {
   /// per lifted cell — the loops where the doubly exponential blowup
   /// materializes. Null = unlimited. Borrowed, not owned.
   const ResourceGovernor* governor = nullptr;
+  /// Worker pool for the lifting phase: base-phase cells are lifted as
+  /// independent stacks (each base cell's subtree touches only its own
+  /// sample points) and the cell tree is assembled in stack order, so the
+  /// decomposition is identical at every thread count. Null = the
+  /// process-wide ThreadPool::Shared(). Borrowed, not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// A cylindrical algebraic decomposition of R^num_vars, sign-invariant for

@@ -152,25 +152,39 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateFromTuple(
 
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
     const std::vector<GeneralizedTuple>& tuples, int var,
-    const ResourceGovernor* gov) {
+    const ResourceGovernor* gov, ThreadPool* pool) {
   if (!IsLinearSystem(tuples)) {
     return Status::InvalidArgument("Fourier-Motzkin requires linear atoms");
   }
   CCDB_FAILPOINT("qe.fm");
   CCDB_METRIC_COUNT("fm.rounds", 1);
+  // Existential quantification distributes over the union, so every
+  // disjunct is eliminated independently; results land in index-addressed
+  // slots and are concatenated in input order, never completion order, so
+  // the output is identical at every thread count.
+  std::vector<GeneralizedTuple> split = SplitDisequalities(tuples);
+  CCDB_ASSIGN_OR_RETURN(
+      std::vector<std::vector<GeneralizedTuple>> slots,
+      ThreadPool::Resolve(pool)->ParallelMap<std::vector<GeneralizedTuple>>(
+          split.size(),
+          [&](std::size_t i) -> StatusOr<std::vector<GeneralizedTuple>> {
+            CCDB_CHECK_BUDGET(gov, "qe.fm");
+            CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> eliminated,
+                                  EliminateFromTuple(split[i], var, gov));
+            if (gov != nullptr) {
+              for (const GeneralizedTuple& t : eliminated) {
+                std::size_t bytes = 0;
+                for (const Atom& atom : t.atoms) {
+                  bytes += atom.poly.EstimateBytes();
+                }
+                gov->ChargeBytes(bytes);
+              }
+            }
+            return eliminated;
+          }));
   std::vector<GeneralizedTuple> out;
-  for (const GeneralizedTuple& tuple : SplitDisequalities(tuples)) {
-    CCDB_CHECK_BUDGET(gov, "qe.fm");
-    CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> eliminated,
-                          EliminateFromTuple(tuple, var, gov));
-    for (GeneralizedTuple& t : eliminated) {
-      if (gov != nullptr) {
-        std::size_t bytes = 0;
-        for (const Atom& atom : t.atoms) bytes += atom.poly.EstimateBytes();
-        gov->ChargeBytes(bytes);
-      }
-      out.push_back(std::move(t));
-    }
+  for (std::vector<GeneralizedTuple>& slot : slots) {
+    for (GeneralizedTuple& t : slot) out.push_back(std::move(t));
   }
   return SimplifyTuples(std::move(out));
 }

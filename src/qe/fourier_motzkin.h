@@ -5,6 +5,7 @@
 
 #include "base/resource.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "constraint/atom.h"
 
 namespace ccdb {
@@ -25,9 +26,13 @@ bool IsLinearSystem(const std::vector<GeneralizedTuple>& tuples);
 /// A non-null `gov` is charged once per eliminated tuple and per generated
 /// cross constraint (stage "qe.fm"); on a budget trip the round fails with
 /// kResourceExhausted.
+///
+/// Disjuncts are eliminated independently across `pool` (null = the shared
+/// pool) and merged in input order, so the output is identical at every
+/// thread count.
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
     const std::vector<GeneralizedTuple>& tuples, int var,
-    const ResourceGovernor* gov = nullptr);
+    const ResourceGovernor* gov = nullptr, ThreadPool* pool = nullptr);
 
 /// Removes syntactically redundant atoms and trivially false tuples.
 std::vector<GeneralizedTuple> SimplifyTuples(

@@ -149,12 +149,16 @@ struct CadEvalResult {
 };
 
 // Evaluates the quantifier prefix over a built CAD. prefix[i] quantifies
-// variable num_free + i.
+// variable num_free + i. Free-space cells are evaluated across `pool`:
+// each cell's subtree is disjoint (sample coordinates are owned per cell,
+// so lazy interval refinement never crosses threads) and the verdicts are
+// merged in stack order, keeping the result thread-count independent.
 StatusOr<CadEvalResult> EvaluateCad(const Cad& cad,
                                     const std::vector<PrenexBlock>& prefix,
                                     int num_free,
                                     const std::vector<GeneralizedTuple>& matrix,
-                                    const std::vector<Polynomial>& matrix_polys) {
+                                    const std::vector<Polynomial>& matrix_polys,
+                                    ThreadPool* pool) {
   int n = cad.num_vars();
   // Recursive truth of a cell.
   std::function<bool(const CadCell&)> truth = [&](const CadCell& cell) -> bool {
@@ -207,18 +211,33 @@ StatusOr<CadEvalResult> EvaluateCad(const Cad& cad,
   }
 
   std::vector<Polynomial> free_factors = cad.FactorsBelow(num_free);
-  cad.ForEachCellAtDimension(num_free, [&](const CadCell& cell) {
+  std::vector<const CadCell*> free_cells;
+  cad.ForEachCellAtDimension(
+      num_free, [&free_cells](const CadCell& cell) { free_cells.push_back(&cell); });
+  struct CellVerdict {
     std::vector<int> vector;
-    vector.reserve(free_factors.size());
-    for (const Polynomial& p : free_factors) {
-      vector.push_back(cell.sample.SignAt(p));
-    }
-    if (truth(cell)) {
-      result.true_vectors.push_back(std::move(vector));
+    bool truth = false;
+  };
+  CCDB_ASSIGN_OR_RETURN(
+      std::vector<CellVerdict> verdicts,
+      ThreadPool::Resolve(pool)->ParallelMap<CellVerdict>(
+          free_cells.size(), [&](std::size_t i) -> StatusOr<CellVerdict> {
+            const CadCell& cell = *free_cells[i];
+            CellVerdict verdict;
+            verdict.vector.reserve(free_factors.size());
+            for (const Polynomial& p : free_factors) {
+              verdict.vector.push_back(cell.sample.SignAt(p));
+            }
+            verdict.truth = truth(cell);
+            return verdict;
+          }));
+  for (CellVerdict& verdict : verdicts) {
+    if (verdict.truth) {
+      result.true_vectors.push_back(std::move(verdict.vector));
     } else {
-      result.false_vectors.push_back(std::move(vector));
+      result.false_vectors.push_back(std::move(verdict.vector));
     }
-  });
+  }
   return result;
 }
 
@@ -350,11 +369,12 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
       CCDB_CHECK_BUDGET(gov, "qe.fm");
       int var = num_free_vars + i;
       if (prenex.prefix[i].is_exists) {
-        CCDB_ASSIGN_OR_RETURN(tuples, EliminateExistsLinear(tuples, var, gov));
+        CCDB_ASSIGN_OR_RETURN(
+            tuples, EliminateExistsLinear(tuples, var, gov, options.pool));
       } else {
         std::vector<GeneralizedTuple> negated = NegateTuples(tuples);
-        CCDB_ASSIGN_OR_RETURN(negated,
-                              EliminateExistsLinear(negated, var, gov));
+        CCDB_ASSIGN_OR_RETURN(
+            negated, EliminateExistsLinear(negated, var, gov, options.pool));
         tuples = NegateTuples(negated);
       }
       s->max_intermediate_bits =
@@ -372,6 +392,61 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
         "stage=qe.drive reason=linear_only: query needs CAD but the policy "
         "restricts this attempt to the linear fragment");
   }
+  // Disjunct-wise elimination (the driver's parallel fan-out point): an
+  // all-existential prefix distributes over the top-level union, so
+  // exists ȳ (D1 ∨ ... ∨ Dm) is answered by m independent eliminations,
+  // each building a CAD over only its own polynomials. Slots are merged
+  // in disjunct order — the split and the merge order are algorithm
+  // decisions, not scheduling artifacts, so the answer is identical at
+  // every thread count (and with the split disabled, semantically so).
+  bool all_exists = true;
+  for (const PrenexBlock& block : prenex.prefix) {
+    if (!block.is_exists) all_exists = false;
+  }
+  if (options.allow_disjunct_split && all_exists && tuples.size() > 1) {
+    CCDB_TRACE_SPAN("qe.disjunct_split");
+    CCDB_METRIC_COUNT("qe.disjunct_splits", 1);
+    struct DisjunctSlot {
+      ConstraintRelation rel;
+      QeStats stats;
+    };
+    CCDB_ASSIGN_OR_RETURN(
+        std::vector<DisjunctSlot> slots,
+        ThreadPool::Resolve(options.pool)->ParallelMap<DisjunctSlot>(
+            tuples.size(), [&](std::size_t i) -> StatusOr<DisjunctSlot> {
+              CCDB_CHECK_BUDGET(gov, "qe.drive");
+              std::vector<Formula> atoms;
+              atoms.reserve(tuples[i].atoms.size());
+              for (const Atom& atom : tuples[i].atoms) {
+                atoms.push_back(Formula::MakeAtom(atom));
+              }
+              Formula disjunct = Formula::And(atoms);
+              for (int v = n - 1; v >= num_free_vars; --v) {
+                disjunct = Formula::Exists(v, std::move(disjunct));
+              }
+              DisjunctSlot slot;
+              CCDB_ASSIGN_OR_RETURN(
+                  slot.rel, EliminateQuantifiers(disjunct, num_free_vars,
+                                                 options, &slot.stats));
+              return slot;
+            }));
+    ConstraintRelation rel(num_free_vars);
+    for (DisjunctSlot& slot : slots) {
+      s->cad_cells += slot.stats.cad_cells;
+      s->projection_factors += slot.stats.projection_factors;
+      s->max_intermediate_bits =
+          std::max(s->max_intermediate_bits, slot.stats.max_intermediate_bits);
+      s->used_linear_path |= slot.stats.used_linear_path;
+      s->used_dense_order_path |= slot.stats.used_dense_order_path;
+      s->used_thom_augmentation |= slot.stats.used_thom_augmentation;
+      for (GeneralizedTuple& tuple : *slot.rel.mutable_tuples()) {
+        rel.AddTuple(std::move(tuple));
+      }
+    }
+    *rel.mutable_tuples() = SimplifyTuples(std::move(*rel.mutable_tuples()));
+    return rel;
+  }
+
   CCDB_TRACE_SPAN("qe.cad_path");
   std::vector<Polynomial> matrix_polys = CollectDistinctPolys(tuples);
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -379,6 +454,7 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
     CadOptions cad_options;
     cad_options.derivative_closure_below = attempt == 0 ? 0 : num_free_vars;
     cad_options.governor = gov;
+    cad_options.pool = options.pool;
     if (attempt == 1) {
       s->used_thom_augmentation = true;
       CCDB_LOG(INFO) << "QE: retrying CAD with Thom-derivative augmentation "
@@ -398,7 +474,8 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
 
     CCDB_ASSIGN_OR_RETURN(
         CadEvalResult eval,
-        EvaluateCad(cad, prenex.prefix, num_free_vars, tuples, matrix_polys));
+        EvaluateCad(cad, prenex.prefix, num_free_vars, tuples, matrix_polys,
+                    options.pool));
 
     if (num_free_vars == 0) {
       ConstraintRelation rel(0);

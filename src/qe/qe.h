@@ -7,6 +7,7 @@
 
 #include "base/resource.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "constraint/atom.h"
 #include "constraint/formula.h"
 
@@ -51,10 +52,25 @@ struct QeOptions {
   /// fails with kResourceExhausted instead of risking a doubly exponential
   /// CAD — the last rung of ConstraintDatabase::QueryWithPolicy's ladder.
   bool linear_only = false;
+  /// Split an all-existential prefix over the top-level disjunction before
+  /// the CAD path: exists ȳ (D1 ∨ ... ∨ Dm) is eliminated disjunct by
+  /// disjunct (each disjunct builds a CAD over only its own polynomials)
+  /// and the per-disjunct answers are unioned in input order. This is both
+  /// an algorithmic win (m small CADs instead of one joint CAD) and the
+  /// driver's parallel fan-out point. The split is a deterministic
+  /// algorithm decision — it does not depend on the thread count.
+  bool allow_disjunct_split = true;
   /// Resource budget charged at every hot-loop head of the elimination
   /// (driver rounds, CAD projection/base/lifting, root isolation,
   /// Fourier-Motzkin tuples). Null = unlimited. Borrowed, not owned.
   const ResourceGovernor* governor = nullptr;
+  /// Worker pool for the parallel stages (per-disjunct elimination, CAD
+  /// lifting over base-phase cells, cell-truth evaluation). Null = the
+  /// process-wide ThreadPool::Shared(), which defaults to serial unless
+  /// CCDB_THREADS is set. Borrowed, not owned. Results are merged in
+  /// canonical index order, so answers are identical at every thread
+  /// count.
+  ThreadPool* pool = nullptr;
 };
 
 /// The QUANTIFIER ELIMINATION step of the paper's pipeline (Section 2,

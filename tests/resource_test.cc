@@ -131,5 +131,39 @@ TEST(CheckBudgetMacroTest, PropagatesExhaustion) {
   EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
 }
 
+// Regression test for the parallel engine: once pool workers charge a
+// shared governor concurrently, the consumption snapshot that
+// QueryWithPolicy folds into QueryVerdict — and the deadline origin that
+// Reset() re-arms between bench cells — must be reachable without a data
+// race. Before the counters/origin became atomics, ThreadSanitizer
+// flagged this test (concurrent Charge vs Snapshot/Reset on the
+// governor's clock origin); it must stay green under -DCCDB_SANITIZE=thread.
+TEST(ResourceGovernorTest, ConcurrentChargeSnapshotAndResetAreRaceFree) {
+  ResourceGovernor gov(ResourceLimits::Deadline(30.0));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> chargers;
+  for (int t = 0; t < 4; ++t) {
+    chargers.emplace_back([&gov, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        // Deadline-limited: every charge reads the clock origin.
+        (void)gov.Charge("test.concurrent");
+        gov.ChargeBytes(8);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    ResourceGovernor::Consumption snapshot = gov.Snapshot();
+    EXPECT_GE(snapshot.elapsed_seconds, 0.0);
+    // bytes/steps grow monotonically between resets; the reading itself
+    // must simply be tear-free.
+    (void)snapshot.steps;
+    (void)snapshot.bytes;
+    if (round % 50 == 49) gov.Reset();  // re-arm while charges are in flight
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : chargers) t.join();
+  EXPECT_FALSE(gov.exhausted());
+}
+
 }  // namespace
 }  // namespace ccdb
