@@ -18,10 +18,14 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "base/memo.h"
+#include "base/metrics.h"
 #include "base/resource.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
 #include "constraint/atom.h"
+#include "constraint/formula.h"
+#include "poly/polynomial.h"
 #include "poly/upoly.h"
 
 namespace ccdb_bench {
@@ -46,6 +50,14 @@ inline int& BenchThreads() {
 /// the process-wide shared pool, sized by InitBenchTracing.
 inline ccdb::ThreadPool* Pool() { return ccdb::ThreadPool::Shared(); }
 
+/// Whether the memo caches are on for this run (set by `--qe-cache=0|1`
+/// or CCDB_QE_CACHE; defaults to on). Also the value of the JSON report's
+/// "qe_cache" column, so cache-on/cache-off runs can be diffed row by row.
+inline bool& BenchQeCacheEnabled() {
+  static bool enabled = ccdb::MemoCachesEnabled();
+  return enabled;
+}
+
 /// Processes the standard harness flags. Call first thing in main().
 ///
 ///   --trace-out=<file>    (or CCDB_TRACE_OUT) span tracing for the run,
@@ -58,6 +70,10 @@ inline ccdb::ThreadPool* Pool() { return ccdb::ThreadPool::Shared(); }
 ///                         pool; N = total runners, 1 = serial. Results
 ///                         are identical at every N (see DESIGN.md), only
 ///                         the timings change.
+///   --qe-cache=<0|1>      (or CCDB_QE_CACHE) toggle the memo caches (QE
+///                         result / resultant / query caches). Results are
+///                         byte-identical either way (pure memo contract),
+///                         only the timings change.
 inline void InitBenchTracing(int argc, char** argv) {
   static std::string trace_path;
   if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
@@ -78,6 +94,12 @@ inline void InitBenchTracing(int argc, char** argv) {
     constexpr const char kThreadsFlag[] = "--threads=";
     if (std::strncmp(argv[i], kThreadsFlag, sizeof(kThreadsFlag) - 1) == 0) {
       BenchThreads() = std::atoi(argv[i] + (sizeof(kThreadsFlag) - 1));
+    }
+    constexpr const char kQeCacheFlag[] = "--qe-cache=";
+    if (std::strncmp(argv[i], kQeCacheFlag, sizeof(kQeCacheFlag) - 1) == 0) {
+      BenchQeCacheEnabled() =
+          std::atoi(argv[i] + (sizeof(kQeCacheFlag) - 1)) != 0;
+      ccdb::SetMemoCachesEnabled(BenchQeCacheEnabled());
     }
   }
   if (BenchThreads() < 1) BenchThreads() = 1;
@@ -136,11 +158,17 @@ inline std::string TableCell(const std::optional<double>& seconds) {
   return buffer;
 }
 
-/// Collects `{"cell": <name>, "threads": <N>, "ms": <value-or-null>}`
-/// rows; the report is printed as one JSON array line at exit (after the
-/// human-readable table), machine-readable for the experiment plots. The
-/// "threads" column lets a sweep (`--threads=1`, `--threads=8`, ...)
-/// concatenate its reports into one speedup table.
+/// Collects `{"cell": <name>, "threads": <N>, "qe_cache": <0|1>,
+/// "ms": <value-or-null>, "qe_cache_hit_rate": <rate-or-null>,
+/// "formula_nodes": <N>, "poly_nodes": <N>}` rows; the report is printed
+/// as one JSON array line at exit (after the human-readable table),
+/// machine-readable for the experiment plots. The "threads" column lets a
+/// sweep (`--threads=1`, `--threads=8`, ...) concatenate its reports into
+/// one speedup table; "qe_cache" does the same for `--qe-cache=0/1`
+/// differential runs. The hit rate is per cell (delta of the qe_cache
+/// hit/miss counters since the previous RecordCell, null when the cell
+/// never consulted the cache); the node counts are the live hash-consed
+/// formula arena and interned polynomial pool sizes at record time.
 inline std::vector<std::string>& JsonReportRows() {
   // Leaked on purpose: must stay alive for the atexit printer.
   static auto* rows = new std::vector<std::string>();
@@ -161,10 +189,34 @@ inline void RecordCell(const std::string& name,
     return true;
   }();
   (void)hooked;
+  static ccdb::Counter* hits =
+      ccdb::MetricsRegistry::Global().GetCounter("qe_cache_hits");
+  static ccdb::Counter* misses =
+      ccdb::MetricsRegistry::Global().GetCounter("qe_cache_misses");
+  static std::uint64_t prev_hits = hits->value();
+  static std::uint64_t prev_misses = misses->value();
+  std::uint64_t cell_hits = hits->value() - prev_hits;
+  std::uint64_t cell_misses = misses->value() - prev_misses;
+  prev_hits = hits->value();
+  prev_misses = misses->value();
+  std::string hit_rate = "null";
+  if (cell_hits + cell_misses > 0) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.4f",
+                  static_cast<double>(cell_hits) /
+                      static_cast<double>(cell_hits + cell_misses));
+    hit_rate = buffer;
+  }
+  ccdb::FormulaArenaStats arena = ccdb::GetFormulaArenaStats();
+  ccdb::PolyInternStats poly = ccdb::GetPolyInternStats();
   JsonReportRows().push_back(
       "{\"cell\": \"" + name +
       "\", \"threads\": " + std::to_string(BenchThreads()) +
-      ", \"ms\": " + JsonCell(seconds) + "}");
+      ", \"qe_cache\": " + (BenchQeCacheEnabled() ? "1" : "0") +
+      ", \"ms\": " + JsonCell(seconds) +
+      ", \"qe_cache_hit_rate\": " + hit_rate +
+      ", \"formula_nodes\": " + std::to_string(arena.live_nodes) +
+      ", \"poly_nodes\": " + std::to_string(poly.entries) + "}");
 }
 
 inline double TimeSeconds(const std::function<void()>& fn) {

@@ -31,7 +31,10 @@
 
 #include "base/metrics.h"
 #include "base/trace.h"
+#include "constraint/formula.h"
 #include "engine/database.h"
+#include "poly/polynomial.h"
+#include "qe/qe_cache.h"
 
 namespace {
 
@@ -275,6 +278,13 @@ int main() {
     if (line == ".stats") {
       std::printf("%s\n",
                   ccdb::MetricsRegistry::Global().SnapshotJson().c_str());
+      ccdb::FormulaArenaStats arena = ccdb::GetFormulaArenaStats();
+      ccdb::PolyInternStats poly = ccdb::GetPolyInternStats();
+      std::printf(
+          "interned IR: formula arena %zu live / %zu ever interned, "
+          "%zu interned polynomials, qe cache %zu entries\n",
+          arena.live_nodes, arena.total_interned, poly.entries,
+          ccdb::QeResultCache().size());
       continue;
     }
     if (line.rfind(".trace ", 0) == 0) {

@@ -102,6 +102,7 @@ Status FailpointRegistry::Configure(const std::string& config) {
 void FailpointRegistry::Set(const std::string& site, FailpointSpec spec) {
   std::lock_guard<std::mutex> lock(mu_);
   SiteState& state = sites_[site];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
   state.armed = true;
   state.spec = spec;
   state.hits = 0;
@@ -111,12 +112,16 @@ void FailpointRegistry::Set(const std::string& site, FailpointSpec spec) {
 void FailpointRegistry::Clear(const std::string& site) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sites_.find(site);
-  if (it != sites_.end()) it->second.armed = false;
+  if (it != sites_.end() && it->second.armed) {
+    it->second.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void FailpointRegistry::ClearAll() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
 }
 
 std::uint64_t FailpointRegistry::HitCount(const std::string& site) const {
@@ -142,6 +147,7 @@ Status FailpointRegistry::Hit(const char* site) {
   // One-shot: firing disarms the site so recovery paths (a ladder retry,
   // the next query) run clean.
   state.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
   CCDB_METRIC_COUNT("failpoint.injected", 1);
   CCDB_LOG(INFO) << "failpoint fired: " << site << " at hit " << state.hits;
   return MakeInjected(state.spec.kind, site);

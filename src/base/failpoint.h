@@ -33,6 +33,7 @@
 ///     ...
 ///   }
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -79,6 +80,13 @@ class FailpointRegistry {
   std::uint64_t HitCount(const std::string& site) const;
   /// Names of currently armed sites.
   std::vector<std::string> ArmedSites() const;
+  /// True while any site is armed — one relaxed atomic load, cheap enough
+  /// for hot paths. The memo caches consult this and stand down while a
+  /// fault is armed, so injection always reaches the real stage instead of
+  /// being masked by a cache hit.
+  bool HasArmed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
 
   /// Counts a pass through `site`; returns the injected error iff the site
   /// is armed and this is its fire_at-th hit. Called by CCDB_FAILPOINT.
@@ -95,6 +103,8 @@ class FailpointRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, SiteState> sites_;
+  /// Count of armed sites, mirrored from `sites_` under `mu_`.
+  std::atomic<int> armed_count_{0};
 };
 
 }  // namespace ccdb

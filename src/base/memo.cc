@@ -1,0 +1,39 @@
+#include "base/memo.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "base/failpoint.h"
+
+namespace ccdb {
+
+namespace {
+
+// -1 = follow the environment, 0 = forced off, 1 = forced on.
+std::atomic<int> g_memo_override{-1};
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("CCDB_QE_CACHE");
+    return env == nullptr || std::string(env) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+bool MemoCachesEnabled() {
+  // Armed failpoints demand real execution: a memo hit would skip the very
+  // stage a fault-injection test wants to reach, so the caches stand down
+  // (no lookups, no inserts) while any site is armed.
+  if (FailpointRegistry::Global().HasArmed()) return false;
+  int forced = g_memo_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return EnvEnabled();
+}
+
+void SetMemoCachesEnabled(bool enabled) {
+  g_memo_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace ccdb

@@ -25,6 +25,24 @@ RelOp NegateOp(RelOp op) {
   return RelOp::kEq;
 }
 
+RelOp FlipOp(RelOp op) {
+  switch (op) {
+    case RelOp::kEq:
+    case RelOp::kNeq:
+      return op;
+    case RelOp::kLt:
+      return RelOp::kGt;
+    case RelOp::kLe:
+      return RelOp::kGe;
+    case RelOp::kGt:
+      return RelOp::kLt;
+    case RelOp::kGe:
+      return RelOp::kLe;
+  }
+  CCDB_CHECK(false);
+  return RelOp::kEq;
+}
+
 bool SignSatisfies(int sign, RelOp op) {
   switch (op) {
     case RelOp::kEq:
@@ -62,6 +80,18 @@ const char* RelOpToString(RelOp op) {
   return "?";
 }
 
+Atom Atom::Canonical() const {
+  Rational factor;
+  Polynomial normalized = poly.IntegerNormalized(&factor);
+  RelOp canonical_op = factor.sign() < 0 ? FlipOp(op) : op;
+  return Atom(normalized.Interned(), canonical_op);
+}
+
+bool Atom::operator<(const Atom& other) const {
+  if (poly != other.poly) return poly < other.poly;
+  return static_cast<int>(op) < static_cast<int>(other.op);
+}
+
 std::string Atom::ToString(const std::vector<std::string>& names) const {
   return poly.ToString(names) + " " + RelOpToString(op) + " 0";
 }
@@ -89,6 +119,32 @@ bool GeneralizedTuple::SimplifyConstants() {
   }
   atoms = std::move(kept);
   return true;
+}
+
+bool GeneralizedTuple::Canonicalize() {
+  std::vector<Atom> kept;
+  kept.reserve(atoms.size());
+  for (Atom& atom : atoms) {
+    Atom canonical = atom.Canonical();
+    if (canonical.poly.is_constant()) {
+      if (!SignSatisfies(canonical.poly.constant_value().sign(),
+                         canonical.op)) {
+        return false;
+      }
+      continue;  // identically true, drop
+    }
+    kept.push_back(std::move(canonical));
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  atoms = std::move(kept);
+  return true;
+}
+
+std::size_t GeneralizedTuple::Hash() const {
+  std::size_t h = 1469598103934665603ull;
+  for (const Atom& atom : atoms) h = h * 1099511628211ull + atom.Hash();
+  return h;
 }
 
 std::string GeneralizedTuple::ToString(

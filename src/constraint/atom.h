@@ -21,6 +21,9 @@ enum class RelOp {
 
 /// The logical negation of an operator.
 RelOp NegateOp(RelOp op);
+/// The operator satisfied by -p whenever p satisfies `op` (mirror across
+/// zero): < and > swap, <= and >= swap, = and != are fixed.
+RelOp FlipOp(RelOp op);
 /// True iff `sign` (of a polynomial value, in {-1,0,1}) satisfies `op`.
 bool SignSatisfies(int sign, RelOp op);
 /// "=", "!=", "<", "<=", ">", ">=".
@@ -38,6 +41,13 @@ struct Atom {
   /// The negated atom (same polynomial, complemented operator).
   Atom Negated() const { return Atom(poly, NegateOp(op)); }
 
+  /// The canonical representative of this atom's equivalence class: the
+  /// polynomial is gcd-reduced to its primitive integer form with positive
+  /// leading coefficient (flipping the operator when the sign flipped, so
+  /// "-x < 0" and "x > 0" — and hence ¬(p < 0) and p >= 0 — canonicalize
+  /// identically) and interned in the polynomial pool. Idempotent.
+  Atom Canonical() const;
+
   /// Truth at a rational point (must cover the polynomial's variables).
   bool SatisfiedAt(const std::vector<Rational>& point) const {
     return SignSatisfies(poly.Evaluate(point).sign(), op);
@@ -45,6 +55,13 @@ struct Atom {
 
   bool operator==(const Atom& other) const {
     return op == other.op && poly == other.poly;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  /// Deterministic structural order (polynomial order, then operator).
+  bool operator<(const Atom& other) const;
+
+  std::size_t Hash() const {
+    return poly.Hash() * 1099511628211ull + static_cast<std::size_t>(op);
   }
 
   std::string ToString(const std::vector<std::string>& names = {}) const;
@@ -73,6 +90,21 @@ struct GeneralizedTuple {
   /// Removes constant atoms that hold identically; returns false when the
   /// tuple became trivially false instead.
   bool SimplifyConstants();
+
+  /// Full canonicalization: canonicalizes every atom (Atom::Canonical),
+  /// folds constant atoms as SimplifyConstants does, then sorts and
+  /// deduplicates the conjunction. Returns false when the tuple is
+  /// trivially false. Idempotent; equal conjunctions (up to atom order,
+  /// scaling, and sign) canonicalize to equal tuples.
+  bool Canonicalize();
+
+  /// Order-sensitive structural hash (canonicalize first to get an
+  /// order-insensitive one).
+  std::size_t Hash() const;
+
+  bool operator==(const GeneralizedTuple& other) const {
+    return atoms == other.atoms;
+  }
 
   std::string ToString(const std::vector<std::string>& names = {}) const;
 };

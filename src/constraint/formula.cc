@@ -1,12 +1,19 @@
 #include "constraint/formula.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <unordered_map>
 
 #include "base/logging.h"
+#include "base/metrics.h"
 
 namespace ccdb {
 
+/// An interned formula node. Immutable after Finish(); every node reachable
+/// from a Formula handle lives in the arena, so node identity (pointer or
+/// id) coincides with structural identity.
 struct Formula::Node {
   Kind kind = Kind::kTrue;
   Atom atom;
@@ -14,29 +21,243 @@ struct Formula::Node {
   std::vector<int> relation_args;
   std::vector<Formula> children;
   int var = -1;
+
+  // Caches, computed once by Finish() before interning.
+  std::size_t hash = 0;
+  std::uint64_t id = 0;
+  bool quantifier_free = true;
+  bool has_relations = false;
+  std::set<int> free_vars;
+
+  static void Finish(Node* node);
+  static bool Equal(const Node& a, const Node& b);
+  /// Deterministic structural 3-way comparison. Hash-first is an
+  /// optimization, not an order change: the hash is structural (FNV over
+  /// content), so the order is identical across runs and thread counts.
+  static int Compare(const Node& a, const Node& b);
 };
 
-Formula::Formula() : node_(std::make_shared<Node>()) {}
+void Formula::Node::Finish(Node* node) {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::size_t value) { h = h * 1099511628211ull + value; };
+  mix(static_cast<std::size_t>(node->kind));
+  switch (node->kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      break;
+    case Kind::kAtom: {
+      mix(node->atom.Hash());
+      const Polynomial& p = node->atom.poly;
+      for (int v = 0; v <= p.max_var(); ++v) {
+        if (p.Mentions(v)) node->free_vars.insert(v);
+      }
+      break;
+    }
+    case Kind::kRelation:
+      mix(std::hash<std::string>{}(node->relation_name));
+      for (int a : node->relation_args) {
+        mix(static_cast<std::size_t>(a));
+        node->free_vars.insert(a);
+      }
+      node->has_relations = true;
+      break;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const Formula& child : node->children) {
+        mix(child.node_->hash);
+        node->quantifier_free &= child.node_->quantifier_free;
+        node->has_relations |= child.node_->has_relations;
+        node->free_vars.insert(child.node_->free_vars.begin(),
+                               child.node_->free_vars.end());
+      }
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      const Node& body = *node->children[0].node_;
+      mix(static_cast<std::size_t>(node->var));
+      mix(body.hash);
+      node->quantifier_free = false;
+      node->has_relations = body.has_relations;
+      node->free_vars = body.free_vars;
+      node->free_vars.erase(node->var);
+      break;
+    }
+  }
+  node->hash = h;
+}
+
+bool Formula::Node::Equal(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return true;
+    case Kind::kAtom:
+      return a.atom == b.atom;
+    case Kind::kRelation:
+      return a.relation_name == b.relation_name &&
+             a.relation_args == b.relation_args;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr: {
+      if (a.children.size() != b.children.size()) return false;
+      for (std::size_t i = 0; i < a.children.size(); ++i) {
+        // Children are interned, so structural equality is pointer equality.
+        if (a.children[i].node_ != b.children[i].node_) return false;
+      }
+      return true;
+    }
+    case Kind::kExists:
+    case Kind::kForall:
+      return a.var == b.var && a.children[0].node_ == b.children[0].node_;
+  }
+  return false;
+}
+
+int Formula::Node::Compare(const Node& a, const Node& b) {
+  if (&a == &b) return 0;
+  if (a.hash != b.hash) return a.hash < b.hash ? -1 : 1;
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind) ? -1 : 1;
+  }
+  switch (a.kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return 0;
+    case Kind::kAtom: {
+      if (a.atom.poly != b.atom.poly) {
+        return a.atom.poly < b.atom.poly ? -1 : 1;
+      }
+      return static_cast<int>(a.atom.op) - static_cast<int>(b.atom.op);
+    }
+    case Kind::kRelation: {
+      int cmp = a.relation_name.compare(b.relation_name);
+      if (cmp != 0) return cmp;
+      if (a.relation_args != b.relation_args) {
+        return a.relation_args < b.relation_args ? -1 : 1;
+      }
+      return 0;
+    }
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr: {
+      if (a.children.size() != b.children.size()) {
+        return a.children.size() < b.children.size() ? -1 : 1;
+      }
+      for (std::size_t i = 0; i < a.children.size(); ++i) {
+        int cmp = Compare(*a.children[i].node_, *b.children[i].node_);
+        if (cmp != 0) return cmp;
+      }
+      return 0;
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      if (a.var != b.var) return a.var < b.var ? -1 : 1;
+      return Compare(*a.children[0].node_, *b.children[0].node_);
+    }
+  }
+  return 0;
+}
+
+/// The process-wide hash-consing arena. Holds WEAK references: a node dies
+/// with its last Formula handle, so the arena bounds itself to the set of
+/// reachable formulas (expired entries are compacted on bucket access).
+/// Ids are assigned from a monotone counter and never reused.
+struct Formula::Arena {
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::size_t, std::vector<std::weak_ptr<const Node>>>
+        buckets;
+  };
+  Shard shards[kShards];
+  std::atomic<std::uint64_t> next_id{1};
+  std::atomic<std::size_t> total_interned{0};
+
+  static Arena& Global() {
+    static Arena* arena = new Arena();  // leaked: process lifetime
+    return *arena;
+  }
+
+  std::shared_ptr<const Node> Intern(std::shared_ptr<Node> node) {
+    Node::Finish(node.get());
+    Shard& shard = shards[node->hash % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& bucket = shard.buckets[node->hash];
+    std::shared_ptr<const Node> found;
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      std::shared_ptr<const Node> existing = bucket[i].lock();
+      if (existing == nullptr) continue;  // expired: compacted away below
+      if (found == nullptr && Node::Equal(*existing, *node)) found = existing;
+      bucket[live++] = bucket[i];
+    }
+    bucket.resize(live);
+    if (found != nullptr) {
+      CCDB_METRIC_COUNT("formula_intern_hits", 1);
+      return found;
+    }
+    node->id = next_id.fetch_add(1, std::memory_order_relaxed);
+    total_interned.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const Node> owned = std::move(node);
+    bucket.push_back(owned);
+    return owned;
+  }
+
+  FormulaArenaStats Stats() {
+    FormulaArenaStats stats;
+    stats.total_interned = total_interned.load(std::memory_order_relaxed);
+    for (Shard& shard : shards) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [hash, bucket] : shard.buckets) {
+        for (const auto& weak : bucket) {
+          if (!weak.expired()) ++stats.live_nodes;
+        }
+      }
+    }
+    return stats;
+  }
+};
+
+FormulaArenaStats Formula::ArenaStats() { return Arena::Global().Stats(); }
+
+FormulaArenaStats GetFormulaArenaStats() { return Formula::ArenaStats(); }
 
 Formula::Formula(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
 
+Formula::Formula() : node_(True().node_) {}
+
 Formula Formula::True() {
-  auto node = std::make_shared<Node>();
-  node->kind = Kind::kTrue;
-  return Formula(std::move(node));
+  static const Formula* singleton = [] {
+    auto node = std::make_shared<Node>();
+    node->kind = Kind::kTrue;
+    return new Formula(Arena::Global().Intern(std::move(node)));
+  }();
+  return *singleton;
 }
 
 Formula Formula::False() {
-  auto node = std::make_shared<Node>();
-  node->kind = Kind::kFalse;
-  return Formula(std::move(node));
+  static const Formula* singleton = [] {
+    auto node = std::make_shared<Node>();
+    node->kind = Kind::kFalse;
+    return new Formula(Arena::Global().Intern(std::move(node)));
+  }();
+  return *singleton;
 }
 
 Formula Formula::MakeAtom(Atom atom) {
+  Atom canonical = atom.Canonical();
+  if (canonical.poly.is_constant()) {
+    return SignSatisfies(canonical.poly.constant_value().sign(), canonical.op)
+               ? True()
+               : False();
+  }
   auto node = std::make_shared<Node>();
   node->kind = Kind::kAtom;
-  node->atom = std::move(atom);
-  return Formula(std::move(node));
+  node->atom = std::move(canonical);
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::Compare(const Polynomial& lhs, RelOp op,
@@ -49,14 +270,28 @@ Formula Formula::Relation(std::string name, std::vector<int> args) {
   node->kind = Kind::kRelation;
   node->relation_name = std::move(name);
   node->relation_args = std::move(args);
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::Not(Formula f) {
+  switch (f.kind()) {
+    case Kind::kTrue:
+      return False();
+    case Kind::kFalse:
+      return True();
+    case Kind::kAtom:
+      // Atoms absorb negation via the operator complement; the canonical
+      // constructor then unifies e.g. ¬(p < 0) with p >= 0.
+      return MakeAtom(f.atom().Negated());
+    case Kind::kNot:
+      return f.children()[0];  // ¬¬φ → φ
+    default:
+      break;
+  }
   auto node = std::make_shared<Node>();
   node->kind = Kind::kNot;
   node->children.push_back(std::move(f));
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::And(Formula a, Formula b) {
@@ -72,14 +307,20 @@ Formula Formula::And(const std::vector<Formula>& fs) {
   for (const Formula& f : fs) {
     if (f.kind() == Kind::kFalse) return False();
     if (f.kind() == Kind::kTrue) continue;
-    kept.push_back(f);
+    if (f.kind() == Kind::kAnd) {
+      kept.insert(kept.end(), f.children().begin(), f.children().end());
+    } else {
+      kept.push_back(f);
+    }
   }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
   if (kept.empty()) return True();
   if (kept.size() == 1) return kept[0];
   auto node = std::make_shared<Node>();
   node->kind = Kind::kAnd;
   node->children = std::move(kept);
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::Or(const std::vector<Formula>& fs) {
@@ -87,30 +328,40 @@ Formula Formula::Or(const std::vector<Formula>& fs) {
   for (const Formula& f : fs) {
     if (f.kind() == Kind::kTrue) return True();
     if (f.kind() == Kind::kFalse) continue;
-    kept.push_back(f);
+    if (f.kind() == Kind::kOr) {
+      kept.insert(kept.end(), f.children().begin(), f.children().end());
+    } else {
+      kept.push_back(f);
+    }
   }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
   if (kept.empty()) return False();
   if (kept.size() == 1) return kept[0];
   auto node = std::make_shared<Node>();
   node->kind = Kind::kOr;
   node->children = std::move(kept);
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::Exists(int var, Formula body) {
+  // ∃x φ ≡ φ when x is not free in φ (the domain ℝ is nonempty); also
+  // covers ∃x true / ∃x false.
+  if (body.FreeVars().count(var) == 0) return body;
   auto node = std::make_shared<Node>();
   node->kind = Kind::kExists;
   node->var = var;
   node->children.push_back(std::move(body));
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula Formula::Forall(int var, Formula body) {
+  if (body.FreeVars().count(var) == 0) return body;
   auto node = std::make_shared<Node>();
   node->kind = Kind::kForall;
   node->var = var;
   node->children.push_back(std::move(body));
-  return Formula(std::move(node));
+  return Formula(Arena::Global().Intern(std::move(node)));
 }
 
 Formula::Kind Formula::kind() const { return node_->kind; }
@@ -139,28 +390,27 @@ int Formula::quantified_var() const {
   return node_->var;
 }
 
-bool Formula::is_quantifier_free() const {
-  if (node_->kind == Kind::kExists || node_->kind == Kind::kForall) {
-    return false;
-  }
-  for (const Formula& child : node_->children) {
-    if (!child.is_quantifier_free()) return false;
-  }
-  return true;
+bool Formula::is_quantifier_free() const { return node_->quantifier_free; }
+
+bool Formula::has_relation_symbols() const { return node_->has_relations; }
+
+bool Formula::operator==(const Formula& other) const {
+  return node_ == other.node_;
 }
 
-bool Formula::has_relation_symbols() const {
-  if (node_->kind == Kind::kRelation) return true;
-  for (const Formula& child : node_->children) {
-    if (child.has_relation_symbols()) return true;
-  }
-  return false;
+bool Formula::operator<(const Formula& other) const {
+  return Node::Compare(*node_, *other.node_) < 0;
 }
+
+std::size_t Formula::Hash() const { return node_->hash; }
+
+std::uint64_t Formula::id() const { return node_->id; }
+
+const std::set<int>& Formula::FreeVars() const { return node_->free_vars; }
 
 namespace {
 
-void CollectVars(const Formula& f, bool free_only, std::set<int>* bound,
-                 std::set<int>* out) {
+void CollectAllVars(const Formula& f, std::set<int>* out) {
   switch (f.kind()) {
     case Formula::Kind::kTrue:
     case Formula::Kind::kFalse:
@@ -168,49 +418,31 @@ void CollectVars(const Formula& f, bool free_only, std::set<int>* bound,
     case Formula::Kind::kAtom: {
       const Polynomial& p = f.atom().poly;
       for (int v = 0; v <= p.max_var(); ++v) {
-        if (p.Mentions(v) && (!free_only || bound->count(v) == 0)) {
-          out->insert(v);
-        }
+        if (p.Mentions(v)) out->insert(v);
       }
       return;
     }
     case Formula::Kind::kRelation:
-      for (int v : f.relation_args()) {
-        if (!free_only || bound->count(v) == 0) out->insert(v);
-      }
+      for (int v : f.relation_args()) out->insert(v);
       return;
     case Formula::Kind::kNot:
     case Formula::Kind::kAnd:
     case Formula::Kind::kOr:
-      for (const Formula& child : f.children()) {
-        CollectVars(child, free_only, bound, out);
-      }
+      for (const Formula& child : f.children()) CollectAllVars(child, out);
       return;
     case Formula::Kind::kExists:
-    case Formula::Kind::kForall: {
-      int v = f.quantified_var();
-      bool inserted = bound->insert(v).second;
-      if (!free_only) out->insert(v);
-      CollectVars(f.children()[0], free_only, bound, out);
-      if (inserted) bound->erase(v);
+    case Formula::Kind::kForall:
+      out->insert(f.quantified_var());
+      CollectAllVars(f.children()[0], out);
       return;
-    }
   }
 }
 
 }  // namespace
 
-std::set<int> Formula::FreeVars() const {
-  std::set<int> bound;
-  std::set<int> out;
-  CollectVars(*this, /*free_only=*/true, &bound, &out);
-  return out;
-}
-
 std::set<int> Formula::AllVars() const {
-  std::set<int> bound;
   std::set<int> out;
-  CollectVars(*this, /*free_only=*/false, &bound, &out);
+  CollectAllVars(*this, &out);
   return out;
 }
 
@@ -306,6 +538,7 @@ Formula Formula::RenameFreeVar(int from, int to) const {
       return Not(children()[0].RenameFreeVar(from, to));
     case Kind::kAnd:
     case Kind::kOr: {
+      if (FreeVars().count(from) == 0) return *this;
       std::vector<Formula> mapped;
       for (const Formula& child : children()) {
         mapped.push_back(child.RenameFreeVar(from, to));
@@ -331,13 +564,8 @@ Formula Formula::SubstituteValue(int var, const Rational& value) const {
       return *this;
     case Kind::kAtom: {
       Polynomial substituted = node_->atom.poly.Substitute(var, value);
-      Atom atom(std::move(substituted), node_->atom.op);
-      if (atom.poly.is_constant()) {
-        return SignSatisfies(atom.poly.constant_value().sign(), atom.op)
-                   ? True()
-                   : False();
-      }
-      return MakeAtom(std::move(atom));
+      // MakeAtom folds the constant case to true/false.
+      return MakeAtom(Atom(std::move(substituted), node_->atom.op));
     }
     case Kind::kRelation:
       for (int a : relation_args()) {
@@ -349,6 +577,7 @@ Formula Formula::SubstituteValue(int var, const Rational& value) const {
       return Not(children()[0].SubstituteValue(var, value));
     case Kind::kAnd:
     case Kind::kOr: {
+      if (FreeVars().count(var) == 0) return *this;
       std::vector<Formula> mapped;
       for (const Formula& child : children()) {
         mapped.push_back(child.SubstituteValue(var, value));
@@ -586,9 +815,23 @@ std::vector<GeneralizedTuple> ToDnf(const Formula& f) {
     }
   };
   std::vector<GeneralizedTuple> tuples = go(nnf);
+  // Canonicalize each disjunct and drop trivially-false and syntactically
+  // duplicate ones (first occurrence kept, so order stays input-derived).
   std::vector<GeneralizedTuple> kept;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen;
   for (GeneralizedTuple& tuple : tuples) {
-    if (tuple.SimplifyConstants()) kept.push_back(std::move(tuple));
+    if (!tuple.Canonicalize()) continue;
+    std::size_t hash = tuple.Hash();
+    bool duplicate = false;
+    for (std::size_t index : seen[hash]) {
+      if (kept[index] == tuple) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen[hash].push_back(kept.size());
+    kept.push_back(std::move(tuple));
   }
   return kept;
 }

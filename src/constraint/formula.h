@@ -1,6 +1,7 @@
 #ifndef CCDB_CONSTRAINT_FORMULA_H_
 #define CCDB_CONSTRAINT_FORMULA_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <set>
@@ -16,8 +17,22 @@ namespace ccdb {
 /// relation symbols (the language L ∪ σ of the paper, Section 3).
 ///
 /// Variables are global integer indices; the caller (query layer) owns the
-/// mapping from names to indices. Formulas are immutable and cheaply
-/// shareable.
+/// mapping from names to indices.
+///
+/// Formulas are immutable, HASH-CONSED values: every constructor
+/// canonicalizes its node (atoms gcd-reduced and sign-normalized;
+/// AND/OR children flattened, structurally sorted, and deduplicated;
+/// ¬¬φ → φ; constants folded; vacuous quantifiers elided — sound over the
+/// nonempty domain ℝ) and interns it in a process-wide thread-safe arena,
+/// so structurally equal formulas share one node and operator== is a
+/// single pointer comparison. Each interned node carries a unique id()
+/// (stable for the node's lifetime) that the QE/memo caches use as a key,
+/// and caches of derived values: free variables, quantifier-freeness,
+/// relation-symbol presence, and a structural hash — all O(1) to read.
+///
+/// The child order of AND/OR is the deterministic STRUCTURAL order (hash,
+/// then full structural comparison), never intern or pointer order, so a
+/// formula prints and evaluates byte-identically at every thread count.
 class Formula {
  public:
   enum class Kind {
@@ -65,10 +80,25 @@ class Formula {
   bool is_quantifier_free() const;
   bool has_relation_symbols() const;
 
-  /// Free variable indices.
-  std::set<int> FreeVars() const;
+  /// Free variable indices (cached at construction; O(1)).
+  const std::set<int>& FreeVars() const;
   /// All variable indices occurring (free or bound).
   std::set<int> AllVars() const;
+
+  /// Structural equality — a pointer comparison, because construction
+  /// hash-conses: equal formulas share one interned node.
+  bool operator==(const Formula& other) const;
+  bool operator!=(const Formula& other) const { return !(*this == other); }
+  /// Deterministic structural total order (used to sort AND/OR children).
+  bool operator<(const Formula& other) const;
+
+  /// Structural hash, cached at construction.
+  std::size_t Hash() const;
+  /// Unique id of the interned node, assigned at intern time. Stable while
+  /// any handle to the node lives; ids are never reused, so (id, id) pairs
+  /// are sound memo-cache keys. NOT deterministic across runs or thread
+  /// counts — never let an id influence output.
+  std::uint64_t id() const;
 
   /// Replaces every occurrence of relation symbols by their definitions:
   /// the INSTANTIATION step of query evaluation (paper, Section 2).
@@ -91,11 +121,25 @@ class Formula {
 
   std::string ToString(const std::vector<std::string>& names = {}) const;
 
+  /// Occupancy of the process-wide formula arena (see FormulaArenaStats).
+  static struct FormulaArenaStats ArenaStats();
+
  private:
   struct Node;
+  struct Arena;
   explicit Formula(std::shared_ptr<const Node> node);
   std::shared_ptr<const Node> node_;
 };
+
+/// Occupancy of the hash-consing arena, for REPL `.stats` and bench
+/// node-count columns. The arena holds weak references: nodes die with
+/// their last handle, so `live_nodes` tracks reachable formulas while
+/// `total_interned` counts every distinct node ever interned.
+struct FormulaArenaStats {
+  std::size_t live_nodes = 0;
+  std::size_t total_interned = 0;
+};
+FormulaArenaStats GetFormulaArenaStats();
 
 /// Negation-normal form: negations pushed to atoms (atoms absorb them via
 /// operator complement), quantifiers dualized.
@@ -115,8 +159,8 @@ struct PrenexForm {
 PrenexForm ToPrenex(const Formula& f, int* next_fresh_var);
 
 /// Disjunctive normal form of a quantifier-free, relation-free formula, as
-/// a list of generalized tuples (with trivially-false disjuncts dropped and
-/// constant atoms simplified).
+/// a list of canonicalized generalized tuples, with trivially-false and
+/// syntactically duplicate disjuncts dropped (first occurrence kept).
 std::vector<GeneralizedTuple> ToDnf(const Formula& f);
 
 /// Builds the formula of a constraint relation body (the disjunction of its

@@ -1,10 +1,13 @@
 #include "datalog/datalog.h"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/failpoint.h"
 #include "base/logging.h"
+#include "base/memo.h"
 #include "base/metrics.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
@@ -219,6 +222,22 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
   };
 
   const ResourceGovernor* gov = options.qe.governor;
+
+  // Per-run rule-body memo: once the relations a rule depends on stop
+  // changing, its instantiated body hash-conses to the same interned
+  // formula, and the QE result of the previous round can be replayed
+  // verbatim. Keyed on the interned formula id; the stored Formula pins
+  // the id alive. Pure memo (same contract as the QE cache), so it is
+  // skipped under an armed governor to keep budget charging exact.
+  struct BodyMemo {
+    Formula formula;
+    ConstraintRelation rel;
+    QeStats qe_stats;
+  };
+  std::mutex body_cache_mu;
+  std::unordered_map<std::uint64_t, BodyMemo> body_cache;
+  const bool use_body_cache = gov == nullptr && MemoCachesEnabled();
+
   for (int round = 0; round < options.max_iterations; ++round) {
     CCDB_TRACE_SPAN("datalog.iteration");
     CCDB_FAILPOINT("datalog.iteration");
@@ -246,11 +265,28 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
               CCDB_ASSIGN_OR_RETURN(Formula instantiated,
                                     body.InstantiateRelations(lookup));
               RuleSlot slot;
+              if (use_body_cache) {
+                std::lock_guard<std::mutex> lock(body_cache_mu);
+                auto it = body_cache.find(instantiated.id());
+                if (it != body_cache.end()) {
+                  CCDB_METRIC_COUNT("datalog_body_cache_hits", 1);
+                  slot.rel = it->second.rel;
+                  slot.qe_stats = it->second.qe_stats;
+                  return slot;
+                }
+              }
               CCDB_ASSIGN_OR_RETURN(
                   slot.rel,
                   EliminateQuantifiers(instantiated,
                                        static_cast<int>(rule.head_vars.size()),
                                        options.qe, &slot.qe_stats));
+              if (use_body_cache) {
+                CCDB_METRIC_COUNT("datalog_body_cache_misses", 1);
+                std::lock_guard<std::mutex> lock(body_cache_mu);
+                body_cache.emplace(
+                    instantiated.id(),
+                    BodyMemo{instantiated, slot.rel, slot.qe_stats});
+              }
               return slot;
             }));
     std::map<std::string, std::vector<GeneralizedTuple>> derived;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "base/logging.h"
+#include "base/memo.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "query/lower.h"
@@ -19,6 +20,22 @@ std::string FormatMillis(double seconds) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(3) << seconds * 1e3 << " ms";
   return out.str();
+}
+
+// Process-wide memo of whole-query results, keyed on (query text, catalog
+// version). Catalog versions are drawn from a process-global counter, so a
+// version value identifies one catalog state of one database instance — a
+// key can never alias across databases with different options, and any
+// catalog mutation (Define/Register/Drop/Load) invalidates every entry of
+// the old state by moving the version forward.
+ShardedMemoCache<std::string, CalcFResult>& QueryResultCache() {
+  static auto* cache =
+      new ShardedMemoCache<std::string, CalcFResult>("query_cache", 256);
+  return *cache;
+}
+
+std::string QueryCacheKey(const std::string& text, std::uint64_t version) {
+  return std::to_string(version) + '\x1f' + text;
 }
 
 }  // namespace
@@ -172,8 +189,23 @@ Status ConstraintDatabase::Drop(const std::string& name) {
 StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
   CCDB_TRACE_SPAN("db.query");
   CCDB_METRIC_COUNT("db.queries", 1);
+  // Pure memo on the whole pipeline: a hit returns exactly the result a
+  // re-evaluation would produce (same text, same catalog state, same
+  // immutable options). Governed evaluations bypass the cache entirely so
+  // budget charging never depends on cache temperature.
+  const bool use_cache = options_.governor == nullptr &&
+                         options_.qe.governor == nullptr &&
+                         MemoCachesEnabled();
+  std::string key;
+  if (use_cache) {
+    key = QueryCacheKey(text, catalog_.version());
+    CalcFResult cached;
+    if (QueryResultCache().Lookup(key, &cached)) return cached;
+  }
   CalcFEvaluator evaluator(MakeLookup(), options_);
-  return evaluator.EvaluateText(text);
+  CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
+  if (use_cache) QueryResultCache().Insert(key, result);
+  return result;
 }
 
 StatusOr<ExplainResult> ConstraintDatabase::Explain(

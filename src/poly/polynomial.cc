@@ -1,10 +1,14 @@
 #include "poly/polynomial.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/logging.h"
+#include "base/metrics.h"
 
 namespace ccdb {
 
@@ -98,8 +102,107 @@ std::string Monomial::ToString(const std::vector<std::string>& names) const {
   return out;
 }
 
+namespace {
+
+using TermMap = std::map<Monomial, Rational>;
+
+std::size_t HashTerms(const TermMap& terms) {
+  std::size_t h = 1469598103934665603ull;
+  for (const auto& [monomial, coeff] : terms) {
+    for (int v = 0; v <= monomial.max_var(); ++v) {
+      h = h * 1099511628211ull + monomial.exponent(v);
+    }
+    h = h * 1099511628211ull + coeff.Hash();
+  }
+  return h;
+}
+
+// Adds c*m into a term map under construction, dropping cancelled terms.
+void AddTermTo(TermMap* terms, const Monomial& monomial,
+               const Rational& coefficient) {
+  if (coefficient.is_zero()) return;
+  auto [it, inserted] = terms->emplace(monomial, coefficient);
+  if (!inserted) {
+    it->second += coefficient;
+    if (it->second.is_zero()) terms->erase(it);
+  }
+}
+
+}  // namespace
+
+/// Process-wide polynomial intern pool: hash → representations. Entries
+/// are never evicted (they are the identity of the canonical instances);
+/// the pool holds strong references so pooled reps live for the process
+/// lifetime. Sharded to keep concurrent canonicalization cheap.
+struct Polynomial::Pool {
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::size_t, std::vector<std::shared_ptr<const Rep>>>
+        buckets;
+  };
+  Shard shards[kShards];
+  std::atomic<std::size_t> entries{0};
+
+  static Pool& Global() {
+    static Pool* pool = new Pool();  // leaked: process lifetime
+    return *pool;
+  }
+
+  std::shared_ptr<const Rep> Intern(const std::shared_ptr<const Rep>& rep) {
+    Shard& shard = shards[rep->hash % kShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& bucket = shard.buckets[rep->hash];
+    for (const auto& existing : bucket) {
+      if (existing->terms == rep->terms) {
+        CCDB_METRIC_COUNT("poly_intern_hits", 1);
+        return existing;
+      }
+    }
+    rep->interned.store(true, std::memory_order_relaxed);
+    bucket.push_back(rep);
+    entries.fetch_add(1, std::memory_order_relaxed);
+    return rep;
+  }
+};
+
+Polynomial::Polynomial(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+Polynomial::Polynomial() {
+  static const std::shared_ptr<const Rep>* zero = [] {
+    auto rep = std::make_shared<Rep>();
+    rep->hash = HashTerms(rep->terms);
+    return new std::shared_ptr<const Rep>(
+        Pool::Global().Intern(std::move(rep)));
+  }();
+  rep_ = *zero;
+}
+
+Polynomial Polynomial::FromTerms(TermMap terms) {
+  auto rep = std::make_shared<Rep>();
+  rep->hash = HashTerms(terms);
+  rep->terms = std::move(terms);
+  return Polynomial(std::move(rep));
+}
+
+Polynomial Polynomial::Interned() const {
+  if (rep_->interned.load(std::memory_order_relaxed)) return *this;
+  return Polynomial(Pool::Global().Intern(rep_));
+}
+
+PolyInternStats Polynomial::InternStats() {
+  PolyInternStats stats;
+  stats.entries = Pool::Global().entries.load(std::memory_order_relaxed);
+  return stats;
+}
+
+PolyInternStats GetPolyInternStats() { return Polynomial::InternStats(); }
+
 Polynomial::Polynomial(Rational constant) {
-  if (!constant.is_zero()) terms_.emplace(Monomial(), std::move(constant));
+  TermMap terms;
+  if (!constant.is_zero()) terms.emplace(Monomial(), std::move(constant));
+  *this = FromTerms(std::move(terms));
 }
 
 Polynomial::Polynomial(std::int64_t constant) : Polynomial(Rational(constant)) {}
@@ -109,21 +212,21 @@ Polynomial Polynomial::Var(int var) {
 }
 
 Polynomial Polynomial::Term(Rational coefficient, Monomial monomial) {
-  Polynomial p;
+  TermMap terms;
   if (!coefficient.is_zero()) {
-    p.terms_.emplace(std::move(monomial), std::move(coefficient));
+    terms.emplace(std::move(monomial), std::move(coefficient));
   }
-  return p;
+  return FromTerms(std::move(terms));
 }
 
 Rational Polynomial::constant_value() const {
-  auto it = terms_.find(Monomial());
-  return it == terms_.end() ? Rational(0) : it->second;
+  auto it = terms().find(Monomial());
+  return it == terms().end() ? Rational(0) : it->second;
 }
 
 int Polynomial::max_var() const {
   int result = -1;
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     result = std::max(result, monomial.max_var());
   }
   return result;
@@ -131,7 +234,7 @@ int Polynomial::max_var() const {
 
 std::uint32_t Polynomial::TotalDegree() const {
   std::uint32_t degree = 0;
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     degree = std::max(degree, monomial.total_degree());
   }
   return degree;
@@ -139,59 +242,49 @@ std::uint32_t Polynomial::TotalDegree() const {
 
 std::uint32_t Polynomial::DegreeIn(int var) const {
   std::uint32_t degree = 0;
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     degree = std::max(degree, monomial.exponent(var));
   }
   return degree;
 }
 
-void Polynomial::AddTerm(const Monomial& monomial,
-                         const Rational& coefficient) {
-  if (coefficient.is_zero()) return;
-  auto [it, inserted] = terms_.emplace(monomial, coefficient);
-  if (!inserted) {
-    it->second += coefficient;
-    if (it->second.is_zero()) terms_.erase(it);
-  }
-}
-
 Polynomial Polynomial::operator-() const {
-  Polynomial result = *this;
-  for (auto& [monomial, coeff] : result.terms_) coeff = -coeff;
-  return result;
+  TermMap result = terms();
+  for (auto& [monomial, coeff] : result) coeff = -coeff;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::operator+(const Polynomial& other) const {
-  Polynomial result = *this;
-  for (const auto& [monomial, coeff] : other.terms_) {
-    result.AddTerm(monomial, coeff);
+  TermMap result = terms();
+  for (const auto& [monomial, coeff] : other.terms()) {
+    AddTermTo(&result, monomial, coeff);
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::operator-(const Polynomial& other) const {
-  Polynomial result = *this;
-  for (const auto& [monomial, coeff] : other.terms_) {
-    result.AddTerm(monomial, -coeff);
+  TermMap result = terms();
+  for (const auto& [monomial, coeff] : other.terms()) {
+    AddTermTo(&result, monomial, -coeff);
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::operator*(const Polynomial& other) const {
-  Polynomial result;
-  for (const auto& [m1, c1] : terms_) {
-    for (const auto& [m2, c2] : other.terms_) {
-      result.AddTerm(m1 * m2, c1 * c2);
+  TermMap result;
+  for (const auto& [m1, c1] : terms()) {
+    for (const auto& [m2, c2] : other.terms()) {
+      AddTermTo(&result, m1 * m2, c1 * c2);
     }
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::Scale(const Rational& factor) const {
   if (factor.is_zero()) return Polynomial();
-  Polynomial result = *this;
-  for (auto& [monomial, coeff] : result.terms_) coeff *= factor;
-  return result;
+  TermMap result = terms();
+  for (auto& [monomial, coeff] : result) coeff *= factor;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::Pow(std::uint32_t exponent) const {
@@ -206,20 +299,21 @@ Polynomial Polynomial::Pow(std::uint32_t exponent) const {
 }
 
 Polynomial Polynomial::Derivative(int var) const {
-  Polynomial result;
-  for (const auto& [monomial, coeff] : terms_) {
+  TermMap result;
+  for (const auto& [monomial, coeff] : terms()) {
     std::uint32_t e = monomial.exponent(var);
     if (e == 0) continue;
     auto reduced = monomial.Divide(Monomial::Var(var));
     CCDB_CHECK(reduced.ok());
-    result.AddTerm(*reduced, coeff * Rational(static_cast<std::int64_t>(e)));
+    AddTermTo(&result, *reduced,
+              coeff * Rational(static_cast<std::int64_t>(e)));
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Rational Polynomial::Evaluate(const std::vector<Rational>& point) const {
   Rational total(0);
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     Rational term = coeff;
     for (int v = 0; v <= monomial.max_var(); ++v) {
       std::uint32_t e = monomial.exponent(v);
@@ -234,24 +328,25 @@ Rational Polynomial::Evaluate(const std::vector<Rational>& point) const {
 }
 
 Polynomial Polynomial::Substitute(int var, const Rational& value) const {
-  Polynomial result;
-  for (const auto& [monomial, coeff] : terms_) {
+  TermMap result;
+  for (const auto& [monomial, coeff] : terms()) {
     std::uint32_t e = monomial.exponent(var);
     if (e == 0) {
-      result.AddTerm(monomial, coeff);
+      AddTermTo(&result, monomial, coeff);
       continue;
     }
     auto reduced = monomial.Divide(Monomial::Var(var, e));
     CCDB_CHECK(reduced.ok());
-    result.AddTerm(*reduced, coeff * value.Pow(static_cast<std::int32_t>(e)));
+    AddTermTo(&result, *reduced,
+              coeff * value.Pow(static_cast<std::int32_t>(e)));
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Polynomial Polynomial::SubstitutePoly(int var,
                                       const Polynomial& replacement) const {
   Polynomial result;
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     std::uint32_t e = monomial.exponent(var);
     auto reduced = monomial.Divide(Monomial::Var(var, e));
     CCDB_CHECK(reduced.ok());
@@ -263,8 +358,8 @@ Polynomial Polynomial::SubstitutePoly(int var,
 }
 
 Polynomial Polynomial::RenameVars(const std::vector<int>& mapping) const {
-  Polynomial result;
-  for (const auto& [monomial, coeff] : terms_) {
+  TermMap result;
+  for (const auto& [monomial, coeff] : terms()) {
     Monomial renamed;
     for (int v = 0; v <= monomial.max_var(); ++v) {
       std::uint32_t e = monomial.exponent(v);
@@ -273,14 +368,14 @@ Polynomial Polynomial::RenameVars(const std::vector<int>& mapping) const {
                      "rename mapping does not cover variable " << v);
       renamed = renamed * Monomial::Var(mapping[v], e);
     }
-    result.AddTerm(renamed, coeff);
+    AddTermTo(&result, renamed, coeff);
   }
-  return result;
+  return FromTerms(std::move(result));
 }
 
 Interval Polynomial::EvaluateInterval(const std::vector<Interval>& box) const {
   Interval total(Rational(0));
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     Interval term(coeff);
     for (int v = 0; v <= monomial.max_var(); ++v) {
       std::uint32_t e = monomial.exponent(v);
@@ -295,13 +390,16 @@ Interval Polynomial::EvaluateInterval(const std::vector<Interval>& box) const {
 }
 
 std::vector<Polynomial> Polynomial::CoefficientsIn(int var) const {
-  std::vector<Polynomial> coeffs(DegreeIn(var) + 1);
-  for (const auto& [monomial, coeff] : terms_) {
+  std::vector<TermMap> maps(DegreeIn(var) + 1);
+  for (const auto& [monomial, coeff] : terms()) {
     std::uint32_t e = monomial.exponent(var);
     auto reduced = monomial.Divide(Monomial::Var(var, e));
     CCDB_CHECK(reduced.ok());
-    coeffs[e].AddTerm(*reduced, coeff);
+    AddTermTo(&maps[e], *reduced, coeff);
   }
+  std::vector<Polynomial> coeffs;
+  coeffs.reserve(maps.size());
+  for (TermMap& map : maps) coeffs.push_back(FromTerms(std::move(map)));
   return coeffs;
 }
 
@@ -328,19 +426,19 @@ Polynomial Polynomial::IntegerNormalized(Rational* factor) const {
   }
   // lcm of denominators.
   BigInt den_lcm(1);
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     const BigInt& den = coeff.denominator();
     den_lcm = den_lcm / BigInt::Gcd(den_lcm, den) * den;
   }
   // gcd of scaled numerators.
   BigInt num_gcd(0);
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     BigInt scaled = coeff.numerator() * (den_lcm / coeff.denominator());
     num_gcd = BigInt::Gcd(num_gcd, scaled);
   }
   Rational scale(den_lcm, num_gcd);  // multiply by this
   // Positive leading coefficient in the term order.
-  const Rational& leading = terms_.rbegin()->second;
+  const Rational& leading = terms().rbegin()->second;
   if ((leading * scale).sign() < 0) scale = -scale;
   if (factor != nullptr) *factor = scale.Inverse();
   return Scale(scale);
@@ -348,15 +446,15 @@ Polynomial Polynomial::IntegerNormalized(Rational* factor) const {
 
 std::uint64_t Polynomial::MaxCoefficientBitLength() const {
   std::uint64_t bits = 0;
-  for (const auto& [monomial, coeff] : terms_) {
+  for (const auto& [monomial, coeff] : terms()) {
     bits = std::max(bits, coeff.bit_length());
   }
   return bits;
 }
 
 std::size_t Polynomial::EstimateBytes() const {
-  std::size_t bytes = sizeof(Polynomial);
-  for (const auto& [monomial, coeff] : terms_) {
+  std::size_t bytes = sizeof(Polynomial) + sizeof(Rep);
+  for (const auto& [monomial, coeff] : terms()) {
     // Map node + monomial exponent vector + coefficient limbs.
     bytes += 64;
     bytes += static_cast<std::size_t>(monomial.max_var() + 1) *
@@ -367,25 +465,15 @@ std::size_t Polynomial::EstimateBytes() const {
 }
 
 bool Polynomial::operator<(const Polynomial& other) const {
-  auto it = terms_.begin();
-  auto jt = other.terms_.begin();
-  for (; it != terms_.end() && jt != other.terms_.end(); ++it, ++jt) {
+  if (rep_ == other.rep_) return false;
+  auto it = terms().begin();
+  auto jt = other.terms().begin();
+  for (; it != terms().end() && jt != other.terms().end(); ++it, ++jt) {
     if (it->first != jt->first) return it->first < jt->first;
     int cmp = it->second.Compare(jt->second);
     if (cmp != 0) return cmp < 0;
   }
-  return it == terms_.end() && jt != other.terms_.end();
-}
-
-std::size_t Polynomial::Hash() const {
-  std::size_t h = 1469598103934665603ull;
-  for (const auto& [monomial, coeff] : terms_) {
-    for (int v = 0; v <= monomial.max_var(); ++v) {
-      h = h * 1099511628211ull + monomial.exponent(v);
-    }
-    h = h * 1099511628211ull + coeff.Hash();
-  }
-  return h;
+  return it == terms().end() && jt != other.terms().end();
 }
 
 std::string Polynomial::ToString(const std::vector<std::string>& names) const {
@@ -393,7 +481,7 @@ std::string Polynomial::ToString(const std::vector<std::string>& names) const {
   std::ostringstream out;
   bool first = true;
   // Print highest monomial first for conventional reading order.
-  for (auto it = terms_.rbegin(); it != terms_.rend(); ++it) {
+  for (auto it = terms().rbegin(); it != terms().rend(); ++it) {
     const auto& [monomial, coeff] = *it;
     Rational magnitude = coeff.Abs();
     if (first) {

@@ -1,8 +1,10 @@
 #ifndef CCDB_POLY_POLYNOMIAL_H_
 #define CCDB_POLY_POLYNOMIAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,12 @@ class Monomial {
   std::vector<std::uint32_t> exponents_;
 };
 
+/// Occupancy of the process-wide polynomial intern pool (for REPL `.stats`
+/// and bench node-count columns).
+struct PolyInternStats {
+  std::size_t entries = 0;
+};
+
 /// Sparse multivariate polynomial over the rationals.
 ///
 /// This is the atom type of the constraint model: a generalized tuple is a
@@ -68,10 +76,18 @@ class Monomial {
 /// printing, hashing, and the QE algorithm's behaviour) is deterministic —
 /// which the paper's finite-precision semantics requires ("imposing some
 /// systematic choice", Section 4).
+///
+/// Polynomials are IMMUTABLE shared values: a Polynomial is a handle to a
+/// refcounted term-map representation with an eagerly computed structural
+/// hash, so copies are O(1) and equality is pointer comparison in the
+/// common case (hash-guarded structural comparison otherwise). Canonical
+/// construction points (atom canonicalization, CAD factor sets) intern the
+/// representation into a process-wide pool via Interned(), after which
+/// structurally equal polynomials share one representation.
 class Polynomial {
  public:
   /// Constructs the zero polynomial.
-  Polynomial() = default;
+  Polynomial();
   /// Implicit from a constant: arithmetic like p + 1 is pervasive.
   Polynomial(Rational constant);      // NOLINT
   Polynomial(std::int64_t constant);  // NOLINT
@@ -81,17 +97,18 @@ class Polynomial {
   /// The polynomial c * m.
   static Polynomial Term(Rational coefficient, Monomial monomial);
 
-  bool is_zero() const { return terms_.empty(); }
+  bool is_zero() const { return terms().empty(); }
   bool is_constant() const {
-    return terms_.empty() || (terms_.size() == 1 && terms_.begin()->first.is_one());
+    return terms().empty() ||
+           (terms().size() == 1 && terms().begin()->first.is_one());
   }
   /// Constant term value (the whole value when is_constant()).
   Rational constant_value() const;
 
   /// Number of terms.
-  std::size_t term_count() const { return terms_.size(); }
+  std::size_t term_count() const { return terms().size(); }
   /// Read-only access to the term map (sorted by monomial).
-  const std::map<Monomial, Rational>& terms() const { return terms_; }
+  const std::map<Monomial, Rational>& terms() const { return rep_->terms; }
 
   /// Largest variable index mentioned, or -1 for constants.
   int max_var() const;
@@ -143,9 +160,15 @@ class Polynomial {
   /// Multiplies by the lcm of coefficient denominators and divides by the
   /// gcd of numerators, yielding the primitive integer-coefficient multiple
   /// with positive leading coefficient (in the term order). The result
-  /// defines the same variety and the same sign sets up to the returned
-  /// positive factor; *this == result * factor.
+  /// defines the same variety; *this == result * factor (factor is
+  /// negative when the leading sign flipped).
   Polynomial IntegerNormalized(Rational* factor = nullptr) const;
+
+  /// The canonical pooled instance of this polynomial: structurally equal
+  /// polynomials returned by Interned() share one representation, so
+  /// equality between them is a single pointer comparison. Thread-safe;
+  /// pool entries live for the process lifetime.
+  Polynomial Interned() const;
 
   /// Largest coefficient bit length (numerator or denominator): the size
   /// measure of the paper's complexity bounds.
@@ -157,25 +180,45 @@ class Polynomial {
   std::size_t EstimateBytes() const;
 
   bool operator==(const Polynomial& other) const {
-    return terms_ == other.terms_;
+    if (rep_ == other.rep_) return true;
+    if (rep_->hash != other.rep_->hash) return false;
+    return rep_->terms == other.rep_->terms;
   }
   bool operator!=(const Polynomial& other) const { return !(*this == other); }
   /// Deterministic total order (for canonical sets of polynomials).
   bool operator<(const Polynomial& other) const;
 
-  std::size_t Hash() const;
+  /// Structural hash, computed once at construction: O(1) to read.
+  std::size_t Hash() const { return rep_->hash; }
 
   /// Human-readable rendering, e.g. "4*x^2 - y - 20*x + 25". Default names
   /// are x0, x1, ...; pass names to use query-level variable names.
   std::string ToString(const std::vector<std::string>& names = {}) const;
 
- private:
-  void AddTerm(const Monomial& monomial, const Rational& coefficient);
+  /// Occupancy of the process-wide intern pool.
+  static PolyInternStats InternStats();
 
-  std::map<Monomial, Rational> terms_;  // no zero coefficients
+ private:
+  /// Immutable shared representation: the sorted term map plus its
+  /// structural hash, computed once. `interned` marks representations that
+  /// are the pooled canonical instance of their equivalence class.
+  struct Rep {
+    std::map<Monomial, Rational> terms;
+    std::size_t hash = 0;
+    mutable std::atomic<bool> interned{false};
+  };
+  struct Pool;
+
+  explicit Polynomial(std::shared_ptr<const Rep> rep);
+  /// The single construction funnel: hashes the term map and wraps it.
+  static Polynomial FromTerms(std::map<Monomial, Rational> terms);
+
+  std::shared_ptr<const Rep> rep_;  // never null; terms carry no zeros
 };
 
 std::ostream& operator<<(std::ostream& os, const Polynomial& p);
+
+PolyInternStats GetPolyInternStats();
 
 }  // namespace ccdb
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/memo.h"
 
 namespace ccdb {
 
@@ -159,10 +160,47 @@ StatusOr<Polynomial> ResultantOrdered(Polynomial a, Polynomial b, int var,
   return sign < 0 ? -result : result;
 }
 
-}  // namespace
+// Memo table for the expensive PRS-backed operations (resultant,
+// discriminant, gcd). Keys hold the operand polynomials themselves —
+// structural equality is pointer-fast for interned operands and exact
+// otherwise — so a hash collision can never return a wrong result. The
+// operations are pure, so entries never need invalidation; lookups are
+// skipped under an armed governor (see base/memo.h) but successful
+// results are inserted either way.
+enum PolyOpKind { kOpResultant = 0, kOpDiscriminant = 1, kOpGcd = 2 };
 
-StatusOr<Polynomial> Resultant(const Polynomial& a, const Polynomial& b,
-                               int var, const ResourceGovernor* gov) {
+struct PolyOpKey {
+  Polynomial a;
+  Polynomial b;
+  int var = -1;
+  int kind = kOpResultant;
+
+  bool operator==(const PolyOpKey& other) const {
+    return kind == other.kind && var == other.var && a == other.a &&
+           b == other.b;
+  }
+};
+
+struct PolyOpKeyHash {
+  std::size_t operator()(const PolyOpKey& key) const {
+    std::size_t h = 1469598103934665603ull;
+    h = h * 1099511628211ull + key.a.Hash();
+    h = h * 1099511628211ull + key.b.Hash();
+    h = h * 1099511628211ull + static_cast<std::size_t>(key.var);
+    h = h * 1099511628211ull + static_cast<std::size_t>(key.kind);
+    return h;
+  }
+};
+
+ShardedMemoCache<PolyOpKey, Polynomial, PolyOpKeyHash>& PolyOpCache() {
+  static auto* cache = new ShardedMemoCache<PolyOpKey, Polynomial, PolyOpKeyHash>(
+      "resultant_cache", 8192);
+  return *cache;
+}
+
+StatusOr<Polynomial> ResultantUncached(const Polynomial& a,
+                                       const Polynomial& b, int var,
+                                       const ResourceGovernor* gov) {
   if (a.is_zero() || b.is_zero()) return Polynomial();
   std::uint32_t deg_a = a.DegreeIn(var);
   std::uint32_t deg_b = b.DegreeIn(var);
@@ -176,14 +214,30 @@ StatusOr<Polynomial> Resultant(const Polynomial& a, const Polynomial& b,
   return swapped;
 }
 
+}  // namespace
+
+StatusOr<Polynomial> Resultant(const Polynomial& a, const Polynomial& b,
+                               int var, const ResourceGovernor* gov) {
+  if (!MemoCachesEnabled()) return ResultantUncached(a, b, var, gov);
+  PolyOpKey key{a, b, var, kOpResultant};
+  Polynomial cached;
+  if (gov == nullptr && PolyOpCache().Lookup(key, &cached)) return cached;
+  CCDB_ASSIGN_OR_RETURN(Polynomial result,
+                        ResultantUncached(a, b, var, gov));
+  PolyOpCache().Insert(std::move(key), result);
+  return result;
+}
+
 Polynomial Resultant(const Polynomial& a, const Polynomial& b, int var) {
   auto result = Resultant(a, b, var, nullptr);
   CCDB_CHECK(result.ok());
   return *std::move(result);
 }
 
-StatusOr<Polynomial> Discriminant(const Polynomial& p, int var,
-                                  const ResourceGovernor* gov) {
+namespace {
+
+StatusOr<Polynomial> DiscriminantUncached(const Polynomial& p, int var,
+                                          const ResourceGovernor* gov) {
   std::uint32_t d = p.DegreeIn(var);
   CCDB_CHECK_MSG(d >= 1, "discriminant requires positive degree");
   CCDB_ASSIGN_OR_RETURN(Polynomial res,
@@ -196,6 +250,20 @@ StatusOr<Polynomial> Discriminant(const Polynomial& p, int var,
   if ((static_cast<std::uint64_t>(d) * (d - 1) / 2) % 2 == 1) {
     return -result;
   }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<Polynomial> Discriminant(const Polynomial& p, int var,
+                                  const ResourceGovernor* gov) {
+  if (!MemoCachesEnabled()) return DiscriminantUncached(p, var, gov);
+  PolyOpKey key{p, Polynomial(), var, kOpDiscriminant};
+  Polynomial cached;
+  if (gov == nullptr && PolyOpCache().Lookup(key, &cached)) return cached;
+  CCDB_ASSIGN_OR_RETURN(Polynomial result,
+                        DiscriminantUncached(p, var, gov));
+  PolyOpCache().Insert(std::move(key), result);
   return result;
 }
 
@@ -256,10 +324,11 @@ Polynomial GcdWithZero(const Polynomial& p) {
   return p.IntegerNormalized();
 }
 
-}  // namespace
-
-StatusOr<Polynomial> MvGcd(const Polynomial& a, const Polynomial& b,
-                           const ResourceGovernor* gov) {
+// The gcd algorithm proper; the public MvGcd wraps it with the memo table.
+// Internal recursion goes through the public entry so shared subproblems
+// (contents, primitive parts) memoize too.
+StatusOr<Polynomial> MvGcdUncached(const Polynomial& a, const Polynomial& b,
+                                   const ResourceGovernor* gov) {
   CCDB_CHECK_BUDGET(gov, "poly.gcd");
   if (a.is_zero()) return b.is_zero() ? Polynomial() : GcdWithZero(b);
   if (b.is_zero()) return GcdWithZero(a);
@@ -327,6 +396,21 @@ StatusOr<Polynomial> MvGcd(const Polynomial& a, const Polynomial& b,
                         MvGcd(content_a, content_b, gov));
   Polynomial result = content_gcd * gcd_pp;
   return result.IntegerNormalized();
+}
+
+}  // namespace
+
+StatusOr<Polynomial> MvGcd(const Polynomial& a, const Polynomial& b,
+                           const ResourceGovernor* gov) {
+  if (!MemoCachesEnabled()) return MvGcdUncached(a, b, gov);
+  // gcd is symmetric: order the operands so (a,b) and (b,a) share an entry.
+  PolyOpKey key = b < a ? PolyOpKey{b, a, -1, kOpGcd}
+                        : PolyOpKey{a, b, -1, kOpGcd};
+  Polynomial cached;
+  if (gov == nullptr && PolyOpCache().Lookup(key, &cached)) return cached;
+  CCDB_ASSIGN_OR_RETURN(Polynomial result, MvGcdUncached(a, b, gov));
+  PolyOpCache().Insert(std::move(key), result);
+  return result;
 }
 
 Polynomial MvGcd(const Polynomial& a, const Polynomial& b) {

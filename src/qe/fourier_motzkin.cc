@@ -1,6 +1,7 @@
 #include "qe/fourier_motzkin.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "base/failpoint.h"
 #include "base/logging.h"
@@ -191,40 +192,26 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateExistsLinear(
 
 std::vector<GeneralizedTuple> SimplifyTuples(
     std::vector<GeneralizedTuple> tuples) {
+  // Canonicalize each disjunct (sign-normalized interned atoms, sorted and
+  // deduplicated conjunctions, trivially-false disjuncts dropped), then
+  // drop syntactically duplicate disjuncts — equality is cheap because
+  // canonical atoms share interned polynomials. First occurrence is kept,
+  // so the disjunct order stays input-derived and deterministic.
   std::vector<GeneralizedTuple> out;
+  std::unordered_map<std::size_t, std::vector<std::size_t>> seen;
   for (GeneralizedTuple& tuple : tuples) {
-    if (!tuple.SimplifyConstants()) continue;
-    // Deduplicate atoms within the tuple.
-    std::vector<Atom> kept;
-    for (Atom& atom : tuple.atoms) {
-      bool duplicate = false;
-      for (const Atom& existing : kept) {
-        if (existing == atom) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (!duplicate) kept.push_back(std::move(atom));
-    }
-    tuple.atoms = std::move(kept);
-    // Drop exact duplicate tuples.
-    bool duplicate_tuple = false;
-    for (const GeneralizedTuple& existing : out) {
-      if (existing.atoms.size() == tuple.atoms.size()) {
-        bool same = true;
-        for (std::size_t i = 0; i < tuple.atoms.size(); ++i) {
-          if (!(existing.atoms[i] == tuple.atoms[i])) {
-            same = false;
-            break;
-          }
-        }
-        if (same) {
-          duplicate_tuple = true;
-          break;
-        }
+    if (!tuple.Canonicalize()) continue;
+    std::size_t hash = tuple.Hash();
+    bool duplicate = false;
+    for (std::size_t index : seen[hash]) {
+      if (out[index] == tuple) {
+        duplicate = true;
+        break;
       }
     }
-    if (!duplicate_tuple) out.push_back(std::move(tuple));
+    if (duplicate) continue;
+    seen[hash].push_back(out.size());
+    out.push_back(std::move(tuple));
   }
   return out;
 }

@@ -7,11 +7,13 @@
 
 #include "base/failpoint.h"
 #include "base/logging.h"
+#include "base/memo.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "qe/cad.h"
 #include "qe/dense_order.h"
 #include "qe/fourier_motzkin.h"
+#include "qe/qe_cache.h"
 
 namespace ccdb {
 
@@ -286,25 +288,12 @@ std::string QeStats::ToJson() const {
       .Build();
 }
 
-StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
-                                                  int num_free_vars,
-                                                  const QeOptions& options,
-                                                  QeStats* stats) {
-  CCDB_TRACE_SPAN("qe.eliminate");
-  QeStats local_stats;
-  QeStats* s = stats != nullptr ? stats : &local_stats;
-  *s = QeStats();
-  QeMetricsFolder folder{s};
+// The elimination algorithm proper. The public EliminateQuantifiers wraps
+// this with the failpoint/budget prologue and the QE result cache.
+static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
+    const Formula& formula, int num_free_vars, const QeOptions& options,
+    QeStats* s) {
   const ResourceGovernor* gov = options.governor;
-  CCDB_FAILPOINT("qe.drive");
-  CCDB_CHECK_BUDGET(gov, "qe.drive");
-
-  CCDB_CHECK_MSG(!formula.has_relation_symbols(),
-                 "instantiate relations before quantifier elimination");
-  for (int v : formula.FreeVars()) {
-    CCDB_CHECK_MSG(v < num_free_vars,
-                   "free variable " << v << " beyond arity " << num_free_vars);
-  }
 
   std::set<int> all_vars = formula.AllVars();
   int next_fresh = num_free_vars;
@@ -536,6 +525,50 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
     return rel;
   }
   return Status::Internal("unreachable: CAD attempts exhausted");
+}
+
+StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
+                                                  int num_free_vars,
+                                                  const QeOptions& options,
+                                                  QeStats* stats) {
+  CCDB_TRACE_SPAN("qe.eliminate");
+  QeStats local_stats;
+  QeStats* s = stats != nullptr ? stats : &local_stats;
+  *s = QeStats();
+  QeMetricsFolder folder{s};
+  const ResourceGovernor* gov = options.governor;
+  CCDB_FAILPOINT("qe.drive");
+  CCDB_CHECK_BUDGET(gov, "qe.drive");
+
+  CCDB_CHECK_MSG(!formula.has_relation_symbols(),
+                 "instantiate relations before quantifier elimination");
+  for (int v : formula.FreeVars()) {
+    CCDB_CHECK_MSG(v < num_free_vars,
+                   "free variable " << v << " beyond arity " << num_free_vars);
+  }
+
+  // Memoized path: only ungoverned runs may SKIP work via the cache, so
+  // governed budget charging and degradation behaviour never depend on
+  // cache temperature. (The failpoint above fires either way.) The cache
+  // is a pure memo over the interned formula id — a hit is byte-identical
+  // to recomputation.
+  const bool use_cache = gov == nullptr && MemoCachesEnabled();
+  QeCacheKey key;
+  if (use_cache) {
+    key = MakeQeCacheKey(formula, num_free_vars, options);
+    QeCacheValue cached;
+    if (QeResultCache().Lookup(key, &cached)) {
+      *s = cached.stats;
+      return cached.relation;
+    }
+  }
+  CCDB_ASSIGN_OR_RETURN(
+      ConstraintRelation result,
+      EliminateQuantifiersUncached(formula, num_free_vars, options, s));
+  if (use_cache) {
+    QeResultCache().Insert(key, QeCacheValue{formula, result, *s});
+  }
+  return result;
 }
 
 StatusOr<bool> DecideSentence(const Formula& sentence, const QeOptions& options,

@@ -1,0 +1,34 @@
+#include "qe/qe_cache.h"
+
+#include <cstdlib>
+
+namespace ccdb {
+
+QeCacheKey MakeQeCacheKey(const Formula& formula, int num_free_vars,
+                          const QeOptions& options) {
+  QeCacheKey key;
+  key.formula_id = formula.id();
+  key.num_free_vars = num_free_vars;
+  key.option_bits = (options.allow_linear_fast_path ? 1u : 0u) |
+                    (options.allow_thom_augmentation ? 2u : 0u) |
+                    (options.allow_equation_substitution ? 4u : 0u) |
+                    (options.linear_only ? 8u : 0u) |
+                    (options.allow_disjunct_split ? 16u : 0u);
+  return key;
+}
+
+ShardedMemoCache<QeCacheKey, QeCacheValue, QeCacheKeyHash>& QeResultCache() {
+  static auto* cache = [] {
+    std::size_t capacity = 4096;
+    if (const char* env = std::getenv("CCDB_QE_CACHE_CAPACITY")) {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && parsed > 0) capacity = parsed;
+    }
+    return new ShardedMemoCache<QeCacheKey, QeCacheValue, QeCacheKeyHash>(
+        "qe_cache", capacity);
+  }();
+  return *cache;
+}
+
+}  // namespace ccdb

@@ -1,5 +1,6 @@
 #include "storage/catalog.h"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
@@ -81,6 +82,22 @@ bool TupleBox::MayContain(const std::vector<Rational>& point) const {
   return true;
 }
 
+namespace {
+
+// Process-global version source shared by every Catalog instance: a fresh
+// stamp per mutation means no two catalog states can ever share a version,
+// including a catalog replaced wholesale by Deserialize/LoadFromFile.
+std::uint64_t NextCatalogVersion() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+Catalog::Catalog() : version_(NextCatalogVersion()) {}
+
+void Catalog::BumpVersion() { version_ = NextCatalogVersion(); }
+
 Status Catalog::AddRelation(const std::string& name,
                             ConstraintRelation relation) {
   CCDB_METRIC_COUNT("catalog.relations_added", 1);
@@ -96,6 +113,7 @@ Status Catalog::AddRelation(const std::string& name,
   }
   entry.relation = std::move(relation);
   relations_.emplace(name, std::move(entry));
+  BumpVersion();
   return Status::Ok();
 }
 
@@ -108,6 +126,7 @@ Status Catalog::DropRelation(const std::string& name) {
   if (relations_.erase(name) == 0) {
     return Status::NotFound("relation " + name + " not found");
   }
+  BumpVersion();
   return Status::Ok();
 }
 

@@ -1,6 +1,7 @@
 #ifndef CCDB_STORAGE_CATALOG_H_
 #define CCDB_STORAGE_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -33,7 +34,7 @@ struct TupleBox {
 /// through the regular parser on load.
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
 
   Status AddRelation(const std::string& name, ConstraintRelation relation);
   /// Parses and adds "Name(cols...) := formula".
@@ -55,12 +56,23 @@ class Catalog {
   Status SaveToFile(const std::string& path) const;
   static StatusOr<Catalog> LoadFromFile(const std::string& path);
 
+  /// Monotone mutation stamp. Every catalog starts with, and every mutation
+  /// (add/drop, including loads that replace the catalog wholesale) draws, a
+  /// fresh value from a process-global counter — so no two catalog states,
+  /// even across distinct Catalog instances, ever share a version. Memo
+  /// caches keyed on (query, version) are therefore invalidated by any
+  /// mutation and can never alias a dropped-and-redefined relation.
+  std::uint64_t version() const { return version_; }
+
  private:
   struct Entry {
     ConstraintRelation relation;
     std::vector<TupleBox> boxes;
   };
+  void BumpVersion();
+
   std::map<std::string, Entry> relations_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace ccdb

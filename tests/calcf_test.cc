@@ -150,13 +150,16 @@ TEST(CalcFTest, FunctionCompositionSinOfPoly) {
   CalcFEvaluator evaluator(PaperDatabase(), options);
   auto result = evaluator.EvaluateText("exists x (x = 0 and y = sin(x))");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  // Answer: y = h(0) with |h(0) - 0| small.
+  // Answer: y = h(0) with |h(0) - 0| small. The atom is canonicalized to
+  // primitive integer form a*y - b = 0, so read the root b/a, not the raw
+  // constant coefficient.
   ASSERT_GE(result->relation.tuples().size(), 1u);
   const Atom& atom = result->relation.tuples()[0].atoms[0];
   auto coeffs = atom.poly.CoefficientsIn(0);
-  // atom: y - c = 0 -> |c| < 1e-6.
   ASSERT_EQ(coeffs.size(), 2u);
-  EXPECT_LT(std::abs(coeffs[0].constant_value().ToDouble()), 1e-6);
+  double value = (-coeffs[0].constant_value() /
+                  coeffs[1].constant_value()).ToDouble();
+  EXPECT_NEAR(value, 0.0, 1e-6);
 }
 
 TEST(CalcFTest, ArgumentOutsideABaseRejectedOrEmpty) {

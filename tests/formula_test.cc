@@ -81,7 +81,11 @@ TEST(FormulaTest, ConstructionAndKinds) {
   EXPECT_EQ(Formula::Or(t, f).kind(), Formula::Kind::kTrue);
   Formula atom = Formula::Compare(X(), RelOp::kLe, Y());
   EXPECT_EQ(atom.kind(), Formula::Kind::kAtom);
-  EXPECT_EQ(atom.atom().op, RelOp::kLe);
+  // Canonicalization sign-normalizes the atom: x - y <= 0 becomes
+  // y - x >= 0 (positive leading coefficient in the term order).
+  EXPECT_EQ(atom.atom().op, RelOp::kGe);
+  EXPECT_EQ(atom.atom().poly, Y() - X());
+  EXPECT_EQ(atom, Formula::Compare(Y(), RelOp::kGe, X()));
   Formula ex = Formula::Exists(1, atom);
   EXPECT_EQ(ex.kind(), Formula::Kind::kExists);
   EXPECT_EQ(ex.quantified_var(), 1);
@@ -183,11 +187,19 @@ TEST(PrenexTest, PullsAndRenames) {
   EXPECT_TRUE(prenex.prefix[1].is_exists);
   EXPECT_NE(prenex.prefix[0].var, prenex.prefix[1].var);
   EXPECT_TRUE(prenex.matrix.is_quantifier_free());
-  // Matrix satisfiable with suitable witnesses: x=0, y1=1, y2=-1.
+  // Matrix satisfiable with suitable witnesses: x=0 and {1, -1} for the
+  // two fresh variables. AND children are structurally sorted, so which
+  // fresh variable belongs to which conjunct is not fixed — one of the two
+  // assignments must work.
   std::vector<Rational> point(4, R(0));
   point[prenex.prefix[0].var] = R(1);
   point[prenex.prefix[1].var] = R(-1);
-  EXPECT_TRUE(prenex.matrix.EvaluateAt(point));
+  bool forward = prenex.matrix.EvaluateAt(point);
+  point[prenex.prefix[0].var] = R(-1);
+  point[prenex.prefix[1].var] = R(1);
+  bool backward = prenex.matrix.EvaluateAt(point);
+  EXPECT_TRUE(forward || backward);
+  EXPECT_FALSE(forward && backward);
 }
 
 TEST(PrenexTest, ForallUnderNegation) {

@@ -94,6 +94,11 @@ TEST_P(NormalizationPropertyTest, PrenexMatrixAgreesUnderWitnesses) {
     Formula with_z = Formula::And(
         body, Formula::MakeAtom(
                   Atom(Polynomial::Var(2) - Polynomial::Var(0), RelOp::kLe)));
+    if (with_z.FreeVars().count(2) == 0) {
+      // The random body folded to a constant and the conjunction dropped
+      // the injected atom, so Exists elides the vacuous quantifier.
+      continue;
+    }
     Formula quantified = Formula::Exists(2, with_z);
     int fresh = 3;
     PrenexForm prenex = ToPrenex(quantified, &fresh);
