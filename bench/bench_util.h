@@ -25,6 +25,7 @@
 #include "base/trace.h"
 #include "constraint/atom.h"
 #include "constraint/formula.h"
+#include "plan/planner.h"
 #include "poly/polynomial.h"
 #include "poly/upoly.h"
 
@@ -58,6 +59,15 @@ inline bool& BenchQeCacheEnabled() {
   return enabled;
 }
 
+/// Whether the structure-aware planner is on for this run (set by
+/// `--plan=0|1` or CCDB_PLAN; defaults to on). Also the value of the JSON
+/// report's "plan" column, so planned/monolithic runs can be diffed row by
+/// row.
+inline bool& BenchPlanEnabled() {
+  static bool enabled = ccdb::PlannerEnabled();
+  return enabled;
+}
+
 /// Processes the standard harness flags. Call first thing in main().
 ///
 ///   --trace-out=<file>    (or CCDB_TRACE_OUT) span tracing for the run,
@@ -74,6 +84,8 @@ inline bool& BenchQeCacheEnabled() {
 ///                         result / resultant / query caches). Results are
 ///                         byte-identical either way (pure memo contract),
 ///                         only the timings change.
+///   --plan=<0|1>          (or CCDB_PLAN) toggle the structure-aware query
+///                         planner; 0 = the monolithic elimination path.
 inline void InitBenchTracing(int argc, char** argv) {
   static std::string trace_path;
   if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
@@ -100,6 +112,11 @@ inline void InitBenchTracing(int argc, char** argv) {
       BenchQeCacheEnabled() =
           std::atoi(argv[i] + (sizeof(kQeCacheFlag) - 1)) != 0;
       ccdb::SetMemoCachesEnabled(BenchQeCacheEnabled());
+    }
+    constexpr const char kPlanFlag[] = "--plan=";
+    if (std::strncmp(argv[i], kPlanFlag, sizeof(kPlanFlag) - 1) == 0) {
+      BenchPlanEnabled() = std::atoi(argv[i] + (sizeof(kPlanFlag) - 1)) != 0;
+      ccdb::SetPlannerEnabled(BenchPlanEnabled());
     }
   }
   if (BenchThreads() < 1) BenchThreads() = 1;
@@ -159,13 +176,13 @@ inline std::string TableCell(const std::optional<double>& seconds) {
 }
 
 /// Collects `{"cell": <name>, "threads": <N>, "qe_cache": <0|1>,
-/// "ms": <value-or-null>, "qe_cache_hit_rate": <rate-or-null>,
-/// "formula_nodes": <N>, "poly_nodes": <N>}` rows; the report is printed
-/// as one JSON array line at exit (after the human-readable table),
-/// machine-readable for the experiment plots. The "threads" column lets a
-/// sweep (`--threads=1`, `--threads=8`, ...) concatenate its reports into
-/// one speedup table; "qe_cache" does the same for `--qe-cache=0/1`
-/// differential runs. The hit rate is per cell (delta of the qe_cache
+/// "plan": <0|1>, "ms": <value-or-null>, "qe_cache_hit_rate":
+/// <rate-or-null>, "formula_nodes": <N>, "poly_nodes": <N>}` rows; the
+/// report is printed as one JSON array line at exit (after the
+/// human-readable table), machine-readable for the experiment plots. The
+/// "threads" column lets a sweep (`--threads=1`, `--threads=8`, ...)
+/// concatenate its reports into one speedup table; "qe_cache" and "plan"
+/// do the same for `--qe-cache=0/1` and `--plan=0/1` differential runs. The hit rate is per cell (delta of the qe_cache
 /// hit/miss counters since the previous RecordCell, null when the cell
 /// never consulted the cache); the node counts are the live hash-consed
 /// formula arena and interned polynomial pool sizes at record time.
@@ -213,6 +230,7 @@ inline void RecordCell(const std::string& name,
       "{\"cell\": \"" + name +
       "\", \"threads\": " + std::to_string(BenchThreads()) +
       ", \"qe_cache\": " + (BenchQeCacheEnabled() ? "1" : "0") +
+      ", \"plan\": " + (BenchPlanEnabled() ? "1" : "0") +
       ", \"ms\": " + JsonCell(seconds) +
       ", \"qe_cache_hit_rate\": " + hit_rate +
       ", \"formula_nodes\": " + std::to_string(arena.live_nodes) +

@@ -16,6 +16,7 @@
 //   .solve <formula>          numerical evaluation (finite answer sets)
 //   .fp <k> <formula>         finite-precision evaluation under Z_k
 //   .explain <formula>        per-stage profile of the Figure-1 pipeline
+//   .plan <formula>           print the query plan without executing
 //   .stats                    process-wide metrics snapshot (JSON)
 //   .trace <on|off|path>      span tracing / Chrome trace export
 //   .list | .show <name> | .drop <name>
@@ -55,6 +56,7 @@ void PrintHelp() {
       "  .solve <formula>        epsilon-approximate a finite answer set\n"
       "  .fp <k> <formula>       finite-precision query under Z_k\n"
       "  .explain <formula>      per-stage profile (Figure-1 pipeline)\n"
+      "  .plan <formula>         print the query plan without executing\n"
       "  .deadline <ms>          per-query deadline (0 = off); exhausted\n"
       "                          queries degrade down the policy ladder\n"
       "  .stats                  metrics snapshot as JSON\n"
@@ -135,6 +137,15 @@ void RunExplain(const ccdb::ConstraintDatabase& db, const std::string& text) {
     return;
   }
   std::printf("%s", explained->ToString().c_str());
+}
+
+void RunPlan(const ccdb::ConstraintDatabase& db, const std::string& text) {
+  auto plan = db.Plan(text);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", plan->c_str());
 }
 
 void RunTrace(const std::string& rest) {
@@ -273,6 +284,10 @@ int main() {
     }
     if (line.rfind(".explain ", 0) == 0) {
       RunExplain(db, line.substr(9));
+      continue;
+    }
+    if (line.rfind(".plan ", 0) == 0) {
+      RunPlan(db, line.substr(6));
       continue;
     }
     if (line == ".stats") {

@@ -141,6 +141,11 @@ bool GeneralizedTuple::Canonicalize() {
   return true;
 }
 
+bool GeneralizedTuple::operator<(const GeneralizedTuple& other) const {
+  return std::lexicographical_compare(atoms.begin(), atoms.end(),
+                                      other.atoms.begin(), other.atoms.end());
+}
+
 std::size_t GeneralizedTuple::Hash() const {
   std::size_t h = 1469598103934665603ull;
   for (const Atom& atom : atoms) h = h * 1099511628211ull + atom.Hash();

@@ -105,6 +105,11 @@ struct GeneralizedTuple {
   bool operator==(const GeneralizedTuple& other) const {
     return atoms == other.atoms;
   }
+  /// Deterministic structural order (lexicographic over atoms). Sorting a
+  /// union of canonicalized disjuncts with this order makes the union's
+  /// rendering independent of derivation order — the anchor of the
+  /// planner-on/planner-off byte-identity contract.
+  bool operator<(const GeneralizedTuple& other) const;
 
   std::string ToString(const std::vector<std::string>& names = {}) const;
 };

@@ -174,7 +174,8 @@ std::string DatalogStats::ToString() const {
   std::ostringstream out;
   out << "iterations=" << iterations
       << " fixpoint=" << (reached_fixpoint ? "yes" : "no")
-      << " qe_calls=" << qe_calls << " max_bits=" << max_bits;
+      << " qe_calls=" << qe_calls << " max_bits=" << max_bits
+      << " plan_cache_hits=" << plan_cache_hits;
   return out.str();
 }
 
@@ -184,6 +185,7 @@ std::string DatalogStats::ToJson() const {
       .Add("reached_fixpoint", reached_fixpoint)
       .Add("qe_calls", qe_calls)
       .Add("max_bits", max_bits)
+      .Add("plan_cache_hits", plan_cache_hits)
       .Build();
 }
 
@@ -237,6 +239,13 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
   std::mutex body_cache_mu;
   std::unordered_map<std::uint64_t, BodyMemo> body_cache;
   const bool use_body_cache = gov == nullptr && MemoCachesEnabled();
+
+  // Plan-once-per-fixpoint observability: rule-body plans memoize on the
+  // body's interned formula id (plan/planner.h), so later rounds reuse the
+  // round-one plan. The counter delta over the run surfaces the reuse.
+  Counter* plan_hits_counter =
+      MetricsRegistry::Global().GetCounter("plan_cache_hits");
+  const std::uint64_t plan_hits_before = plan_hits_counter->value();
 
   for (int round = 0; round < options.max_iterations; ++round) {
     CCDB_TRACE_SPAN("datalog.iteration");
@@ -329,6 +338,7 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     }
     if (!grew) {
       s->reached_fixpoint = true;
+      s->plan_cache_hits = plan_hits_counter->value() - plan_hits_before;
       CCDB_METRIC_COUNT("datalog.fixpoints", 1);
       CCDB_METRIC_COUNT("datalog.qe_calls", s->qe_calls);
       return idb;

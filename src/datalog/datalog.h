@@ -65,6 +65,11 @@ struct DatalogStats {
   bool reached_fixpoint = false;
   std::uint64_t max_bits = 0;
   std::uint64_t qe_calls = 0;
+  /// Plan-cache hits during this run: each rule body is PLANNED once per
+  /// fixpoint (the structure-aware plan memoizes on the body's interned
+  /// formula id) and the plan is reused across rounds — this counts the
+  /// reuses. 0 with the planner or the memo caches off.
+  std::uint64_t plan_cache_hits = 0;
 
   /// One-line human-readable rendering.
   std::string ToString() const;

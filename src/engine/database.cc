@@ -9,6 +9,7 @@
 #include "base/memo.h"
 #include "base/metrics.h"
 #include "base/trace.h"
+#include "plan/planner.h"
 #include "query/lower.h"
 #include "query/parser.h"
 
@@ -42,8 +43,14 @@ std::string QueryCacheKey(const std::string& text, std::uint64_t version) {
 
 std::string ExplainResult::ToString() const {
   std::ostringstream out;
-  out << "EXPLAIN (Figure-1 pipeline)\n";
+  out << "EXPLAIN (Figure-1 pipeline";
+  if (from_cache) out << ", whole-query cache hit";
+  out << ")\n";
   const CalcFStats& s = result.stats;
+  if (!s.plan.empty()) {
+    out << "  PLAN                    " << s.plan
+        << (from_cache ? "  (cached)" : "") << "\n";
+  }
   if (s.parse_seconds > 0.0) {
     out << "  PARSE                   " << FormatMillis(s.parse_seconds)
         << "\n";
@@ -187,8 +194,14 @@ Status ConstraintDatabase::Drop(const std::string& name) {
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
+  return QueryImpl(text, nullptr);
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
+                                                    bool* cache_hit) const {
   CCDB_TRACE_SPAN("db.query");
   CCDB_METRIC_COUNT("db.queries", 1);
+  if (cache_hit != nullptr) *cache_hit = false;
   // Pure memo on the whole pipeline: a hit returns exactly the result a
   // re-evaluation would produce (same text, same catalog state, same
   // immutable options). Governed evaluations bypass the cache entirely so
@@ -200,12 +213,30 @@ StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
   if (use_cache) {
     key = QueryCacheKey(text, catalog_.version());
     CalcFResult cached;
-    if (QueryResultCache().Lookup(key, &cached)) return cached;
+    if (QueryResultCache().Lookup(key, &cached)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return cached;
+    }
   }
   CalcFEvaluator evaluator(MakeLookup(), options_);
   CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
   if (use_cache) QueryResultCache().Insert(key, result);
   return result;
+}
+
+StatusOr<std::string> ConstraintDatabase::Plan(const std::string& text) const {
+  CCDB_TRACE_SPAN("db.plan");
+  CCDB_METRIC_COUNT("db.plans", 1);
+  CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
+  std::vector<std::string> columns = parsed->FreeVarNames();
+  VarEnv env;
+  for (const std::string& column : columns) env.Intern(column);
+  int arity = env.next_index;
+  CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*parsed, &env));
+  CCDB_ASSIGN_OR_RETURN(Formula instantiated,
+                        lowered.InstantiateRelations(MakeLookup()));
+  QueryPlan plan = GetOrBuildPlan(instantiated, arity, options_.qe);
+  return plan.ToString(env.NamesByIndex());
 }
 
 StatusOr<ExplainResult> ConstraintDatabase::Explain(
@@ -215,7 +246,7 @@ StatusOr<ExplainResult> ConstraintDatabase::Explain(
   ExplainResult explain;
   auto before = MetricsRegistry::Global().SnapshotValues();
   auto start = std::chrono::steady_clock::now();
-  CCDB_ASSIGN_OR_RETURN(explain.result, Query(text));
+  CCDB_ASSIGN_OR_RETURN(explain.result, QueryImpl(text, &explain.from_cache));
   // NUMERICAL EVALUATION (Figure 1, step 3): only meaningful when the
   // answer is a relation; a scalar aggregate is already a value.
   if (!explain.result.has_scalar && explain.result.relation.arity() > 0) {

@@ -22,6 +22,10 @@ namespace ccdb {
 /// this query moved.
 struct ExplainResult {
   CalcFResult result;
+  /// The whole-query memo answered: the pipeline did not run this time, so
+  /// stage timings and metric deltas reflect the (near-free) cache hit
+  /// while the stats — including the plan — are the cached evaluation's.
+  bool from_cache = false;
   /// Whether the NUMERICAL EVALUATION stage ran (it is skipped for
   /// scalar-aggregate answers, which are already values).
   bool ran_numeric = false;
@@ -126,8 +130,16 @@ class ConstraintDatabase {
 
   /// EXPLAIN: evaluates `text` like Query, additionally running the
   /// NUMERICAL EVALUATION stage when applicable, and reports per-stage
-  /// wall times plus the metric counters the evaluation moved.
+  /// wall times plus the metric counters the evaluation moved. On a
+  /// whole-query cache hit the cached plan is still reported (marked
+  /// "cached"), not an empty pipeline.
   StatusOr<ExplainResult> Explain(const std::string& text) const;
+
+  /// PLAN: builds and renders the structure-aware query plan
+  /// (plan/planner.h) for `text` WITHOUT executing it. Aggregate and
+  /// analytic-function queries are not plannable as a single formula and
+  /// return an error describing why.
+  StatusOr<std::string> Plan(const std::string& text) const;
 
   /// Evaluates a pure first-order query under the finite precision
   /// semantics FO^F_QE with bit budget k (Section 4); partial — returns
@@ -156,6 +168,10 @@ class ConstraintDatabase {
 
  private:
   CalcFEvaluator::RelationLookup MakeLookup() const;
+  /// Query() body; `cache_hit`, when non-null, reports whether the answer
+  /// came from the whole-query memo (Explain's cached-plan reporting).
+  StatusOr<CalcFResult> QueryImpl(const std::string& text,
+                                  bool* cache_hit) const;
 
   CalcFOptions options_;
   Catalog catalog_;

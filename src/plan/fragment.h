@@ -1,0 +1,52 @@
+#ifndef CCDB_PLAN_FRAGMENT_H_
+#define CCDB_PLAN_FRAGMENT_H_
+
+/// Fragment classification for the paper's strict expressiveness hierarchy
+/// FO(<=) ⊂ FO(<=,+) ⊂ FO(<=,+,×) (Proposition 4.6). Every atom,
+/// generalized tuple, and DNF system is classified into the CHEAPEST
+/// fragment whose elimination engine can answer it:
+///
+///   kDenseOrder  → dense-order elimination (qe/dense_order, Theorem 4.8)
+///   kLinear      → Fourier-Motzkin          (qe/fourier_motzkin, Thm 4.2)
+///   kPolynomial  → CAD                      (qe/cad, Theorem 4.1)
+///
+/// This is the one shared home of the linearity/degree tests that the
+/// engines' entry guards (IsLinearSystem, IsDenseOrderSystem) and the
+/// structure-aware planner (plan/planner) all dispatch on.
+
+#include <vector>
+
+#include "constraint/atom.h"
+
+namespace ccdb {
+
+enum class Fragment {
+  kDenseOrder = 0,  // x θ y or x θ c, unit coefficients, no mixed offset
+  kLinear = 1,      // total degree <= 1
+  kPolynomial = 2,  // anything else
+};
+
+/// "dense_order", "linear", "polynomial".
+const char* FragmentName(Fragment f);
+/// The engine answering the fragment: "dense_order", "fourier_motzkin",
+/// "cad".
+const char* FragmentEngine(Fragment f);
+/// The coarser (more expensive) of two fragments.
+Fragment WidenFragment(Fragment a, Fragment b);
+
+/// Dense-order atom: unit-coefficient difference of at most two variables,
+/// plus a rational constant only in the one-variable case (an offset on a
+/// two-variable difference would encode addition, leaving FO(<=)).
+bool IsDenseOrderAtom(const Atom& atom);
+/// Linear atom: total degree <= 1.
+bool IsLinearAtom(const Atom& atom);
+
+Fragment ClassifyAtom(const Atom& atom);
+/// Widened over all atoms; an empty conjunction is dense-order.
+Fragment ClassifyTuple(const GeneralizedTuple& tuple);
+/// Widened over all tuples; an empty system is dense-order.
+Fragment ClassifyTuples(const std::vector<GeneralizedTuple>& tuples);
+
+}  // namespace ccdb
+
+#endif  // CCDB_PLAN_FRAGMENT_H_

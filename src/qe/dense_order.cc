@@ -2,51 +2,18 @@
 
 #include "base/logging.h"
 #include "base/metrics.h"
+#include "plan/fragment.h"
 #include "qe/fourier_motzkin.h"
 
 namespace ccdb {
 
-namespace {
-
-// Dense-order atom: unit-coefficient difference of at most two variables,
-// plus a rational constant only in the one-variable case.
-bool IsDenseOrderAtom(const Atom& atom) {
-  const Polynomial& p = atom.poly;
-  if (p.TotalDegree() > 1) return false;
-  int vars = 0;
-  Rational coeff_sum(0);
-  bool has_constant = false;
-  for (const auto& [monomial, coeff] : p.terms()) {
-    if (monomial.is_one()) {
-      has_constant = true;
-      continue;
-    }
-    ++vars;
-    if (!(coeff == Rational(1) || coeff == Rational(-1))) return false;
-    coeff_sum += coeff;
-  }
-  if (vars > 2) return false;
-  if (vars == 2) {
-    // x - y form: coefficients must cancel, and no constant offset (an
-    // offset would encode addition, leaving the dense-order language).
-    return coeff_sum.is_zero() && !has_constant;
-  }
-  return true;  // x - c or a constant atom
-}
-
-}  // namespace
-
 bool IsDenseOrderSystem(const std::vector<GeneralizedTuple>& tuples) {
-  for (const GeneralizedTuple& tuple : tuples) {
-    for (const Atom& atom : tuple.atoms) {
-      if (!IsDenseOrderAtom(atom)) return false;
-    }
-  }
-  return true;
+  return ClassifyTuples(tuples) == Fragment::kDenseOrder;
 }
 
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsDenseOrder(
-    const std::vector<GeneralizedTuple>& tuples, int var) {
+    const std::vector<GeneralizedTuple>& tuples, int var,
+    const ResourceGovernor* gov, ThreadPool* pool) {
   if (!IsDenseOrderSystem(tuples)) {
     return Status::InvalidArgument(
         "dense-order elimination requires dense-order atoms");
@@ -59,7 +26,7 @@ StatusOr<std::vector<GeneralizedTuple>> EliminateExistsDenseOrder(
   // [GS95a] and the reason Theorem 4.8's encoding works). We reuse the
   // Fourier-Motzkin engine and assert closure, which here is a theorem.
   CCDB_ASSIGN_OR_RETURN(std::vector<GeneralizedTuple> result,
-                        EliminateExistsLinear(tuples, var));
+                        EliminateExistsLinear(tuples, var, gov, pool));
   CCDB_CHECK_MSG(IsDenseOrderSystem(result),
                  "dense-order closure violated (engine bug)");
   return result;

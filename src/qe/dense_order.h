@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "base/resource.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "constraint/atom.h"
 
 namespace ccdb {
@@ -29,9 +31,11 @@ bool IsDenseOrderSystem(const std::vector<GeneralizedTuple>& tuples);
 /// Eliminates "exists x_var" from a union of dense-order generalized
 /// tuples. The output is again a union of dense-order tuples over the
 /// remaining variables (closed form). kInvalidArgument on non-dense-order
-/// atoms.
+/// atoms. A non-null `gov` is charged as in EliminateExistsLinear (stage
+/// "qe.fm"); disjuncts fan out across `pool` and merge in input order.
 StatusOr<std::vector<GeneralizedTuple>> EliminateExistsDenseOrder(
-    const std::vector<GeneralizedTuple>& tuples, int var);
+    const std::vector<GeneralizedTuple>& tuples, int var,
+    const ResourceGovernor* gov = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace ccdb
 

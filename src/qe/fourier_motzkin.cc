@@ -6,16 +6,12 @@
 #include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
+#include "plan/fragment.h"
 
 namespace ccdb {
 
 bool IsLinearSystem(const std::vector<GeneralizedTuple>& tuples) {
-  for (const GeneralizedTuple& tuple : tuples) {
-    for (const Atom& atom : tuple.atoms) {
-      if (atom.poly.TotalDegree() > 1) return false;
-    }
-  }
-  return true;
+  return ClassifyTuples(tuples) != Fragment::kPolynomial;
 }
 
 namespace {

@@ -10,8 +10,9 @@
 #include "base/memo.h"
 #include "base/metrics.h"
 #include "base/trace.h"
+#include "plan/fragment.h"
+#include "plan/planner.h"
 #include "qe/cad.h"
-#include "qe/dense_order.h"
 #include "qe/fourier_motzkin.h"
 #include "qe/qe_cache.h"
 
@@ -88,12 +89,22 @@ bool MatrixTruth(const std::vector<GeneralizedTuple>& tuples,
   return tuples.empty() ? false : false;
 }
 
+RelOp OpForSign(int sign) {
+  if (sign < 0) return RelOp::kLt;
+  if (sign > 0) return RelOp::kGt;
+  return RelOp::kEq;
+}
+
+}  // namespace
+
 // Virtual substitution for defining equations: when the innermost
 // quantifier is "exists v" and EVERY tuple either does not mention v or
 // contains an equation p = 0 that is linear in v with a nonzero CONSTANT
 // coefficient, v can be eliminated by exact substitution v := g(rest) —
 // no CAD needed. This is what makes queries produced by the CALC_F
-// function-approximation rewriting (t = h(x) conjuncts) cheap.
+// function-approximation rewriting (t = h(x) conjuncts) cheap. Declared in
+// qe.h so the planner's per-block executor peels with the identical
+// rewrite.
 bool TrySubstituteInnermostExists(std::vector<GeneralizedTuple>* tuples,
                                   int var) {
   std::vector<GeneralizedTuple> rewritten;
@@ -136,11 +147,7 @@ bool TrySubstituteInnermostExists(std::vector<GeneralizedTuple>* tuples,
   return true;
 }
 
-RelOp OpForSign(int sign) {
-  if (sign < 0) return RelOp::kLt;
-  if (sign > 0) return RelOp::kGt;
-  return RelOp::kEq;
-}
+namespace {
 
 struct CadEvalResult {
   // Sign vectors (over the free-space factor set) of true / false
@@ -274,6 +281,7 @@ std::string QeStats::ToString() const {
       << " linear_path=" << (used_linear_path ? "yes" : "no")
       << " dense_order_path=" << (used_dense_order_path ? "yes" : "no")
       << " thom_augmentation=" << (used_thom_augmentation ? "yes" : "no");
+  if (!plan.empty()) out << " plan={" << plan << "}";
   return out.str();
 }
 
@@ -285,6 +293,7 @@ std::string QeStats::ToJson() const {
       .Add("used_linear_path", used_linear_path)
       .Add("used_dense_order_path", used_dense_order_path)
       .Add("used_thom_augmentation", used_thom_augmentation)
+      .Add("plan", plan)
       .Build();
 }
 
@@ -294,6 +303,16 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
     const Formula& formula, int num_free_vars, const QeOptions& options,
     QeStats* s) {
   const ResourceGovernor* gov = options.governor;
+
+  // Structure-aware planning (plan/planner.h): classify, miniscope, split
+  // into independent blocks, dispatch each block to its cheapest engine.
+  // The plan executor forces kOff on its sub-eliminations, so this branch
+  // is taken exactly once per top-level run.
+  if (PlannerResolved(options)) {
+    QueryPlan plan = GetOrBuildPlan(formula, num_free_vars, options);
+    s->plan = plan.Summary();
+    return ExecutePlan(plan, options, s);
+  }
 
   std::set<int> all_vars = formula.AllVars();
   int next_fresh = num_free_vars;
@@ -349,11 +368,16 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
     return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
   }
 
-  // Linear fast path: Fourier-Motzkin, innermost quantifier first.
-  if (options.allow_linear_fast_path && IsLinearSystem(tuples)) {
+  // Linear fast path: Fourier-Motzkin, innermost quantifier first. The
+  // shared fragment classifier (plan/fragment.h) replaces the previous
+  // per-engine IsLinearSystem/IsDenseOrderSystem probes.
+  const Fragment matrix_fragment = options.allow_linear_fast_path
+                                       ? ClassifyTuples(tuples)
+                                       : Fragment::kPolynomial;
+  if (matrix_fragment != Fragment::kPolynomial) {
     CCDB_TRACE_SPAN("qe.fourier_motzkin");
     s->used_linear_path = true;
-    s->used_dense_order_path = IsDenseOrderSystem(tuples);
+    s->used_dense_order_path = matrix_fragment == Fragment::kDenseOrder;
     for (int i = q - 1; i >= 0; --i) {
       CCDB_CHECK_BUDGET(gov, "qe.fm");
       int var = num_free_vars + i;
@@ -565,6 +589,11 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   CCDB_ASSIGN_OR_RETURN(
       ConstraintRelation result,
       EliminateQuantifiersUncached(formula, num_free_vars, options, s));
+  // Canonical presentation: sorting the union of canonicalized disjuncts
+  // makes the answer independent of derivation order — the anchor of the
+  // planner-on/planner-off byte-identity contract (and a no-op for
+  // semantics, since a union is order-insensitive).
+  std::sort(result.mutable_tuples()->begin(), result.mutable_tuples()->end());
   if (use_cache) {
     QeResultCache().Insert(key, QeCacheValue{formula, result, *s});
   }

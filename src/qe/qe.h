@@ -27,12 +27,23 @@ struct QeStats {
   /// language.
   bool used_dense_order_path = false;
   bool used_thom_augmentation = false;
+  /// One-line summary of the structure-aware query plan when the planner
+  /// drove this run ("" on the monolithic path and in sub-eliminations).
+  /// Deterministic — depends only on the input formula and options.
+  std::string plan;
 
   /// One-line human-readable rendering.
   std::string ToString() const;
   /// JSON object with one field per statistic.
   std::string ToJson() const;
 };
+
+/// Three-way planner toggle carried by QeOptions: kAuto follows the
+/// process-wide switch (CCDB_PLAN environment variable / SetPlannerEnabled
+/// in plan/planner.h), kOn/kOff force it per call. The executor forces
+/// kOff on its per-block sub-eliminations so plan execution reuses the
+/// monolithic primitives verbatim.
+enum class PlanToggle { kAuto, kOn, kOff };
 
 /// Options for quantifier elimination.
 struct QeOptions {
@@ -60,6 +71,13 @@ struct QeOptions {
   /// driver's parallel fan-out point. The split is a deterministic
   /// algorithm decision — it does not depend on the thread count.
   bool allow_disjunct_split = true;
+  /// Structure-aware planning (plan/planner.h): classify the quantifier
+  /// block into fragments, miniscope ∃ into the narrowest scope, split
+  /// independent variable components, and dispatch each block to the
+  /// cheapest engine (dense-order / Fourier-Motzkin / CAD). kAuto follows
+  /// the process-wide CCDB_PLAN switch (default on); kOff is the
+  /// monolithic fallback path.
+  PlanToggle plan = PlanToggle::kAuto;
   /// Resource budget charged at every hot-loop head of the elimination
   /// (driver rounds, CAD projection/base/lifting, root isolation,
   /// Fourier-Motzkin tuples). Null = unlimited. Borrowed, not owned.
@@ -90,6 +108,16 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
 StatusOr<bool> DecideSentence(const Formula& sentence,
                               const QeOptions& options = {},
                               QeStats* stats = nullptr);
+
+/// Virtual substitution for defining equations: when EVERY tuple either
+/// does not mention `var` or contains an equation p = 0 linear in `var`
+/// with a nonzero CONSTANT coefficient, "exists var" is eliminated by
+/// exact substitution var := g(rest) and the rewritten tuples replace
+/// *tuples (returns true). Otherwise *tuples is left unchanged (returns
+/// false). Shared by the monolithic driver's peel loop and the planner's
+/// per-block executor so both paths rewrite identically.
+bool TrySubstituteInnermostExists(std::vector<GeneralizedTuple>* tuples,
+                                  int var);
 
 }  // namespace ccdb
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "plan/planner.h"
+
 namespace ccdb {
 
 QeCacheKey MakeQeCacheKey(const Formula& formula, int num_free_vars,
@@ -13,7 +15,8 @@ QeCacheKey MakeQeCacheKey(const Formula& formula, int num_free_vars,
                     (options.allow_thom_augmentation ? 2u : 0u) |
                     (options.allow_equation_substitution ? 4u : 0u) |
                     (options.linear_only ? 8u : 0u) |
-                    (options.allow_disjunct_split ? 16u : 0u);
+                    (options.allow_disjunct_split ? 16u : 0u) |
+                    (PlannerResolved(options) ? 32u : 0u);
   return key;
 }
 

@@ -27,9 +27,12 @@ struct QeCacheKey {
   std::uint64_t formula_id = 0;
   int num_free_vars = 0;
   /// Packed algorithm options (linear fast path, Thom augmentation,
-  /// equation substitution, linear-only, disjunct split). The governor and
-  /// pool are excluded: lookups only happen ungoverned, and results are
-  /// thread-count independent by the determinism contract.
+  /// equation substitution, linear-only, disjunct split, resolved planner
+  /// toggle). The governor and pool are excluded: lookups only happen
+  /// ungoverned, and results are thread-count independent by the
+  /// determinism contract. The PLANNER bit is included because the two
+  /// paths guarantee semantic — not syntactic — equivalence in general, so
+  /// plan-on and plan-off runs must never share cache entries.
   unsigned option_bits = 0;
 
   bool operator==(const QeCacheKey& other) const {

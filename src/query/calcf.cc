@@ -238,6 +238,7 @@ std::string CalcFStats::ToString() const {
       << " instantiation=" << instantiation_seconds * 1e3 << "ms"
       << " qe=" << qe_seconds * 1e3 << "ms"
       << " aggregates=" << aggregate_seconds * 1e3 << "ms";
+  if (!plan.empty()) out << " plan={" << plan << "}";
   return out.str();
 }
 
@@ -251,6 +252,7 @@ std::string CalcFStats::ToJson() const {
       .Add("instantiation_seconds", instantiation_seconds)
       .Add("qe_seconds", qe_seconds)
       .Add("aggregate_seconds", aggregate_seconds)
+      .Add("plan", plan)
       .Build();
 }
 
@@ -412,6 +414,9 @@ StatusOr<ConstraintRelation> CalcFEvaluator::EvaluateCore(
   ++stats->qe_rounds;
   stats->max_intermediate_bits =
       std::max(stats->max_intermediate_bits, qe_stats.max_intermediate_bits);
+  // Nested aggregate stages run earlier, so the last (main-query) round's
+  // plan is the one surfaced.
+  stats->plan = qe_stats.plan;
   return rel;
 }
 

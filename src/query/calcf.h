@@ -54,6 +54,9 @@ struct CalcFStats {
   /// AGGREGATE EVALUATION: time inside the aggregate modules themselves
   /// (their nested QE rounds are accounted to qe_seconds).
   double aggregate_seconds = 0.0;
+  /// One-line summary of the structure-aware query plan of the main QE
+  /// round (plan/planner.h); "" when the planner is off.
+  std::string plan;
 
   /// One-line human-readable rendering.
   std::string ToString() const;

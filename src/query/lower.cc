@@ -20,6 +20,21 @@ StatusOr<int> VarEnv::Lookup(const std::string& name) const {
   return it->second;
 }
 
+std::vector<std::string> VarEnv::NamesByIndex() const {
+  std::vector<std::string> names(static_cast<std::size_t>(next_index));
+  for (const auto& [name, index] : indices) {
+    if (index >= 0 && index < next_index) {
+      names[static_cast<std::size_t>(index)] = name;
+    }
+  }
+  for (int i = 0; i < next_index; ++i) {
+    if (names[static_cast<std::size_t>(i)].empty()) {
+      names[static_cast<std::size_t>(i)] = "x" + std::to_string(i);
+    }
+  }
+  return names;
+}
+
 StatusOr<Polynomial> LowerPolynomialTerm(const QTerm& term, VarEnv* env) {
   switch (term.kind) {
     case QTerm::Kind::kConst:

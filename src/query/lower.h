@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "base/status.h"
 #include "constraint/formula.h"
@@ -21,6 +22,10 @@ struct VarEnv {
   /// Index of `name`; kNotFound if unknown (strict lookups for relation
   /// definitions).
   StatusOr<int> Lookup(const std::string& name) const;
+  /// Display names by variable index (the inverse of `indices`), for plan
+  /// and relation rendering. Unnamed indices (fresh existentials minted
+  /// during lowering) render as "x<i>".
+  std::vector<std::string> NamesByIndex() const;
 };
 
 /// Lowers a function-free term to a polynomial over the environment's

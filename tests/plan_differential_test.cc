@@ -1,0 +1,161 @@
+// Differential property tests for the structure-aware planner: on the
+// disequality-free single-quantified-variable corpora below, the planned
+// path (classify → miniscope → split → dispatch) and the monolithic path
+// route every sub-problem through the same elimination primitives, so the
+// answer relation must be BYTE-identical with the planner on and off, and
+// at every thread count (1, 2, 8). This is the executable form of the
+// determinism contract in plan/planner.h and DESIGN.md §10.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "constraint/atom.h"
+#include "constraint/formula.h"
+#include "plan/planner.h"
+#include "qe/qe.h"
+
+namespace ccdb {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+Polynomial X() { return Polynomial::Var(0); }
+Polynomial Y() { return Polynomial::Var(1); }
+
+// Random linear formula over x (free) and y (quantified) — the same corpus
+// shape as qe_property_test's RandomLinearBody (no disequalities).
+Formula RandomLinearBody(std::mt19937_64* rng) {
+  std::uniform_int_distribution<std::int64_t> coeff(-3, 3);
+  auto random_atom = [&]() {
+    std::int64_t a = coeff(*rng), b = coeff(*rng), c = coeff(*rng);
+    if (a == 0 && b == 0) a = 1;
+    Polynomial p = Polynomial(a) * X() + Polynomial(b) * Y() + Polynomial(c);
+    RelOp ops[] = {RelOp::kLe, RelOp::kLt, RelOp::kEq, RelOp::kGe};
+    return Formula::MakeAtom(Atom(p, ops[(*rng)() % 4]));
+  };
+  Formula conj1 = Formula::And(random_atom(), random_atom());
+  Formula conj2 = Formula::And(random_atom(), random_atom());
+  return Formula::Or(conj1, conj2);
+}
+
+// Random dense-order formula: unit-coefficient comparisons between x, y,
+// and small constants — stays inside FO(<=), so the planner dispatches the
+// dense-order engine.
+Formula RandomDenseOrderBody(std::mt19937_64* rng) {
+  std::uniform_int_distribution<std::int64_t> constant(-2, 2);
+  auto random_atom = [&]() {
+    RelOp ops[] = {RelOp::kLe, RelOp::kLt, RelOp::kEq, RelOp::kGe};
+    RelOp op = ops[(*rng)() % 4];
+    switch ((*rng)() % 4) {
+      case 0:
+        return Formula::MakeAtom(Atom(X() - Y(), op));
+      case 1:
+        return Formula::MakeAtom(Atom(Y() - X(), op));
+      case 2:
+        return Formula::MakeAtom(Atom(Y() - Polynomial(constant(*rng)), op));
+      default:
+        return Formula::MakeAtom(Atom(X() - Polynomial(constant(*rng)), op));
+    }
+  };
+  Formula conj1 = Formula::And(random_atom(), random_atom());
+  Formula conj2 = Formula::And(random_atom(), random_atom());
+  return Formula::Or(conj1, conj2);
+}
+
+// Random conic atom (genuinely polynomial): a*y^2 + (b*x + c)*y + d*x^2 +
+// e*x + f <= 0 with a > 0 — forces the CAD engine on both paths.
+Formula RandomConicBody(std::mt19937_64* rng) {
+  std::uniform_int_distribution<std::int64_t> coeff(-2, 2);
+  std::int64_t a = 1 + static_cast<std::int64_t>((*rng)() % 2);
+  std::int64_t b = coeff(*rng), c = coeff(*rng), d = coeff(*rng),
+               e = coeff(*rng), f = coeff(*rng);
+  Polynomial conic = Polynomial(a) * Y().Pow(2) +
+                     (Polynomial(b) * X() + Polynomial(c)) * Y() +
+                     Polynomial(d) * X().Pow(2) + Polynomial(e) * X() +
+                     Polynomial(f);
+  return Formula::MakeAtom(Atom(conic, RelOp::kLe));
+}
+
+// Eliminates `exists y body` on every (plan, threads) combination and
+// checks that all renderings agree byte-for-byte with the reference run
+// (planner off, threads = 1 — the historical monolithic serial path).
+void ExpectPlanAndThreadInvariant(const Formula& body) {
+  Formula query = Formula::Exists(1, body);
+  std::string reference;
+  bool have_reference = false;
+  for (PlanToggle plan : {PlanToggle::kOff, PlanToggle::kOn}) {
+    for (int threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      QeOptions options;
+      options.plan = plan;
+      options.pool = &pool;
+      auto result = EliminateQuantifiers(query, 1, options);
+      ASSERT_TRUE(result.ok())
+          << result.status().ToString() << " plan="
+          << (plan == PlanToggle::kOn ? "on" : "off")
+          << " threads=" << threads;
+      std::string rendered = result->ToString();
+      if (!have_reference) {
+        reference = rendered;
+        have_reference = true;
+        continue;
+      }
+      EXPECT_EQ(rendered, reference)
+          << "plan=" << (plan == PlanToggle::kOn ? "on" : "off")
+          << " threads=" << threads << " body " << body.ToString({"x", "y"});
+    }
+  }
+}
+
+class PlanLinearDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanLinearDifferentialTest, PlannedEqualsMonolithicAtEveryThreadCount) {
+  std::mt19937_64 rng(GetParam());
+  ExpectPlanAndThreadInvariant(RandomLinearBody(&rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLinear, PlanLinearDifferentialTest,
+                         ::testing::Range(0, 16));
+
+class PlanDenseOrderDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanDenseOrderDifferentialTest,
+       PlannedEqualsMonolithicAtEveryThreadCount) {
+  std::mt19937_64 rng(100 + GetParam());
+  ExpectPlanAndThreadInvariant(RandomDenseOrderBody(&rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDenseOrder, PlanDenseOrderDifferentialTest,
+                         ::testing::Range(0, 12));
+
+class PlanConicDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanConicDifferentialTest, PlannedEqualsMonolithicAtEveryThreadCount) {
+  std::mt19937_64 rng(1000 + GetParam());
+  ExpectPlanAndThreadInvariant(RandomConicBody(&rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConics, PlanConicDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// Mixed-fragment union with a free-variable-only conjunct in each
+// disjunct: exercises miniscoping, per-fragment dispatch, and the union
+// merge simultaneously — still byte-identical everywhere.
+TEST(PlanMixedDifferentialTest, MixedFragmentUnionIsPathAndThreadInvariant) {
+  std::mt19937_64 rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    Formula dense = RandomDenseOrderBody(&rng);
+    Formula linear = RandomLinearBody(&rng);
+    Formula conic = RandomConicBody(&rng);
+    Formula guard = Formula::Compare(X(), RelOp::kLe, Polynomial(trial + 3));
+    ExpectPlanAndThreadInvariant(
+        Formula::Or({Formula::And(guard, dense), linear, conic}));
+  }
+}
+
+}  // namespace
+}  // namespace ccdb
