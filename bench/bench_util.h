@@ -20,6 +20,7 @@
 #include "base/logging.h"
 #include "base/memo.h"
 #include "base/metrics.h"
+#include "base/profile.h"
 #include "base/resource.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
@@ -68,6 +69,23 @@ inline bool& BenchPlanEnabled() {
   return enabled;
 }
 
+/// Whether `--profile` was passed: span tracing is enabled for the whole
+/// run and the aggregated span profile (base/profile.h) is printed to
+/// stderr at exit, flamegraph-style — one line per call path with count
+/// and inclusive/exclusive totals.
+inline bool& BenchProfileEnabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// Destination of the run record written by WriteRunRecord (set by
+/// `--bench-out=<path>` or CCDB_BENCH_OUT); "" = `BENCH_<name>.json` in
+/// the current directory.
+inline std::string& BenchOutPath() {
+  static std::string path;
+  return path;
+}
+
 /// Processes the standard harness flags. Call first thing in main().
 ///
 ///   --trace-out=<file>    (or CCDB_TRACE_OUT) span tracing for the run,
@@ -86,12 +104,18 @@ inline bool& BenchPlanEnabled() {
 ///                         only the timings change.
 ///   --plan=<0|1>          (or CCDB_PLAN) toggle the structure-aware query
 ///                         planner; 0 = the monolithic elimination path.
+///   --profile             enable span tracing and print the aggregated
+///                         span profile (path -> count, inclusive µs,
+///                         exclusive µs) to stderr at exit
+///   --bench-out=<path>    (or CCDB_BENCH_OUT) where WriteRunRecord puts
+///                         the BENCH_<name>.json run record
 inline void InitBenchTracing(int argc, char** argv) {
   static std::string trace_path;
   if (const char* env = std::getenv("CCDB_TRACE_OUT")) trace_path = env;
   if (const char* env = std::getenv("CCDB_BENCH_DEADLINE_MS")) {
     BenchDeadlineSeconds() = std::atof(env) / 1e3;
   }
+  if (const char* env = std::getenv("CCDB_BENCH_OUT")) BenchOutPath() = env;
   for (int i = 1; i < argc; ++i) {
     constexpr const char kFlag[] = "--trace-out=";
     if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
@@ -118,9 +142,22 @@ inline void InitBenchTracing(int argc, char** argv) {
       BenchPlanEnabled() = std::atoi(argv[i] + (sizeof(kPlanFlag) - 1)) != 0;
       ccdb::SetPlannerEnabled(BenchPlanEnabled());
     }
+    if (std::strcmp(argv[i], "--profile") == 0) BenchProfileEnabled() = true;
+    constexpr const char kBenchOutFlag[] = "--bench-out=";
+    if (std::strncmp(argv[i], kBenchOutFlag, sizeof(kBenchOutFlag) - 1) ==
+        0) {
+      BenchOutPath() = argv[i] + (sizeof(kBenchOutFlag) - 1);
+    }
   }
   if (BenchThreads() < 1) BenchThreads() = 1;
   ccdb::ThreadPool::ConfigureShared(BenchThreads());
+  if (BenchProfileEnabled()) {
+    ccdb::Tracer::Global().SetEnabled(true);
+    std::atexit(+[] {
+      ccdb::SpanProfile profile = ccdb::BuildSpanProfile();
+      std::fprintf(stderr, "%s", profile.ToString().c_str());
+    });
+  }
   if (trace_path.empty()) return;
   ccdb::Tracer::Global().SetEnabled(true);
   std::atexit(+[] {
@@ -192,8 +229,9 @@ inline std::vector<std::string>& JsonReportRows() {
   return *rows;
 }
 
-inline void RecordCell(const std::string& name,
-                       const std::optional<double>& seconds) {
+/// Registers the atexit hook that prints the `json: [...]` report line
+/// (idempotent; shared by RecordCell and RecordLatencyCell).
+inline void EnsureJsonReportPrinter() {
   static bool hooked = [] {
     std::atexit(+[] {
       std::printf("json: [");
@@ -206,6 +244,11 @@ inline void RecordCell(const std::string& name,
     return true;
   }();
   (void)hooked;
+}
+
+inline void RecordCell(const std::string& name,
+                       const std::optional<double>& seconds) {
+  EnsureJsonReportPrinter();
   static ccdb::Counter* hits =
       ccdb::MetricsRegistry::Global().GetCounter("qe_cache_hits");
   static ccdb::Counter* misses =
@@ -235,6 +278,72 @@ inline void RecordCell(const std::string& name,
       ", \"qe_cache_hit_rate\": " + hit_rate +
       ", \"formula_nodes\": " + std::to_string(arena.live_nodes) +
       ", \"poly_nodes\": " + std::to_string(poly.entries) + "}");
+}
+
+/// Records a repeated-measurement cell: every sample is fed to the
+/// registry histogram `bench.<cell>.us`, so MetricsRegistry::SnapshotJson
+/// and this report share one estimator, and the row carries the mean plus
+/// interpolated p50/p90/p99 (Histogram::Percentile over the power-of-two
+/// microsecond buckets) as `p50_ms`/`p90_ms`/`p99_ms` columns.
+inline void RecordLatencyCell(const std::string& name,
+                              const std::vector<double>& samples_seconds) {
+  EnsureJsonReportPrinter();
+  ccdb::Histogram* hist =
+      ccdb::MetricsRegistry::Global().GetHistogram("bench." + name + ".us");
+  double total = 0.0;
+  for (double s : samples_seconds) {
+    hist->Record(static_cast<std::uint64_t>(s * 1e6));
+    total += s;
+  }
+  double mean_ms =
+      samples_seconds.empty()
+          ? 0.0
+          : total / static_cast<double>(samples_seconds.size()) * 1e3;
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"cell\": \"%s\", \"threads\": %d, \"qe_cache\": %d, "
+                "\"plan\": %d, \"ms\": %.6f, \"samples\": %zu, "
+                "\"p50_ms\": %.6f, \"p90_ms\": %.6f, \"p99_ms\": %.6f}",
+                name.c_str(), BenchThreads(),
+                BenchQeCacheEnabled() ? 1 : 0, BenchPlanEnabled() ? 1 : 0,
+                mean_ms, samples_seconds.size(), hist->Percentile(0.50) / 1e3,
+                hist->Percentile(0.90) / 1e3, hist->Percentile(0.99) / 1e3);
+  JsonReportRows().push_back(buffer);
+}
+
+/// Writes the canonical run record `BENCH_<name>.json` (schema_version 1;
+/// DESIGN.md §12): the harness configuration plus every recorded row, in
+/// record order. Call at the end of a bench's main() so the trajectory of
+/// a bench across commits is a diffable committed artifact. The path is
+/// overridden by `--bench-out=` / CCDB_BENCH_OUT;
+/// scripts/check_bench_schema.py validates the schema.
+inline void WriteRunRecord(const std::string& name) {
+  std::string path =
+      BenchOutPath().empty() ? "BENCH_" + name + ".json" : BenchOutPath();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"schema_version\": 1,\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"threads\": %d,\n"
+               "  \"qe_cache\": %d,\n"
+               "  \"plan\": %d,\n"
+               "  \"rows\": [\n",
+               name.c_str(), BenchThreads(), BenchQeCacheEnabled() ? 1 : 0,
+               BenchPlanEnabled() ? 1 : 0);
+  const std::vector<std::string>& rows = JsonReportRows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "    %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "bench: wrote run record %s (%zu row(s))\n",
+               path.c_str(), rows.size());
 }
 
 inline double TimeSeconds(const std::function<void()>& fn) {

@@ -16,7 +16,10 @@
 //   .solve <formula>          numerical evaluation (finite answer sets)
 //   .fp <k> <formula>         finite-precision evaluation under Z_k
 //   .explain <formula>        per-stage profile of the Figure-1 pipeline
+//   .profile [formula]        EXPLAIN ANALYZE: execute with the profiler
+//                             armed (defaults to the last query text)
 //   .plan <formula>           print the query plan without executing
+//   .log [on [path]|off]      structured JSONL query log
 //   .stats                    process-wide metrics snapshot (JSON)
 //   .trace <on|off|path>      span tracing / Chrome trace export
 //   .list | .show <name> | .drop <name>
@@ -31,6 +34,7 @@
 #include <string>
 
 #include "base/metrics.h"
+#include "base/query_log.h"
 #include "base/trace.h"
 #include "constraint/formula.h"
 #include "engine/database.h"
@@ -56,7 +60,12 @@ void PrintHelp() {
       "  .solve <formula>        epsilon-approximate a finite answer set\n"
       "  .fp <k> <formula>       finite-precision query under Z_k\n"
       "  .explain <formula>      per-stage profile (Figure-1 pipeline)\n"
+      "  .profile [formula]      EXPLAIN ANALYZE with per-plan-node times\n"
+      "                          (no formula = profile the last query)\n"
       "  .plan <formula>         print the query plan without executing\n"
+      "  .log on [path]          start the JSONL query log (default\n"
+      "                          ccdb_query_log.jsonl; or CCDB_QUERY_LOG)\n"
+      "  .log off | .log         stop logging / show the log status\n"
       "  .deadline <ms>          per-query deadline (0 = off); exhausted\n"
       "                          queries degrade down the policy ladder\n"
       "  .stats                  metrics snapshot as JSON\n"
@@ -137,6 +146,57 @@ void RunExplain(const ccdb::ConstraintDatabase& db, const std::string& text) {
     return;
   }
   std::printf("%s", explained->ToString().c_str());
+}
+
+// Last evaluated query text — `.profile` with no argument re-runs it under
+// the profiler.
+std::string g_last_query;
+
+void RunProfile(const ccdb::ConstraintDatabase& db, const std::string& text) {
+  if (text.empty()) {
+    std::printf("no query to profile yet (run one, or .profile <formula>)\n");
+    return;
+  }
+  auto analyzed = db.ExplainAnalyze(text);
+  if (!analyzed.ok()) {
+    std::printf("error: %s\n", analyzed.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", analyzed->ToString().c_str());
+}
+
+void RunLog(const std::string& rest) {
+  ccdb::QueryLog& log = ccdb::QueryLog::Global();
+  if (rest.empty()) {
+    if (log.enabled()) {
+      std::printf("query log: on (%s, %llu record(s) written)\n",
+                  log.path().c_str(),
+                  static_cast<unsigned long long>(log.records_written()));
+    } else {
+      std::printf("query log: off\n");
+    }
+    return;
+  }
+  if (rest == "off") {
+    log.Disable();
+    std::printf("query log off\n");
+    return;
+  }
+  std::string path = "ccdb_query_log.jsonl";
+  if (rest.rfind("on", 0) == 0) {
+    std::string arg = rest.substr(2);
+    std::size_t begin = arg.find_first_not_of(" \t");
+    if (begin != std::string::npos) path = arg.substr(begin);
+  } else {
+    std::printf("usage: .log [on [path] | off]\n");
+    return;
+  }
+  ccdb::Status status = log.Enable(path);
+  if (status.ok()) {
+    std::printf("query log on: %s\n", path.c_str());
+  } else {
+    std::printf("error: %s\n", status.ToString().c_str());
+  }
 }
 
 void RunPlan(const ccdb::ConstraintDatabase& db, const std::string& text) {
@@ -290,6 +350,17 @@ int main() {
       RunPlan(db, line.substr(6));
       continue;
     }
+    if (line == ".profile" || line.rfind(".profile ", 0) == 0) {
+      std::string text =
+          line.size() > 8 ? line.substr(9) : g_last_query;
+      RunProfile(db, text);
+      if (!text.empty()) g_last_query = text;
+      continue;
+    }
+    if (line == ".log" || line.rfind(".log ", 0) == 0) {
+      RunLog(line.size() > 4 ? line.substr(5) : "");
+      continue;
+    }
     if (line == ".stats") {
       std::printf("%s\n",
                   ccdb::MetricsRegistry::Global().SnapshotJson().c_str());
@@ -320,6 +391,7 @@ int main() {
       }
       continue;
     }
+    g_last_query = line;
     RunQuery(db, line);
   }
   return 0;

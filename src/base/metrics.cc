@@ -33,6 +33,41 @@ void Histogram::Record(std::uint64_t v) {
   buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
 }
 
+double Histogram::Percentile(double p) const {
+  std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Target rank in [1, n] under the nearest-rank-with-interpolation
+  // convention: the smallest value v such that at least ceil(p*n)
+  // recorded values are <= v, interpolated within its bucket.
+  std::uint64_t rank = static_cast<std::uint64_t>(p * static_cast<double>(n));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      // Bucket i spans [lo, hi): bucket 0 holds {0, 1}, bucket i>=1 holds
+      // [2^i, 2^(i+1)). Interpolate by the rank's position inside it.
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
+      double hi = i >= 63 ? static_cast<double>(max())
+                          : static_cast<double>(1ull << (i + 1));
+      double fraction = static_cast<double>(rank - cumulative) /
+                        static_cast<double>(in_bucket);
+      double value = lo + fraction * (hi - lo);
+      double low_clamp = static_cast<double>(min());
+      double high_clamp = static_cast<double>(max());
+      if (value < low_clamp) value = low_clamp;
+      if (value > high_clamp) value = high_clamp;
+      return value;
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max());
+}
+
 std::uint64_t Histogram::min() const {
   std::uint64_t m = min_.load(std::memory_order_relaxed);
   return m == ~0ull ? 0 : m;
@@ -101,7 +136,10 @@ std::string MetricsRegistry::SnapshotJson() const {
         .Add("sum", hist->sum())
         .Add("min", hist->min())
         .Add("max", hist->max())
-        .Add("mean", hist->mean());
+        .Add("mean", hist->mean())
+        .Add("p50", hist->Percentile(0.50))
+        .Add("p90", hist->Percentile(0.90))
+        .Add("p99", hist->Percentile(0.99));
     histograms.AddRaw(name, entry.Build());
   }
   JsonObjectBuilder root;

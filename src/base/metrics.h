@@ -90,6 +90,12 @@ class Histogram {
     std::uint64_t n = count();
     return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
   }
+  /// Estimated p-quantile (p in [0, 1]), linearly interpolated inside the
+  /// power-of-two bucket holding the target rank and clamped to
+  /// [min(), max()] (so a single-valued histogram reports that value
+  /// exactly). 0 when empty. Monotone in p up to concurrent-recording
+  /// skew.
+  double Percentile(double p) const;
   void Reset();
   const std::string& name() const { return name_; }
 

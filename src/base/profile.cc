@@ -1,0 +1,175 @@
+#include "base/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/metrics.h"
+
+namespace ccdb {
+
+namespace {
+
+std::string FormatMs(std::int64_t us) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f ms",
+                static_cast<double>(us) / 1e3);
+  return buffer;
+}
+
+}  // namespace
+
+std::int64_t ProfileNode::exclusive_us() const {
+  std::int64_t children_us = 0;
+  for (const ProfileNode& child : children) {
+    children_us += child.inclusive_us;
+  }
+  return std::max<std::int64_t>(0, inclusive_us - children_us);
+}
+
+std::uint64_t ProfileNode::Counter(const std::string& name) const {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+std::string ProfileNode::ToString(int indent) const {
+  std::ostringstream out;
+  out << std::string(static_cast<std::size_t>(indent) * 2, ' ') << label
+      << "  " << FormatMs(inclusive_us);
+  if (!children.empty()) out << " (self " << FormatMs(exclusive_us()) << ")";
+  if (!counters.empty()) {
+    out << "  [";
+    bool first = true;
+    for (const auto& [key, value] : counters) {
+      if (!first) out << " ";
+      first = false;
+      out << key << "=" << value;
+    }
+    out << "]";
+  }
+  out << "\n";
+  for (const ProfileNode& child : children) {
+    out << child.ToString(indent + 1);
+  }
+  return out.str();
+}
+
+std::string ProfileNode::ToJson() const {
+  JsonObjectBuilder counter_obj;
+  for (const auto& [key, value] : counters) counter_obj.Add(key, value);
+  std::string child_array = "[";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) child_array += ',';
+    child_array += children[i].ToJson();
+  }
+  child_array += ']';
+  return JsonObjectBuilder()
+      .Add("label", label)
+      .Add("inclusive_us", static_cast<std::int64_t>(inclusive_us))
+      .Add("exclusive_us", static_cast<std::int64_t>(exclusive_us()))
+      .AddRaw("counters", counter_obj.Build())
+      .AddRaw("children", child_array)
+      .Build();
+}
+
+std::string SpanProfile::ToString() const {
+  std::vector<std::pair<std::string, const SpanAggregate*>> sorted;
+  sorted.reserve(paths.size());
+  for (const auto& [path, agg] : paths) sorted.emplace_back(path, &agg);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->inclusive_us > b.second->inclusive_us;
+                   });
+  std::ostringstream out;
+  out << "span profile (" << total_events << " event(s), " << paths.size()
+      << " path(s))\n";
+  char buffer[64];
+  for (const auto& [path, agg] : sorted) {
+    std::snprintf(buffer, sizeof(buffer), "%8llu %12.3f %12.3f  ",
+                  static_cast<unsigned long long>(agg->count),
+                  static_cast<double>(agg->inclusive_us) / 1e3,
+                  static_cast<double>(agg->exclusive_us) / 1e3);
+    out << buffer << path << "\n";
+  }
+  return out.str();
+}
+
+std::string SpanProfile::ToJson() const {
+  JsonObjectBuilder path_obj;
+  for (const auto& [path, agg] : paths) {
+    path_obj.AddRaw(path, JsonObjectBuilder()
+                              .Add("count", agg.count)
+                              .Add("inclusive_us",
+                                   static_cast<std::int64_t>(agg.inclusive_us))
+                              .Add("exclusive_us",
+                                   static_cast<std::int64_t>(agg.exclusive_us))
+                              .Build());
+  }
+  return JsonObjectBuilder()
+      .Add("total_events", total_events)
+      .AddRaw("paths", path_obj.Build())
+      .Build();
+}
+
+SpanProfile BuildSpanProfile(const std::vector<TraceEvent>& events) {
+  SpanProfile profile;
+  profile.total_events = events.size();
+
+  // Group events per thread; within a thread sort by (start ascending,
+  // duration descending) so a containing span sorts before its children
+  // and nesting falls out of a single stack pass.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> by_thread;
+  for (const TraceEvent& event : events) {
+    by_thread[event.thread_id].push_back(&event);
+  }
+  for (auto& [tid, thread_events] : by_thread) {
+    std::stable_sort(thread_events.begin(), thread_events.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->timestamp_us != b->timestamp_us) {
+                         return a->timestamp_us < b->timestamp_us;
+                       }
+                       return a->duration_us > b->duration_us;
+                     });
+    struct Frame {
+      const TraceEvent* event;
+      std::string path;
+      std::int64_t children_us = 0;
+    };
+    std::vector<Frame> stack;
+    auto pop_frame = [&profile, &stack]() {
+      Frame& frame = stack.back();
+      SpanAggregate& agg = profile.paths[frame.path];
+      agg.count += 1;
+      agg.inclusive_us += frame.event->duration_us;
+      agg.exclusive_us += std::max<std::int64_t>(
+          0, frame.event->duration_us - frame.children_us);
+      std::int64_t duration = frame.event->duration_us;
+      stack.pop_back();
+      if (!stack.empty()) stack.back().children_us += duration;
+    };
+    for (const TraceEvent* event : thread_events) {
+      // Unwind frames that end at or before this span's start.
+      while (!stack.empty() &&
+             stack.back().event->timestamp_us +
+                     stack.back().event->duration_us <=
+                 event->timestamp_us) {
+        pop_frame();
+      }
+      Frame frame;
+      frame.event = event;
+      frame.path = stack.empty() ? std::string(event->name)
+                                 : stack.back().path + ";" + event->name;
+      stack.push_back(std::move(frame));
+    }
+    while (!stack.empty()) pop_frame();
+  }
+  return profile;
+}
+
+SpanProfile BuildSpanProfile() {
+  return BuildSpanProfile(Tracer::Global().Events());
+}
+
+}  // namespace ccdb

@@ -1,0 +1,67 @@
+#include "base/query_log.h"
+
+#include <cstdlib>
+
+#include "base/metrics.h"
+
+namespace ccdb {
+
+QueryLog::QueryLog() {
+  if (const char* env = std::getenv("CCDB_QUERY_LOG")) {
+    if (env[0] != '\0') {
+      Status status = Enable(env);
+      (void)status;  // a bad path just leaves logging off
+    }
+  }
+}
+
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = new QueryLog();  // intentionally leaked
+  return *log;
+}
+
+Status QueryLog::Enable(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::Internal("cannot open query log " + path +
+                            " for appending");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = file;
+  path_ = path;
+  enabled_ = true;
+  return Status::Ok();
+}
+
+void QueryLog::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+  path_.clear();
+  enabled_ = false;
+}
+
+void QueryLog::Append(const std::string& json_object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || file_ == nullptr) return;
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++records_written_;
+  CCDB_METRIC_COUNT("query_log.records", 1);
+}
+
+std::string QueryLog::HashText(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
+
+}  // namespace ccdb

@@ -1,0 +1,79 @@
+#ifndef CCDB_BASE_QUERY_LOG_H_
+#define CCDB_BASE_QUERY_LOG_H_
+
+/// Structured JSONL query log — the serving layer's black-box recorder
+/// (Observability v2, DESIGN.md §12).
+///
+/// When enabled, the engine appends one JSON object per line for every
+/// query the public facade runs (Query / QueryWithPolicy / ExplainAnalyze),
+/// successful or not: a stable hash of the query text, the catalog version
+/// it read, the plan summary, per-stage timings, the governed verdict and
+/// degradation rung when applicable, and the memo-cache temperature the
+/// query ran at. Enable with the CCDB_QUERY_LOG=<path> environment
+/// variable (read once, at first use) or at runtime via
+/// QueryLog::Global().Enable(path) — the REPL's `.log on/off`.
+///
+/// Logging is OBSERVATION ONLY: answers are byte-identical with the log on
+/// or off. Records are appended under a mutex and flushed per line, so a
+/// crashed process keeps every completed record (the black-box property).
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+
+namespace ccdb {
+
+/// Process-wide JSONL query log. All methods are thread-safe.
+class QueryLog {
+ public:
+  /// Bumped whenever a record field is added/renamed; every record carries
+  /// it as "schema_version".
+  static constexpr int kSchemaVersion = 1;
+
+  static QueryLog& Global();
+
+  bool enabled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+  }
+  std::string path() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_;
+  }
+
+  /// Opens `path` for appending and starts logging. Replaces any previous
+  /// destination.
+  Status Enable(const std::string& path);
+  void Disable();
+
+  /// Appends one record (a complete JSON object, no trailing newline —
+  /// Append adds it) and flushes. Dropped silently when disabled.
+  void Append(const std::string& json_object);
+
+  /// Records appended since process start (survives Disable/Enable).
+  std::uint64_t records_written() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_written_;
+  }
+
+  /// FNV-1a 64-bit hash of the query text, rendered as 16 lowercase hex
+  /// digits — the log's stable query identity (the text itself is not
+  /// logged, so logs stay small and shareable).
+  static std::string HashText(const std::string& text);
+
+ private:
+  QueryLog();
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace ccdb
+
+#endif  // CCDB_BASE_QUERY_LOG_H_

@@ -39,6 +39,11 @@ void Tracer::Record(const TraceEvent& event) {
   events_.push_back(event);
 }
 
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
 std::size_t Tracer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();

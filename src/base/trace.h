@@ -68,6 +68,10 @@ class Tracer {
   /// Writes ToChromeTraceJson() to `path`.
   Status WriteChromeTrace(const std::string& path) const;
 
+  /// Snapshot of every recorded span (the span profiler's input,
+  /// base/profile.h).
+  std::vector<TraceEvent> Events() const;
+
   /// Number of spans currently recorded / dropped beyond the cap.
   std::size_t size() const;
   std::uint64_t dropped() const {

@@ -1,6 +1,7 @@
 #include "datalog/datalog.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "base/logging.h"
 #include "base/memo.h"
 #include "base/metrics.h"
+#include "base/profile.h"
 #include "base/thread_pool.h"
 #include "base/trace.h"
 #include "qe/fourier_motzkin.h"
@@ -119,6 +121,20 @@ StatusOr<bool> TupleInTuple(const GeneralizedTuple& t,
   return !has_witness;
 }
 
+// Profiling attribution (base/profile.h): the same counter set qe.cc's
+// nodes carry, zero values and already-present names skipped.
+void AddQeCounters(ProfileNode* node, const QeStats& stats) {
+  auto add = [node](const char* name, std::uint64_t v) {
+    if (v == 0 || node->HasCounter(name)) return;
+    node->AddCounter(name, v);
+  };
+  add("cad_cells", stats.cad_cells);
+  add("projection_factors", stats.projection_factors);
+  add("fm_rounds", stats.fm_rounds);
+  add("max_bits", stats.max_intermediate_bits);
+  add("qe_cache_hits", stats.cache_hits);
+}
+
 bool SameTuple(const GeneralizedTuple& a, const GeneralizedTuple& b) {
   if (a.atoms.size() != b.atoms.size()) return false;
   for (std::size_t i = 0; i < a.atoms.size(); ++i) {
@@ -225,6 +241,16 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
 
   const ResourceGovernor* gov = options.qe.governor;
 
+  // Per-round attribution (Observability v2, DESIGN.md §12): when the
+  // caller armed a ProfileSink, each fixpoint round appends ONE node —
+  // "datalog.round[i]" with one child per rule in rule order — instead of
+  // letting every rule elimination add its own root from a pool worker in
+  // arrival order. Rule-level eliminations therefore run with the sink
+  // cleared (`rule_qe`), same as QE sub-eliminations; observation only.
+  ProfileSink* profile = options.qe.profile;
+  QeOptions rule_qe = options.qe;
+  rule_qe.profile = nullptr;
+
   // Per-run rule-body memo: once the relations a rule depends on stop
   // changing, its instantiated body hash-conses to the same interned
   // formula, and the QE result of the previous round can be replayed
@@ -263,7 +289,9 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     struct RuleSlot {
       ConstraintRelation rel;
       QeStats qe_stats;
+      std::int64_t us = 0;
     };
+    const auto round_start = std::chrono::steady_clock::now();
     CCDB_ASSIGN_OR_RETURN(
         std::vector<RuleSlot> rule_slots,
         ThreadPool::Resolve(options.qe.pool)->ParallelMap<RuleSlot>(
@@ -284,11 +312,15 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
                   return slot;
                 }
               }
+              const auto rule_start = std::chrono::steady_clock::now();
               CCDB_ASSIGN_OR_RETURN(
                   slot.rel,
                   EliminateQuantifiers(instantiated,
                                        static_cast<int>(rule.head_vars.size()),
-                                       options.qe, &slot.qe_stats));
+                                       rule_qe, &slot.qe_stats));
+              slot.us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - rule_start)
+                            .count();
               if (use_body_cache) {
                 CCDB_METRIC_COUNT("datalog_body_cache_misses", 1);
                 std::lock_guard<std::mutex> lock(body_cache_mu);
@@ -298,6 +330,27 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
               }
               return slot;
             }));
+    if (profile != nullptr) {
+      ProfileNode round_node;
+      round_node.label = "datalog.round[" + std::to_string(round) + "]";
+      round_node.inclusive_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - round_start)
+              .count();
+      round_node.AddCounter("rules", program.rules.size());
+      for (std::size_t i = 0; i < program.rules.size(); ++i) {
+        // Children in rule order — deterministic shape at every thread
+        // count; only the timings vary.
+        ProfileNode child;
+        child.label = "rule[" + std::to_string(i) + "] " +
+                      program.rules[i].head;
+        child.inclusive_us = rule_slots[i].us;
+        AddQeCounters(&child, rule_slots[i].qe_stats);
+        child.AddCounter("tuples_out", rule_slots[i].rel.tuples().size());
+        round_node.children.push_back(std::move(child));
+      }
+      profile->Add(std::move(round_node));
+    }
     std::map<std::string, std::vector<GeneralizedTuple>> derived;
     for (std::size_t i = 0; i < program.rules.size(); ++i) {
       const DatalogRule& rule = program.rules[i];
@@ -321,7 +374,7 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
         CCDB_CHECK_BUDGET(gov, "datalog.iteration");
         CCDB_ASSIGN_OR_RETURN(
             bool contained,
-            TupleContained(tuple, current, options.qe, &s->qe_calls));
+            TupleContained(tuple, current, rule_qe, &s->qe_calls));
         if (contained) continue;
         if (gov != nullptr) {
           std::size_t bytes = 0;

@@ -56,7 +56,11 @@ struct DatalogOptions {
   /// the individual QE calls. `qe.pool` additionally drives the per-rule
   /// fan-out of each inflationary round: rule bodies evaluate in parallel
   /// against the frozen current interpretation and merge in rule order,
-  /// so the fixpoint is identical at every thread count.
+  /// so the fixpoint is identical at every thread count. `qe.profile`,
+  /// when armed, receives one node per fixpoint round
+  /// ("datalog.round[i]", one child per rule in rule order) instead of
+  /// per-elimination roots; observation only — the fixpoint is
+  /// byte-identical with or without it.
   QeOptions qe;
 };
 

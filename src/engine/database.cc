@@ -8,6 +8,8 @@
 #include "base/logging.h"
 #include "base/memo.h"
 #include "base/metrics.h"
+#include "base/query_log.h"
+#include "base/thread_pool.h"
 #include "base/trace.h"
 #include "plan/planner.h"
 #include "query/lower.h"
@@ -37,6 +39,92 @@ ShardedMemoCache<std::string, CalcFResult>& QueryResultCache() {
 
 std::string QueryCacheKey(const std::string& text, std::uint64_t version) {
   return std::to_string(version) + '\x1f' + text;
+}
+
+std::map<std::string, std::uint64_t> MetricDeltas(
+    const std::map<std::string, std::uint64_t>& before,
+    const std::map<std::string, std::uint64_t>& after) {
+  std::map<std::string, std::uint64_t> deltas;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    std::uint64_t previous = it == before.end() ? 0 : it->second;
+    // Max gauges can stay flat or even (after ResetAll) shrink; only
+    // report meters that moved forward.
+    if (value > previous) deltas[name] = value - previous;
+  }
+  return deltas;
+}
+
+std::uint64_t Delta(const std::map<std::string, std::uint64_t>& deltas,
+                    const char* name) {
+  auto it = deltas.find(name);
+  return it == deltas.end() ? 0 : it->second;
+}
+
+// Builds and appends one structured query-log record (base/query_log.h).
+// Call only when the log is enabled; observation only — never affects the
+// result being logged.
+void AppendQueryLogRecord(const char* kind, const std::string& text,
+                          std::uint64_t catalog_version,
+                          const StatusOr<CalcFResult>& result, bool cache_hit,
+                          const QueryVerdict* verdict, double elapsed_seconds,
+                          const std::map<std::string, std::uint64_t>& deltas,
+                          const std::string& profile_json = "") {
+  std::uint64_t ts_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  JsonObjectBuilder record;
+  record.Add("schema_version",
+             static_cast<std::uint64_t>(QueryLog::kSchemaVersion))
+      .Add("ts_us", ts_us)
+      .Add("kind", std::string(kind))
+      .Add("text_hash", QueryLog::HashText(text))
+      .Add("text_len", static_cast<std::uint64_t>(text.size()))
+      .Add("catalog_version", catalog_version)
+      .Add("ok", result.ok())
+      .Add("cache_hit", cache_hit)
+      .Add("elapsed_seconds", elapsed_seconds);
+  if (result.ok()) {
+    const CalcFResult& r = *result;
+    record.Add("tuples", static_cast<std::uint64_t>(r.relation.tuples().size()))
+        .Add("arity", static_cast<std::uint64_t>(r.relation.arity()))
+        .Add("has_scalar", r.has_scalar)
+        .Add("plan", r.stats.plan)
+        .AddRaw("stats", r.stats.ToJson());
+  } else {
+    record.Add("error_code",
+               std::string(StatusCodeToString(result.status().code())))
+        .Add("error", result.status().message());
+  }
+  if (verdict != nullptr) {
+    record.AddRaw("verdict",
+                  JsonObjectBuilder()
+                      .Add("ok", verdict->ok)
+                      .Add("rung", verdict->rung)
+                      .Add("attempts", static_cast<std::int64_t>(
+                                           verdict->attempts))
+                      .Add("exhausted_rungs",
+                           static_cast<std::uint64_t>(
+                               verdict->exhausted_rungs.size()))
+                      .Add("steps_consumed", verdict->steps_consumed)
+                      .Add("bytes_consumed", verdict->bytes_consumed)
+                      .Add("elapsed_seconds", verdict->elapsed_seconds)
+                      .Build());
+  }
+  // Cache temperature this query ran at: hit/miss deltas of the memo
+  // layers (whole-query, QE result, plan, resultant).
+  record.AddRaw("caches",
+                JsonObjectBuilder()
+                    .Add("query_cache_hits", Delta(deltas, "query_cache_hits"))
+                    .Add("qe_cache_hits", Delta(deltas, "qe_cache_hits"))
+                    .Add("qe_cache_misses", Delta(deltas, "qe_cache_misses"))
+                    .Add("plan_cache_hits", Delta(deltas, "plan_cache_hits"))
+                    .Add("resultant_cache_hits",
+                         Delta(deltas, "resultant_cache_hits"))
+                    .Build());
+  if (!profile_json.empty()) record.AddRaw("profile", profile_json);
+  QueryLog::Global().Append(record.Build());
 }
 
 }  // namespace
@@ -91,6 +179,106 @@ std::string ExplainResult::ToString() const {
   return out.str();
 }
 
+std::string QueryProfile::ToString() const {
+  std::ostringstream out;
+  out << "EXPLAIN ANALYZE (profiled execution)\n";
+  if (!stats.plan.empty()) {
+    out << "  PLAN                    " << stats.plan << "\n";
+  }
+  if (stats.parse_seconds > 0.0) {
+    out << "  PARSE                   " << FormatMillis(stats.parse_seconds)
+        << "\n";
+  }
+  out << "  INSTANTIATION           "
+      << FormatMillis(stats.instantiation_seconds) << "\n";
+  out << "  QUANTIFIER ELIMINATION  " << FormatMillis(stats.qe_seconds)
+      << "  (rounds=" << stats.qe_rounds
+      << ", max_bits=" << stats.max_intermediate_bits << ")\n";
+  if (ran_numeric) {
+    out << "  NUMERICAL EVALUATION    " << FormatMillis(numeric_seconds)
+        << "  ("
+        << (numeric_finite
+                ? "finite, " + std::to_string(numeric_points) + " point(s)"
+                : "infinite answer set")
+        << ")\n";
+  } else {
+    out << "  NUMERICAL EVALUATION    skipped (scalar aggregate answer)\n";
+  }
+  out << "  AGGREGATE EVALUATION    " << FormatMillis(stats.aggregate_seconds)
+      << "  (aggregate_calls=" << stats.aggregate_calls
+      << ", approximation_calls=" << stats.approximation_calls << ")\n";
+  out << "  TOTAL                   " << FormatMillis(total_seconds) << "\n";
+  for (std::size_t i = 0; i < qe_rounds.size(); ++i) {
+    out << "qe round " << (i + 1) << " of " << qe_rounds.size() << ":\n";
+    out << qe_rounds[i].ToString(1);
+  }
+  out << "caches: qe_cache hits=" << qe_cache_hits
+      << " misses=" << qe_cache_misses
+      << "  plan_cache hits=" << plan_cache_hits
+      << "  resultant_cache hits=" << resultant_cache_hits << "\n";
+  out << "pool: threads=" << pool_threads
+      << " tasks_completed=" << pool_tasks_completed
+      << " stolen=" << pool_tasks_stolen << " inline=" << pool_tasks_inline
+      << "\n";
+  if (governed) {
+    out << "governor: steps=" << governor_steps << " bytes=" << governor_bytes
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string rounds = "[";
+  for (std::size_t i = 0; i < qe_rounds.size(); ++i) {
+    if (i > 0) rounds += ',';
+    rounds += qe_rounds[i].ToJson();
+  }
+  rounds += ']';
+  JsonObjectBuilder delta_obj;
+  for (const auto& [name, value] : metric_deltas) delta_obj.Add(name, value);
+  return JsonObjectBuilder()
+      .Add("total_seconds", total_seconds)
+      .AddRaw("stats", stats.ToJson())
+      .AddRaw("qe_rounds", rounds)
+      .Add("ran_numeric", ran_numeric)
+      .Add("numeric_finite", numeric_finite)
+      .Add("numeric_points", static_cast<std::uint64_t>(numeric_points))
+      .Add("numeric_seconds", numeric_seconds)
+      .AddRaw("caches", JsonObjectBuilder()
+                            .Add("qe_cache_hits", qe_cache_hits)
+                            .Add("qe_cache_misses", qe_cache_misses)
+                            .Add("plan_cache_hits", plan_cache_hits)
+                            .Add("resultant_cache_hits", resultant_cache_hits)
+                            .Build())
+      .AddRaw("pool", JsonObjectBuilder()
+                          .Add("threads", pool_threads)
+                          .Add("tasks_completed", pool_tasks_completed)
+                          .Add("tasks_stolen", pool_tasks_stolen)
+                          .Add("tasks_inline", pool_tasks_inline)
+                          .Build())
+      .AddRaw("governor", JsonObjectBuilder()
+                              .Add("governed", governed)
+                              .Add("steps", governor_steps)
+                              .Add("bytes", governor_bytes)
+                              .Build())
+      .AddRaw("metric_deltas", delta_obj.Build())
+      .Build();
+}
+
+std::string ExplainAnalyzeResult::ToString() const {
+  std::ostringstream out;
+  out << profile.ToString();
+  out << "result: " << result.relation.tuples().size() << " generalized "
+      << "tuple(s), arity " << result.relation.arity();
+  if (result.has_scalar) {
+    out << ", scalar "
+        << (result.scalar.exact ? result.scalar.exact_value.ToString()
+                                : std::to_string(result.scalar.approx_value));
+  }
+  out << "\n";
+  return out.str();
+}
+
 std::string QueryVerdict::ToString() const {
   std::ostringstream out;
   if (ok) {
@@ -115,6 +303,11 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
   QueryVerdict local;
   QueryVerdict& v = verdict != nullptr ? *verdict : local;
   v = QueryVerdict{};
+  const bool log = QueryLog::Global().enabled();
+  std::map<std::string, std::uint64_t> before;
+  if (log) before = MetricsRegistry::Global().SnapshotValues();
+  auto log_start = std::chrono::steady_clock::now();
+  StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
   static constexpr const char* kRungNames[] = {"full", "reduced-precision",
                                                "linear-only"};
   const int num_rungs = policy.allow_degradation ? 3 : 1;
@@ -168,6 +361,18 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
   }
   CCDB_METRIC_COUNT("db.governed_exhausted", 1);
   return last;
+  }();
+  if (log) {
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      log_start)
+            .count();
+    AppendQueryLogRecord(
+        "governed", text, catalog_.version(), outcome, /*cache_hit=*/false,
+        &v, elapsed,
+        MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
+  }
+  return outcome;
 }
 
 ConstraintDatabase::ConstraintDatabase(CalcFOptions options)
@@ -202,26 +407,45 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
   CCDB_TRACE_SPAN("db.query");
   CCDB_METRIC_COUNT("db.queries", 1);
   if (cache_hit != nullptr) *cache_hit = false;
-  // Pure memo on the whole pipeline: a hit returns exactly the result a
-  // re-evaluation would produce (same text, same catalog state, same
-  // immutable options). Governed evaluations bypass the cache entirely so
-  // budget charging never depends on cache temperature.
-  const bool use_cache = options_.governor == nullptr &&
-                         options_.qe.governor == nullptr &&
-                         MemoCachesEnabled();
-  std::string key;
-  if (use_cache) {
-    key = QueryCacheKey(text, catalog_.version());
-    CalcFResult cached;
-    if (QueryResultCache().Lookup(key, &cached)) {
-      if (cache_hit != nullptr) *cache_hit = true;
-      return cached;
+  const bool log = QueryLog::Global().enabled();
+  std::map<std::string, std::uint64_t> before;
+  if (log) before = MetricsRegistry::Global().SnapshotValues();
+  auto log_start = std::chrono::steady_clock::now();
+  bool hit = false;
+  StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
+    // Pure memo on the whole pipeline: a hit returns exactly the result a
+    // re-evaluation would produce (same text, same catalog state, same
+    // immutable options). Governed evaluations bypass the cache entirely so
+    // budget charging never depends on cache temperature.
+    const bool use_cache = options_.governor == nullptr &&
+                           options_.qe.governor == nullptr &&
+                           MemoCachesEnabled();
+    std::string key;
+    if (use_cache) {
+      key = QueryCacheKey(text, catalog_.version());
+      CalcFResult cached;
+      if (QueryResultCache().Lookup(key, &cached)) {
+        hit = true;
+        return cached;
+      }
     }
+    CalcFEvaluator evaluator(MakeLookup(), options_);
+    CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
+    if (use_cache) QueryResultCache().Insert(key, result);
+    return result;
+  }();
+  if (cache_hit != nullptr) *cache_hit = hit;
+  if (log) {
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      log_start)
+            .count();
+    AppendQueryLogRecord(
+        "query", text, catalog_.version(), outcome, hit, /*verdict=*/nullptr,
+        elapsed,
+        MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
   }
-  CalcFEvaluator evaluator(MakeLookup(), options_);
-  CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
-  if (use_cache) QueryResultCache().Insert(key, result);
-  return result;
+  return outcome;
 }
 
 StatusOr<std::string> ConstraintDatabase::Plan(const std::string& text) const {
@@ -264,15 +488,91 @@ StatusOr<ExplainResult> ConstraintDatabase::Explain(
   explain.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  auto after = MetricsRegistry::Global().SnapshotValues();
-  for (const auto& [name, value] : after) {
-    auto it = before.find(name);
-    std::uint64_t previous = it == before.end() ? 0 : it->second;
-    // Max gauges can stay flat or even (after ResetAll) shrink; only
-    // report meters that moved forward.
-    if (value > previous) explain.metric_deltas[name] = value - previous;
-  }
+  explain.metric_deltas =
+      MetricDeltas(before, MetricsRegistry::Global().SnapshotValues());
   return explain;
+}
+
+StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
+    const std::string& text) const {
+  CCDB_TRACE_SPAN("db.explain_analyze");
+  CCDB_METRIC_COUNT("db.explain_analyzes", 1);
+  const bool log = QueryLog::Global().enabled();
+  ExplainAnalyzeResult out;
+  auto before = MetricsRegistry::Global().SnapshotValues();
+  auto start = std::chrono::steady_clock::now();
+  // Run the actual pipeline with a profile sink armed — the whole-query
+  // memo is bypassed on purpose (EXPLAIN ANALYZE observes an execution,
+  // not a memo lookup); the QE / plan / resultant memo layers still apply
+  // and surface below as cache temperature. The sink is observation only:
+  // the evaluation is byte-identical to Query(text).
+  ProfileSink sink;
+  CalcFOptions opts = options_;
+  opts.qe.profile = &sink;
+  CalcFEvaluator evaluator(MakeLookup(), opts);
+  StatusOr<CalcFResult> outcome = evaluator.EvaluateText(text);
+  if (!outcome.ok()) {
+    double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (log) {
+      AppendQueryLogRecord(
+          "explain_analyze", text, catalog_.version(), outcome,
+          /*cache_hit=*/false, /*verdict=*/nullptr, elapsed,
+          MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
+    }
+    return outcome.status();
+  }
+  out.result = std::move(*outcome);
+  QueryProfile& profile = out.profile;
+  // NUMERICAL EVALUATION (Figure 1, step 3), same rule as Explain: only
+  // meaningful when the answer is a relation.
+  if (!out.result.has_scalar && out.result.relation.arity() > 0) {
+    profile.ran_numeric = true;
+    auto numeric_start = std::chrono::steady_clock::now();
+    CCDB_ASSIGN_OR_RETURN(NumericalEvaluation numeric,
+                          EvaluateNumerically(out.result.relation));
+    profile.numeric_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      numeric_start)
+            .count();
+    profile.numeric_finite = numeric.finite;
+    profile.numeric_points = numeric.points.size();
+  }
+  profile.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  profile.stats = out.result.stats;
+  profile.qe_rounds = sink.Take();
+  profile.metric_deltas =
+      MetricDeltas(before, MetricsRegistry::Global().SnapshotValues());
+  profile.qe_cache_hits = Delta(profile.metric_deltas, "qe_cache_hits");
+  profile.qe_cache_misses = Delta(profile.metric_deltas, "qe_cache_misses");
+  profile.plan_cache_hits = Delta(profile.metric_deltas, "plan_cache_hits");
+  profile.resultant_cache_hits =
+      Delta(profile.metric_deltas, "resultant_cache_hits");
+  profile.pool_tasks_completed =
+      Delta(profile.metric_deltas, "threadpool.tasks_completed");
+  profile.pool_tasks_stolen =
+      Delta(profile.metric_deltas, "threadpool.tasks_stolen");
+  profile.pool_tasks_inline =
+      Delta(profile.metric_deltas, "threadpool.tasks_inline");
+  profile.pool_threads = static_cast<std::uint64_t>(
+      ThreadPool::Resolve(options_.qe.pool)->threads());
+  if (options_.qe.governor != nullptr) {
+    profile.governed = true;
+    ResourceGovernor::Consumption consumed = options_.qe.governor->Snapshot();
+    profile.governor_steps = consumed.steps;
+    profile.governor_bytes = consumed.bytes;
+  }
+  if (log) {
+    StatusOr<CalcFResult> logged = out.result;
+    AppendQueryLogRecord("explain_analyze", text, catalog_.version(), logged,
+                         /*cache_hit=*/false, /*verdict=*/nullptr,
+                         profile.total_seconds, profile.metric_deltas,
+                         profile.ToJson());
+  }
+  return out;
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "base/profile.h"
 #include "base/resource.h"
 #include "base/status.h"
 #include "fp/fp_semantics.h"
@@ -41,6 +42,68 @@ struct ExplainResult {
   std::map<std::string, std::uint64_t> metric_deltas;
 
   /// Multi-line human-readable plan/profile rendering.
+  std::string ToString() const;
+};
+
+/// EXPLAIN ANALYZE output (Observability v2, DESIGN.md §12): everything a
+/// profiled execution observed. Stage timings come from CalcFStats; the
+/// per-plan-node attribution trees (one per QE round the evaluator ran —
+/// aggregate stages first, the main round last) come from the executor's
+/// ProfileSink; cache temperature and thread-pool utilization are metric
+/// deltas across the run. Collection is observation only: the answer is
+/// byte-identical to an unprofiled Query at every CCDB_PLAN × thread
+/// setting.
+struct QueryProfile {
+  /// Total wall time of the profiled evaluation (plus the numeric stage
+  /// when it ran).
+  double total_seconds = 0.0;
+  /// Stage timings / counters of the evaluation (parse, instantiation, QE,
+  /// aggregates) plus the plan summary line.
+  CalcFStats stats;
+  /// Per-plan-node attribution trees, one per QE round, in round order.
+  /// Labels mirror the plan ("union", "block[cad] exists x1", ...) or the
+  /// monolithic engine stage ("qe.fourier_motzkin", "qe[cached]").
+  std::vector<ProfileNode> qe_rounds;
+  /// Whether the NUMERICAL EVALUATION stage ran, and what it found.
+  bool ran_numeric = false;
+  bool numeric_finite = false;
+  std::size_t numeric_points = 0;
+  double numeric_seconds = 0.0;
+  /// Cache temperature: hit/miss deltas of the memo caches this query
+  /// touched (qe_cache, plan_cache, resultant_cache).
+  std::uint64_t qe_cache_hits = 0;
+  std::uint64_t qe_cache_misses = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t resultant_cache_hits = 0;
+  /// Thread-pool utilization deltas (tasks completed / stolen / run inline
+  /// during this query) and the pool width it ran at.
+  std::uint64_t pool_tasks_completed = 0;
+  std::uint64_t pool_tasks_stolen = 0;
+  std::uint64_t pool_tasks_inline = 0;
+  std::uint64_t pool_threads = 0;
+  /// Governor consumption of the profiled run; all zero when the database
+  /// options carry no governor (the usual EXPLAIN ANALYZE configuration).
+  bool governed = false;
+  std::uint64_t governor_steps = 0;
+  std::uint64_t governor_bytes = 0;
+  /// Delta of every registry metric that moved during the query.
+  std::map<std::string, std::uint64_t> metric_deltas;
+
+  /// Multi-line rendering: stage table, annotated QE round trees, cache /
+  /// pool summary lines.
+  std::string ToString() const;
+  /// Machine-readable JSON (single object; schema documented in DESIGN.md
+  /// §12).
+  std::string ToJson() const;
+};
+
+/// EXPLAIN ANALYZE: the actual query result plus the profile observed
+/// while producing it.
+struct ExplainAnalyzeResult {
+  CalcFResult result;
+  QueryProfile profile;
+
+  /// The profile rendering followed by a one-line result summary.
   std::string ToString() const;
 };
 
@@ -134,6 +197,16 @@ class ConstraintDatabase {
   /// whole-query cache hit the cached plan is still reported (marked
   /// "cached"), not an empty pipeline.
   StatusOr<ExplainResult> Explain(const std::string& text) const;
+
+  /// EXPLAIN ANALYZE: ACTUALLY EXECUTES `text` with a profile sink armed
+  /// and reports per-plan-node wall time (inclusive/exclusive), CAD cell
+  /// counts, FM rounds, peak bigint bit length, cache temperature, and
+  /// thread-pool utilization alongside the result. Bypasses the
+  /// whole-query memo (the point is to observe the pipeline run; the QE /
+  /// plan / resultant memo layers still apply and are what the cache
+  /// temperature reports). The answer is byte-identical to Query(text) —
+  /// profiling is observation only.
+  StatusOr<ExplainAnalyzeResult> ExplainAnalyze(const std::string& text) const;
 
   /// PLAN: builds and renders the structure-aware query plan
   /// (plan/planner.h) for `text` WITHOUT executing it. Aggregate and

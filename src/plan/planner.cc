@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "base/logging.h"
 #include "base/memo.h"
 #include "base/metrics.h"
+#include "base/profile.h"
 #include "base/trace.h"
 #include "qe/dense_order.h"
 #include "qe/fourier_motzkin.h"
@@ -47,11 +49,36 @@ std::uint64_t MaxBits(const std::vector<GeneralizedTuple>& tuples) {
 void MergeStats(QeStats* into, const QeStats& from) {
   into->cad_cells += from.cad_cells;
   into->projection_factors += from.projection_factors;
+  into->fm_rounds += from.fm_rounds;
+  into->cache_hits += from.cache_hits;
   into->max_intermediate_bits =
       std::max(into->max_intermediate_bits, from.max_intermediate_bits);
   into->used_linear_path |= from.used_linear_path;
   into->used_dense_order_path |= from.used_dense_order_path;
   into->used_thom_augmentation |= from.used_thom_augmentation;
+}
+
+std::int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Attribution counters for a profile node, from the node's accumulated
+// engine stats. Zero values and already-present names are skipped.
+void AddQeCounters(ProfileNode* node, const QeStats& s) {
+  auto add = [node](const char* name, std::uint64_t v) {
+    if (v == 0) return;
+    for (const auto& [key, unused] : node->counters) {
+      if (key == name) return;
+    }
+    node->AddCounter(name, v);
+  };
+  add("cad_cells", s.cad_cells);
+  add("projection_factors", s.projection_factors);
+  add("fm_rounds", s.fm_rounds);
+  add("max_bits", s.max_intermediate_bits);
+  add("qe_cache_hits", s.cache_hits);
 }
 
 std::string VarName(int v, const std::vector<std::string>& names) {
@@ -159,10 +186,15 @@ std::shared_ptr<PlanNode> MakeLeaf(std::vector<GeneralizedTuple> tuples) {
 // free variables plus the engine stats of the sub-eliminations that
 // produced it. Stats are returned (not written through a shared pointer)
 // because union members execute in parallel; the caller merges them in
-// member order, keeping the accumulation thread-count independent.
+// member order, keeping the accumulation thread-count independent. The
+// profile node (filled only when EXPLAIN ANALYZE armed a sink) rides the
+// same channel for the same reason: parents splice children in plan
+// order, so the attribution tree's shape is deterministic at every thread
+// count.
 struct ExecResult {
   std::vector<GeneralizedTuple> tuples;
   QeStats stats;
+  ProfileNode profile;
 };
 
 Formula BlockToFormula(const std::vector<GeneralizedTuple>& tuples,
@@ -185,7 +217,7 @@ Formula BlockToFormula(const std::vector<GeneralizedTuple>& tuples,
 }
 
 StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
-                              const QeOptions& options);
+                              const QeOptions& options, bool profiling);
 
 // Eliminates one block with its fragment's engine, mirroring the
 // monolithic driver's primitive sequence exactly: peel defining equations
@@ -193,22 +225,40 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
 // polynomial residue goes back through the public CAD driver with
 // planning forced off.
 StatusOr<ExecResult> ExecBlock(const PlanNode& node, int num_free_vars,
-                               const QeOptions& options) {
+                               const QeOptions& options, bool profiling) {
   const ResourceGovernor* gov = options.governor;
+  const auto start = std::chrono::steady_clock::now();
   ExecResult r;
+  if (profiling) {
+    r.profile.label = std::string("block[") + FragmentEngine(node.fragment) +
+                      "] exists";
+    for (int v : node.vars) r.profile.label += " x" + std::to_string(v);
+  }
   r.tuples = node.tuples;
   r.stats.max_intermediate_bits = MaxBits(r.tuples);
   std::vector<int> vars = node.vars;
+  std::uint64_t peeled = 0;
   while (options.allow_equation_substitution && !vars.empty() &&
          TrySubstituteInnermostExists(&r.tuples, vars.back())) {
     CCDB_CHECK_BUDGET(gov, "qe.drive");
     CCDB_METRIC_COUNT("qe.equation_substitutions", 1);
+    ++peeled;
     vars.pop_back();
     r.tuples = SimplifyTuples(std::move(r.tuples));
     r.stats.max_intermediate_bits =
         std::max(r.stats.max_intermediate_bits, MaxBits(r.tuples));
   }
-  if (vars.empty()) return r;
+  auto finish = [&]() {
+    if (!profiling) return;
+    r.profile.inclusive_us = ElapsedUs(start);
+    if (peeled > 0) r.profile.AddCounter("substitutions", peeled);
+    AddQeCounters(&r.profile, r.stats);
+    r.profile.AddCounter("tuples_out", r.tuples.size());
+  };
+  if (vars.empty()) {
+    finish();
+    return r;
+  }
 
   if (node.fragment != Fragment::kPolynomial) {
     CCDB_TRACE_SPAN("qe.fourier_motzkin");
@@ -216,6 +266,7 @@ StatusOr<ExecResult> ExecBlock(const PlanNode& node, int num_free_vars,
     r.stats.used_dense_order_path = node.fragment == Fragment::kDenseOrder;
     for (int i = static_cast<int>(vars.size()) - 1; i >= 0; --i) {
       CCDB_CHECK_BUDGET(gov, "qe.fm");
+      ++r.stats.fm_rounds;
       if (node.fragment == Fragment::kDenseOrder) {
         // Closure over the dense-order language is asserted per round, so
         // every intermediate result stays inside FO(<=).
@@ -230,6 +281,7 @@ StatusOr<ExecResult> ExecBlock(const PlanNode& node, int num_free_vars,
       r.stats.max_intermediate_bits =
           std::max(r.stats.max_intermediate_bits, MaxBits(r.tuples));
     }
+    finish();
     return r;
   }
 
@@ -238,6 +290,7 @@ StatusOr<ExecResult> ExecBlock(const PlanNode& node, int num_free_vars,
   // kResourceExhausted, exactly like the monolithic path would.
   QeOptions sub = options;
   sub.plan = PlanToggle::kOff;
+  sub.profile = nullptr;
   QeStats sub_stats;
   CCDB_ASSIGN_OR_RETURN(
       ConstraintRelation rel,
@@ -245,21 +298,28 @@ StatusOr<ExecResult> ExecBlock(const PlanNode& node, int num_free_vars,
                            &sub_stats));
   MergeStats(&r.stats, sub_stats);
   r.tuples = std::move(*rel.mutable_tuples());
+  finish();
   return r;
 }
 
 StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
-                              const QeOptions& options) {
+                              const QeOptions& options, bool profiling) {
   const ResourceGovernor* gov = options.governor;
+  const auto start = std::chrono::steady_clock::now();
   switch (node.kind) {
     case PlanNode::Kind::kLeaf: {
       ExecResult r;
       r.tuples = node.tuples;
       r.stats.max_intermediate_bits = MaxBits(r.tuples);
+      if (profiling) {
+        r.profile.label = "leaf";
+        r.profile.inclusive_us = ElapsedUs(start);
+        r.profile.AddCounter("tuples_out", r.tuples.size());
+      }
       return r;
     }
     case PlanNode::Kind::kBlock:
-      return ExecBlock(node, num_free_vars, options);
+      return ExecBlock(node, num_free_vars, options, profiling);
     case PlanNode::Kind::kProduct: {
       // Cartesian recombination of independent factors, in child order:
       // sound because the children's quantified supports are disjoint and
@@ -268,9 +328,11 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
       r.tuples = {GeneralizedTuple()};
       for (const auto& child : node.children) {
         CCDB_CHECK_BUDGET(gov, "qe.drive");
-        CCDB_ASSIGN_OR_RETURN(ExecResult part,
-                              ExecNode(*child, num_free_vars, options));
+        CCDB_ASSIGN_OR_RETURN(
+            ExecResult part,
+            ExecNode(*child, num_free_vars, options, profiling));
         MergeStats(&r.stats, part.stats);
+        if (profiling) r.profile.children.push_back(std::move(part.profile));
         std::vector<GeneralizedTuple> crossed;
         crossed.reserve(r.tuples.size() * part.tuples.size());
         for (const GeneralizedTuple& a : r.tuples) {
@@ -282,6 +344,11 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
           }
         }
         r.tuples = std::move(crossed);
+      }
+      if (profiling) {
+        r.profile.label = "product";
+        r.profile.inclusive_us = ElapsedUs(start);
+        r.profile.AddCounter("tuples_out", r.tuples.size());
       }
       return r;
     }
@@ -295,20 +362,31 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
               node.children.size(),
               [&](std::size_t i) -> StatusOr<ExecResult> {
                 CCDB_CHECK_BUDGET(gov, "qe.drive");
-                return ExecNode(*node.children[i], num_free_vars, options);
+                return ExecNode(*node.children[i], num_free_vars, options,
+                                profiling);
               }));
       ExecResult r;
       for (ExecResult& slot : slots) {
         MergeStats(&r.stats, slot.stats);
+        if (profiling) r.profile.children.push_back(std::move(slot.profile));
         for (GeneralizedTuple& tuple : slot.tuples) {
           r.tuples.push_back(std::move(tuple));
         }
+      }
+      if (profiling) {
+        // Inclusive time is the union's wall time (the parallel wait);
+        // children may sum past it, which exclusive_us() clamps at 0.
+        r.profile.label = "union";
+        r.profile.inclusive_us = ElapsedUs(start);
+        r.profile.AddCounter("members", node.children.size());
+        r.profile.AddCounter("tuples_out", r.tuples.size());
       }
       return r;
     }
     case PlanNode::Kind::kMonolithic: {
       QeOptions sub = options;
       sub.plan = PlanToggle::kOff;
+      sub.profile = nullptr;
       QeStats sub_stats;
       ExecResult r;
       CCDB_ASSIGN_OR_RETURN(
@@ -316,6 +394,13 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
           EliminateQuantifiers(node.formula, num_free_vars, sub, &sub_stats));
       MergeStats(&r.stats, sub_stats);
       r.tuples = std::move(*rel.mutable_tuples());
+      if (profiling) {
+        r.profile.label =
+            std::string("monolithic[") + FragmentEngine(node.fragment) + "]";
+        r.profile.inclusive_us = ElapsedUs(start);
+        AddQeCounters(&r.profile, r.stats);
+        r.profile.AddCounter("tuples_out", r.tuples.size());
+      }
       return r;
     }
   }
@@ -535,7 +620,8 @@ QueryPlan GetOrBuildPlan(const Formula& formula, int num_free_vars,
 
 StatusOr<ConstraintRelation> ExecutePlan(const QueryPlan& plan,
                                          const QeOptions& options,
-                                         QeStats* stats) {
+                                         QeStats* stats,
+                                         ProfileNode* profile) {
   CCDB_TRACE_SPAN("qe.plan.execute");
   CCDB_CHECK(plan.root != nullptr);
   CCDB_METRIC_COUNT("qe.plan.executions", 1);
@@ -545,9 +631,11 @@ StatusOr<ConstraintRelation> ExecutePlan(const QueryPlan& plan,
   CCDB_METRIC_COUNT("qe.plan.dispatch.dense_order", plan.dispatch[0]);
   CCDB_METRIC_COUNT("qe.plan.dispatch.fourier_motzkin", plan.dispatch[1]);
   CCDB_METRIC_COUNT("qe.plan.dispatch.cad", plan.dispatch[2]);
-  CCDB_ASSIGN_OR_RETURN(ExecResult r,
-                        ExecNode(*plan.root, plan.num_free_vars, options));
+  CCDB_ASSIGN_OR_RETURN(
+      ExecResult r,
+      ExecNode(*plan.root, plan.num_free_vars, options, profile != nullptr));
   MergeStats(stats, r.stats);
+  if (profile != nullptr) *profile = std::move(r.profile);
   return ConstraintRelation(plan.num_free_vars,
                             SimplifyTuples(std::move(r.tuples)));
 }

@@ -52,6 +52,8 @@
 
 namespace ccdb {
 
+struct ProfileNode;
+
 /// Process-wide planner switch. Defaults to the CCDB_PLAN environment
 /// variable (unset or any value but "0" = on); SetPlannerEnabled
 /// overrides at runtime (differential tests, the `--plan=` bench flag).
@@ -125,10 +127,15 @@ QueryPlan GetOrBuildPlan(const Formula& formula, int num_free_vars,
 /// forced off (the monolithic primitives); union members fan out across
 /// options.pool and merge in member order, so the answer is identical at
 /// every thread count. Plan decision counters fold into the metrics
-/// registry, engine stats accumulate into *stats.
+/// registry, engine stats accumulate into *stats. When `profile` is
+/// non-null, the executor mirrors the plan tree into it (base/profile.h):
+/// one ProfileNode per plan node with inclusive wall time and attribution
+/// counters, children spliced in plan order — observation only, the
+/// answer is byte-identical with profiling on or off.
 StatusOr<ConstraintRelation> ExecutePlan(const QueryPlan& plan,
                                          const QeOptions& options,
-                                         QeStats* stats);
+                                         QeStats* stats,
+                                         ProfileNode* profile = nullptr);
 
 }  // namespace ccdb
 

@@ -9,6 +9,7 @@
 #include "base/logging.h"
 #include "base/memo.h"
 #include "base/metrics.h"
+#include "base/profile.h"
 #include "base/trace.h"
 #include "plan/fragment.h"
 #include "plan/planner.h"
@@ -93,6 +94,30 @@ RelOp OpForSign(int sign) {
   if (sign < 0) return RelOp::kLt;
   if (sign > 0) return RelOp::kGt;
   return RelOp::kEq;
+}
+
+std::int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Folds a run's QeStats into a ProfileNode's counter list, skipping names
+// the producer already attached (monolithic sub-nodes carry their own) and
+// zero values.
+void AddQeCounters(ProfileNode* node, const QeStats& s) {
+  auto add = [node](const char* name, std::uint64_t v) {
+    if (v == 0) return;
+    for (const auto& [key, unused] : node->counters) {
+      if (key == name) return;
+    }
+    node->AddCounter(name, v);
+  };
+  add("cad_cells", s.cad_cells);
+  add("projection_factors", s.projection_factors);
+  add("fm_rounds", s.fm_rounds);
+  add("max_bits", s.max_intermediate_bits);
+  add("qe_cache_hits", s.cache_hits);
 }
 
 }  // namespace
@@ -277,6 +302,7 @@ std::string QeStats::ToString() const {
   std::ostringstream out;
   out << "cad_cells=" << cad_cells
       << " projection_factors=" << projection_factors
+      << " fm_rounds=" << fm_rounds
       << " max_intermediate_bits=" << max_intermediate_bits
       << " linear_path=" << (used_linear_path ? "yes" : "no")
       << " dense_order_path=" << (used_dense_order_path ? "yes" : "no")
@@ -289,6 +315,7 @@ std::string QeStats::ToJson() const {
   return JsonObjectBuilder()
       .Add("cad_cells", static_cast<std::uint64_t>(cad_cells))
       .Add("projection_factors", static_cast<std::uint64_t>(projection_factors))
+      .Add("fm_rounds", fm_rounds)
       .Add("max_intermediate_bits", max_intermediate_bits)
       .Add("used_linear_path", used_linear_path)
       .Add("used_dense_order_path", used_dense_order_path)
@@ -298,10 +325,14 @@ std::string QeStats::ToJson() const {
 }
 
 // The elimination algorithm proper. The public EliminateQuantifiers wraps
-// this with the failpoint/budget prologue and the QE result cache.
+// this with the failpoint/budget prologue, the QE result cache, and the
+// profile-root bookkeeping. `prof` (nullable) receives this run's
+// attribution subtree; options.profile is already cleared by the wrapper,
+// so recursive EliminateQuantifiers calls below never double-append roots
+// to the sink.
 static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
     const Formula& formula, int num_free_vars, const QeOptions& options,
-    QeStats* s) {
+    QeStats* s, ProfileNode* prof) {
   const ResourceGovernor* gov = options.governor;
 
   // Structure-aware planning (plan/planner.h): classify, miniscope, split
@@ -311,7 +342,7 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
   if (PlannerResolved(options)) {
     QueryPlan plan = GetOrBuildPlan(formula, num_free_vars, options);
     s->plan = plan.Summary();
-    return ExecutePlan(plan, options, s);
+    return ExecutePlan(plan, options, s, prof);
   }
 
   std::set<int> all_vars = formula.AllVars();
@@ -340,11 +371,13 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
   s->max_intermediate_bits = MaxBits(tuples);
 
   if (q == 0) {
+    if (prof != nullptr) prof->label = "qe.quantifier_free";
     return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
   }
 
   if (n == 0) {
     // Sentence with no variables at all.
+    if (prof != nullptr) prof->label = "qe.sentence";
     bool truth = matrix_formula.EvaluateAt({});
     ConstraintRelation rel(0);
     if (truth) rel.AddTuple(GeneralizedTuple());
@@ -352,11 +385,13 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
   }
 
   // Peel innermost existential quantifiers that have defining equations.
+  std::uint64_t peeled = 0;
   while (options.allow_equation_substitution && q > 0 &&
          prenex.prefix.back().is_exists &&
          TrySubstituteInnermostExists(&tuples, num_free_vars + q - 1)) {
     CCDB_CHECK_BUDGET(gov, "qe.drive");
     CCDB_METRIC_COUNT("qe.equation_substitutions", 1);
+    ++peeled;
     prenex.prefix.pop_back();
     --q;
     n = num_free_vars + q;
@@ -364,7 +399,9 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
     s->max_intermediate_bits =
         std::max(s->max_intermediate_bits, MaxBits(tuples));
   }
+  if (prof != nullptr && peeled > 0) prof->AddCounter("substitutions", peeled);
   if (q == 0) {
+    if (prof != nullptr) prof->label = "qe.substituted";
     return ConstraintRelation(num_free_vars, SimplifyTuples(std::move(tuples)));
   }
 
@@ -376,10 +413,12 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
                                        : Fragment::kPolynomial;
   if (matrix_fragment != Fragment::kPolynomial) {
     CCDB_TRACE_SPAN("qe.fourier_motzkin");
+    if (prof != nullptr) prof->label = "qe.fourier_motzkin";
     s->used_linear_path = true;
     s->used_dense_order_path = matrix_fragment == Fragment::kDenseOrder;
     for (int i = q - 1; i >= 0; --i) {
       CCDB_CHECK_BUDGET(gov, "qe.fm");
+      ++s->fm_rounds;
       int var = num_free_vars + i;
       if (prenex.prefix[i].is_exists) {
         CCDB_ASSIGN_OR_RETURN(
@@ -419,15 +458,18 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
   if (options.allow_disjunct_split && all_exists && tuples.size() > 1) {
     CCDB_TRACE_SPAN("qe.disjunct_split");
     CCDB_METRIC_COUNT("qe.disjunct_splits", 1);
+    const bool profiling = prof != nullptr;
     struct DisjunctSlot {
       ConstraintRelation rel;
       QeStats stats;
+      std::int64_t us = 0;
     };
     CCDB_ASSIGN_OR_RETURN(
         std::vector<DisjunctSlot> slots,
         ThreadPool::Resolve(options.pool)->ParallelMap<DisjunctSlot>(
             tuples.size(), [&](std::size_t i) -> StatusOr<DisjunctSlot> {
               CCDB_CHECK_BUDGET(gov, "qe.drive");
+              auto slot_start = std::chrono::steady_clock::now();
               std::vector<Formula> atoms;
               atoms.reserve(tuples[i].atoms.size());
               for (const Atom& atom : tuples[i].atoms) {
@@ -441,17 +483,32 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
               CCDB_ASSIGN_OR_RETURN(
                   slot.rel, EliminateQuantifiers(disjunct, num_free_vars,
                                                  options, &slot.stats));
+              if (profiling) slot.us = ElapsedUs(slot_start);
               return slot;
             }));
     ConstraintRelation rel(num_free_vars);
-    for (DisjunctSlot& slot : slots) {
+    if (profiling) prof->label = "qe.disjunct_split";
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      DisjunctSlot& slot = slots[i];
       s->cad_cells += slot.stats.cad_cells;
       s->projection_factors += slot.stats.projection_factors;
+      s->fm_rounds += slot.stats.fm_rounds;
+      s->cache_hits += slot.stats.cache_hits;
       s->max_intermediate_bits =
           std::max(s->max_intermediate_bits, slot.stats.max_intermediate_bits);
       s->used_linear_path |= slot.stats.used_linear_path;
       s->used_dense_order_path |= slot.stats.used_dense_order_path;
       s->used_thom_augmentation |= slot.stats.used_thom_augmentation;
+      if (profiling) {
+        // Children in disjunct order — the tree shape is a plan decision,
+        // not a scheduling artifact.
+        ProfileNode child;
+        child.label = "disjunct[" + std::to_string(i) + "]";
+        child.inclusive_us = slot.us;
+        AddQeCounters(&child, slot.stats);
+        child.AddCounter("tuples_out", slot.rel.tuples().size());
+        prof->children.push_back(std::move(child));
+      }
       for (GeneralizedTuple& tuple : *slot.rel.mutable_tuples()) {
         rel.AddTuple(std::move(tuple));
       }
@@ -461,6 +518,7 @@ static StatusOr<ConstraintRelation> EliminateQuantifiersUncached(
   }
 
   CCDB_TRACE_SPAN("qe.cad_path");
+  if (prof != nullptr) prof->label = "qe.cad";
   std::vector<Polynomial> matrix_polys = CollectDistinctPolys(tuples);
   for (int attempt = 0; attempt < 2; ++attempt) {
     CCDB_CHECK_BUDGET(gov, "qe.drive");
@@ -571,6 +629,15 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
                    "free variable " << v << " beyond arity " << num_free_vars);
   }
 
+  // Profile bookkeeping (observation only — arming a sink never changes
+  // the answer, and the sink pointer is excluded from every cache key).
+  // The sink is cleared from the options passed down so recursive calls
+  // report through this run's tree instead of appending their own roots.
+  ProfileSink* sink = options.profile;
+  const auto prof_start = std::chrono::steady_clock::now();
+  QeOptions inner = options;
+  inner.profile = nullptr;
+
   // Memoized path: only ungoverned runs may SKIP work via the cache, so
   // governed budget charging and degradation behaviour never depend on
   // cache temperature. (The failpoint above fires either way.) The cache
@@ -583,19 +650,43 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
     QeCacheValue cached;
     if (QeResultCache().Lookup(key, &cached)) {
       *s = cached.stats;
+      s->cache_hits += 1;
+      if (sink != nullptr) {
+        ProfileNode node;
+        node.label = "qe[cached]";
+        node.inclusive_us = ElapsedUs(prof_start);
+        AddQeCounters(&node, *s);
+        node.AddCounter("tuples_out", cached.relation.tuples().size());
+        sink->Add(std::move(node));
+      }
       return cached.relation;
     }
   }
+  ProfileNode prof_root;
   CCDB_ASSIGN_OR_RETURN(
       ConstraintRelation result,
-      EliminateQuantifiersUncached(formula, num_free_vars, options, s));
+      EliminateQuantifiersUncached(formula, num_free_vars, inner, s,
+                                   sink != nullptr ? &prof_root : nullptr));
   // Canonical presentation: sorting the union of canonicalized disjuncts
   // makes the answer independent of derivation order — the anchor of the
   // planner-on/planner-off byte-identity contract (and a no-op for
   // semantics, since a union is order-insensitive).
   std::sort(result.mutable_tuples()->begin(), result.mutable_tuples()->end());
   if (use_cache) {
-    QeResultCache().Insert(key, QeCacheValue{formula, result, *s});
+    // The stored stats describe the computation itself; the hit count is
+    // zeroed so a replay reports exactly the hits it newly incurs.
+    QeStats stored = *s;
+    stored.cache_hits = 0;
+    QeResultCache().Insert(key, QeCacheValue{formula, result, stored});
+  }
+  if (sink != nullptr) {
+    if (prof_root.label.empty()) prof_root.label = "qe";
+    prof_root.inclusive_us = ElapsedUs(prof_start);
+    AddQeCounters(&prof_root, *s);
+    if (!prof_root.HasCounter("tuples_out")) {
+      prof_root.AddCounter("tuples_out", result.tuples().size());
+    }
+    sink->Add(std::move(prof_root));
   }
   return result;
 }

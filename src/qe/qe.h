@@ -13,11 +13,22 @@
 
 namespace ccdb {
 
+class ProfileSink;
+
 /// Statistics of one quantifier-elimination run, exposed for the paper's
 /// complexity experiments (Theorems 3.1, 4.1, 4.2; Lemma 4.4).
 struct QeStats {
   std::size_t cad_cells = 0;
   std::size_t projection_factors = 0;
+  /// Variable-elimination rounds taken on the linear paths (dense-order /
+  /// Fourier-Motzkin), summed over blocks and disjuncts.
+  std::uint64_t fm_rounds = 0;
+  /// QE-result-cache hits that served this run or its sub-eliminations
+  /// (per-block residue, per-disjunct splits). 0 on a fully cold run.
+  /// Profiling attribution only: EXCLUDED from ToString()/ToJson(), since
+  /// cache temperature is schedule/history-dependent while the canonical
+  /// stats rendering replays byte-identically on a memo hit.
+  std::uint64_t cache_hits = 0;
   /// Largest coefficient bit length seen in any intermediate polynomial —
   /// the quantity Lemma 4.4 bounds.
   std::uint64_t max_intermediate_bits = 0;
@@ -89,6 +100,14 @@ struct QeOptions {
   /// canonical index order, so answers are identical at every thread
   /// count.
   ThreadPool* pool = nullptr;
+  /// EXPLAIN ANALYZE sink (base/profile.h): when non-null, each top-level
+  /// elimination appends one ProfileNode tree — per plan node (or per
+  /// monolithic engine stage) inclusive wall time, CAD cells, FM rounds,
+  /// peak bit length, and cache temperature. Observation only: arming it
+  /// never changes the answer, and it is excluded from every memo-cache
+  /// key. Internal sub-eliminations run with the sink cleared and report
+  /// through their parent's node instead. Borrowed, not owned.
+  ProfileSink* profile = nullptr;
 };
 
 /// The QUANTIFIER ELIMINATION step of the paper's pipeline (Section 2,

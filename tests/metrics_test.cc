@@ -139,6 +139,55 @@ TEST(MetricsRegistryTest, MacrosRecordThroughRegistry) {
   EXPECT_GE(registry.GetHistogram("registry_test.macro_hist")->count(), 1u);
 }
 
+TEST(HistogramTest, PercentileEmptyIsZero) {
+  Histogram h("test.hist.pct_empty");
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_EQ(h.Percentile(0.99), 0.0);
+}
+
+TEST(HistogramTest, PercentileSingleValueIsExact) {
+  Histogram h("test.hist.pct_single");
+  h.Record(100);
+  // One value: every percentile clamps to [min, max] = {100}.
+  EXPECT_EQ(h.Percentile(0.0), 100.0);
+  EXPECT_EQ(h.Percentile(0.5), 100.0);
+  EXPECT_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, PercentileMonotoneAndBracketed) {
+  Histogram h("test.hist.pct_mono");
+  // 100 values 1..100: p50 ~ 50, p90 ~ 90, p99 ~ 99, up to
+  // power-of-two bucket resolution (a bucket spans [2^i, 2^(i+1))).
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  double p50 = h.Percentile(0.50);
+  double p90 = h.Percentile(0.90);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // The estimate lands inside the bucket that holds the true rank.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p90, 64.0);
+  EXPECT_LE(p90, 100.0);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 100.0);
+  // Bracketed by the observed range at the extremes.
+  EXPECT_GE(h.Percentile(0.0), static_cast<double>(h.min()));
+  EXPECT_LE(h.Percentile(1.0), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, SnapshotJsonCarriesPercentiles) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* h = registry.GetHistogram("registry_test.pct_hist");
+  for (std::uint64_t v = 1; v <= 16; ++v) h->Record(v);
+  std::string json = registry.SnapshotJson();
+  std::size_t at = json.find("\"registry_test.pct_hist\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"p50\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":", at), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":", at), std::string::npos);
+}
+
 TEST(JsonObjectBuilderTest, BuildsAndEscapes) {
   JsonObjectBuilder builder;
   builder.Add("n", std::uint64_t{7})
