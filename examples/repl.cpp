@@ -22,9 +22,16 @@
 //   .log [on [path]|off]      structured JSONL query log
 //   .stats                    process-wide metrics snapshot (JSON)
 //   .trace <on|off|path>      span tracing / Chrome trace export
+//   .checkpoint               fold the WAL into a checkpoint (durable mode)
 //   .list | .show <name> | .drop <name>
 //   .save <path> | .load <path>
 //   .help | .quit
+//
+// Started as `example_repl <dir>`, the shell opens a crash-safe durable
+// database rooted at <dir> (ConstraintDatabase::OpenDurable): definitions
+// and drops are write-ahead logged and survive a crash; recovery happens
+// at startup and is summarized before the first prompt. The WAL fsync
+// policy comes from CCDB_WAL_FSYNC (always|batch|off).
 
 #include <atomic>
 #include <csignal>
@@ -71,6 +78,8 @@ void PrintHelp() {
       "  .stats                  metrics snapshot as JSON\n"
       "  .trace on|off           toggle span tracing\n"
       "  .trace <path>           write collected spans as Chrome trace JSON\n"
+      "  .checkpoint             fold the WAL into an atomic checkpoint\n"
+      "                          (durable mode: start as example_repl <dir>)\n"
       "  .list                   list relations\n"
       "  .show <name>            print a relation's constraints\n"
       "  .drop <name>            remove a relation\n"
@@ -251,7 +260,7 @@ void RunFp(const ccdb::ConstraintDatabase& db, const std::string& rest) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Ctrl-C cancels the running query (cooperatively, via the governor)
   // rather than terminating the shell. SA_RESTART keeps the blocking
   // getline at the prompt from failing with EINTR.
@@ -261,6 +270,30 @@ int main() {
   sigaction(SIGINT, &action, nullptr);
 
   ccdb::ConstraintDatabase db;
+  if (argc > 1) {
+    auto opened = ccdb::ConstraintDatabase::OpenDurable(argv[1]);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open durable database %s: %s\n", argv[1],
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened).value();
+    const ccdb::RecoveryInfo* recovery = db.recovery_info();
+    std::printf("durable database: %s\n", argv[1]);
+    if (!recovery->checkpoint_file.empty() || recovery->replayed_records > 0 ||
+        recovery->torn_tail) {
+      std::printf("recovered: checkpoint %s, %zu WAL record(s) replayed",
+                  recovery->checkpoint_file.empty()
+                      ? "(none)"
+                      : recovery->checkpoint_file.c_str(),
+                  recovery->replayed_records);
+      if (recovery->torn_tail) {
+        std::printf(", torn tail dropped (%llu byte(s))",
+                    static_cast<unsigned long long>(recovery->torn_bytes));
+      }
+      std::printf("\n");
+    }
+  }
   std::printf("ccdb — constraint database shell (.help for commands)\n");
   std::string line;
   while (true) {
@@ -375,6 +408,11 @@ int main() {
     }
     if (line.rfind(".trace ", 0) == 0) {
       RunTrace(line.substr(7));
+      continue;
+    }
+    if (line == ".checkpoint") {
+      ccdb::Status status = db.Checkpoint();
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
       continue;
     }
     if (line[0] == '.') {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the crash-recovery matrix (tests/durability_test.cc) against a built
+# tree: every schedule x crash-site combo re-execs the test binary as a
+# child, kills it at an injected fault, and checks recovery restores
+# exactly a prefix of the acknowledged mutations.
+#
+# Usage: scripts/run_crash_matrix.sh [build-dir]     (default: build)
+#
+# Env:
+#   CCDB_CRASH_SCHEDULES=N   widen the sweep to N schedules x 9 sites
+#                            (default 24 -> 216 combos).
+#
+# On failure the harness keeps each failing combo's WAL/checkpoint
+# directory under <build-dir>/tests/ccdb_durability_scratch/ for autopsy
+# (CI uploads it as an artifact).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BIN="$BUILD_DIR/tests/durability_test"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build the tests first)" >&2
+  exit 2
+fi
+
+# The harness writes its scratch relative to the cwd, matching where ctest
+# runs the binary.
+cd "$(dirname "$BIN")"
+exec ./durability_test --gtest_filter='CrashRecoveryMatrix.*'

@@ -20,8 +20,24 @@ Status MakeInjected(FailpointSpec::Kind kind, const std::string& site) {
       return Status::Undefined(message);
     case FailpointSpec::Kind::kNumericalFailure:
       return Status::NumericalFailure(message);
+    case FailpointSpec::Kind::kCrash:
+    case FailpointSpec::Kind::kTornWrite:
+    case FailpointSpec::Kind::kShortWrite:
+      // Crash is handled before MakeInjected; an IO kind fired at a
+      // non-IO site degrades to a plain injected error.
+      return Status::Internal(message);
   }
   return Status::Internal(message);
+}
+
+// Simulated kill -9 at the site: no destructors, no atexit hooks, no
+// stream flushes — exactly the state a crashed process leaves behind.
+// (Bytes already write()n are in the page cache and survive, which is the
+// fault model: process death, not power loss.)
+[[noreturn]] void CrashNow(const char* site) {
+  std::fprintf(stderr, "ccdb: failpoint %s injected crash (exit %d)\n", site,
+               FailpointRegistry::kCrashExitCode);
+  std::_Exit(FailpointRegistry::kCrashExitCode);
 }
 
 StatusOr<FailpointSpec::Kind> ParseKind(const std::string& name) {
@@ -29,8 +45,16 @@ StatusOr<FailpointSpec::Kind> ParseKind(const std::string& name) {
   if (name == "exhaust") return FailpointSpec::Kind::kExhaust;
   if (name == "undefined") return FailpointSpec::Kind::kUndefined;
   if (name == "numfail") return FailpointSpec::Kind::kNumericalFailure;
-  return Status::InvalidArgument("unknown failpoint kind \"" + name +
-                                 "\" (error|exhaust|undefined|numfail)");
+  if (name == "crash") return FailpointSpec::Kind::kCrash;
+  if (name == "torn-write" || name == "torn") {
+    return FailpointSpec::Kind::kTornWrite;
+  }
+  if (name == "short-write" || name == "short") {
+    return FailpointSpec::Kind::kShortWrite;
+  }
+  return Status::InvalidArgument(
+      "unknown failpoint kind \"" + name +
+      "\" (error|exhaust|undefined|numfail|crash|torn-write|short-write)");
 }
 
 }  // namespace
@@ -140,17 +164,53 @@ std::vector<std::string> FailpointRegistry::ArmedSites() const {
 }
 
 Status FailpointRegistry::Hit(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SiteState& state = sites_[site];
-  ++state.hits;
-  if (!state.armed || state.hits != state.spec.fire_at) return Status::Ok();
-  // One-shot: firing disarms the site so recovery paths (a ladder retry,
-  // the next query) run clean.
-  state.armed = false;
-  armed_count_.fetch_sub(1, std::memory_order_relaxed);
-  CCDB_METRIC_COUNT("failpoint.injected", 1);
-  CCDB_LOG(INFO) << "failpoint fired: " << site << " at hit " << state.hits;
-  return MakeInjected(state.spec.kind, site);
+  FailpointSpec::Kind fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    ++state.hits;
+    if (!state.armed || state.hits != state.spec.fire_at) return Status::Ok();
+    // One-shot: firing disarms the site so recovery paths (a ladder retry,
+    // the next query) run clean.
+    state.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    CCDB_METRIC_COUNT("failpoint.injected", 1);
+    CCDB_LOG(INFO) << "failpoint fired: " << site << " at hit " << state.hits;
+    fired = state.spec.kind;
+  }
+  if (fired == FailpointSpec::Kind::kCrash) CrashNow(site);
+  return MakeInjected(fired, site);
+}
+
+IoFault FailpointRegistry::HitIo(const char* site, Status* injected) {
+  *injected = Status::Ok();
+  FailpointSpec::Kind fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    ++state.hits;
+    if (!state.armed || state.hits != state.spec.fire_at) {
+      return IoFault::kNone;
+    }
+    state.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    CCDB_METRIC_COUNT("failpoint.injected", 1);
+    CCDB_LOG(INFO) << "failpoint fired: " << site << " at hit " << state.hits;
+    fired = state.spec.kind;
+  }
+  switch (fired) {
+    case FailpointSpec::Kind::kCrash:
+      CrashNow(site);
+    case FailpointSpec::Kind::kTornWrite:
+      return IoFault::kTornWrite;
+    case FailpointSpec::Kind::kShortWrite:
+      return IoFault::kShortWrite;
+    default:
+      // A Status kind armed at an IO site still injects — through the out
+      // param, since the write API reports faults in bytes, not Status.
+      *injected = MakeInjected(fired, site);
+      return IoFault::kNone;
+  }
 }
 
 }  // namespace ccdb

@@ -26,6 +26,24 @@
 ///   error     -> kInternal            exhaust  -> kResourceExhausted
 ///   undefined -> kUndefined           numfail  -> kNumericalFailure
 ///
+/// Durability testing adds three fault kinds that do not map to a Status:
+///
+///   crash        -> the process exits immediately (std::_Exit with
+///                   FailpointRegistry::kCrashExitCode), simulating a kill
+///                   -9 at the site — no destructors, no stream flushes.
+///   torn-write   -> at an IO write site (HitIo), only a prefix of the
+///                   bytes reaches the file and then the process crashes —
+///                   a torn tail for recovery to truncate.
+///   short-write  -> at an IO write site, only a prefix of the bytes is
+///                   written and the write reports failure; the process
+///                   keeps running (simulates ENOSPC mid-write).
+///
+/// Unlike the CCDB_FAILPOINT macro sites, the durability boundaries in
+/// src/storage consult the registry in EVERY build (they are not on the
+/// query hot path, and the crash-recovery harness must work against the
+/// default build); the HasArmed() fast path keeps the disarmed cost to one
+/// relaxed atomic load.
+///
 /// Usage at a stage boundary (returns the injected Status to the caller):
 ///
 ///   Status DoStage(...) {
@@ -51,15 +69,31 @@ struct FailpointSpec {
     kExhaust,           // kResourceExhausted
     kUndefined,         // kUndefined
     kNumericalFailure,  // kNumericalFailure
+    kCrash,             // std::_Exit(kCrashExitCode) at the site
+    kTornWrite,         // IO sites: prefix of the bytes written, then crash
+    kShortWrite,        // IO sites: prefix written, write reports failure
   };
   Kind kind = Kind::kError;
   /// Fires on this hit (1-based) of the site, exactly once.
   std::uint64_t fire_at = 1;
 };
 
+/// What an IO write site should do with the bytes it is about to write.
+/// Returned by FailpointRegistry::HitIo; the writer implements the fault
+/// (write a prefix, then crash or report failure).
+enum class IoFault {
+  kNone,
+  kTornWrite,
+  kShortWrite,
+};
+
 /// Process-wide failpoint registry. Thread-safe.
 class FailpointRegistry {
  public:
+  /// Exit code of a fired `crash` (or the crash half of a `torn-write`)
+  /// failpoint — the crash-recovery harness asserts the child died with
+  /// exactly this code, distinguishing an injected crash from a real one.
+  static constexpr int kCrashExitCode = 42;
   /// The global registry; on first use arms everything named by the
   /// CCDB_FAILPOINTS environment variable (malformed entries are ignored
   /// with a log line — startup must not crash on a bad env var).
@@ -90,7 +124,16 @@ class FailpointRegistry {
 
   /// Counts a pass through `site`; returns the injected error iff the site
   /// is armed and this is its fire_at-th hit. Called by CCDB_FAILPOINT.
+  /// A fired `crash` kind exits the process here; a fired torn-write /
+  /// short-write kind at a non-IO site degrades to kInternal.
   Status Hit(const char* site);
+
+  /// Counts a pass through an IO write site; returns the IO fault to
+  /// perform iff the site is armed with torn-write/short-write and this is
+  /// its fire_at-th hit. A fired `crash` kind exits the process here; a
+  /// fired Status kind (error/exhaust/...) is reported through
+  /// `*injected` (never null-checked — pass a valid pointer).
+  IoFault HitIo(const char* site, Status* injected);
 
  private:
   FailpointRegistry();

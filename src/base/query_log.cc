@@ -10,7 +10,11 @@ QueryLog::QueryLog() {
   if (const char* env = std::getenv("CCDB_QUERY_LOG")) {
     if (env[0] != '\0') {
       Status status = Enable(env);
-      (void)status;  // a bad path just leaves logging off
+      if (!status.ok()) {
+        // The log never takes the engine down: warn once, run unlogged.
+        std::fprintf(stderr, "ccdb: query log disabled: %s\n",
+                     status.ToString().c_str());
+      }
     }
   }
 }
@@ -45,9 +49,24 @@ void QueryLog::Disable() {
 void QueryLog::Append(const std::string& json_object) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_ || file_ == nullptr) return;
-  std::fwrite(json_object.data(), 1, json_object.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  std::size_t written =
+      std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  bool failed = written != json_object.size();
+  failed = std::fputc('\n', file_) == EOF || failed;
+  failed = std::fflush(file_) != 0 || failed;
+  if (failed) {
+    // Disk full / path revoked: one warning, then stand down — queries
+    // must keep answering with or without their black box.
+    std::fprintf(stderr,
+                 "ccdb: query log write to %s failed; logging disabled\n",
+                 path_.c_str());
+    CCDB_METRIC_COUNT("query_log.write_failures", 1);
+    std::fclose(file_);
+    file_ = nullptr;
+    path_.clear();
+    enabled_ = false;
+    return;
+  }
   ++records_written_;
   CCDB_METRIC_COUNT("query_log.records", 1);
 }

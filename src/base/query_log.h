@@ -16,6 +16,12 @@
 /// Logging is OBSERVATION ONLY: answers are byte-identical with the log on
 /// or off. Records are appended under a mutex and flushed per line, so a
 /// crashed process keeps every completed record (the black-box property).
+///
+/// Failure policy: the log must never take the engine down with it. A
+/// CCDB_QUERY_LOG path that cannot be opened, or a write/flush failure on
+/// an enabled log (disk full, file deleted and descriptor revoked), emits
+/// ONE warning line on stderr and disables logging; queries keep
+/// answering.
 
 #include <cstdint>
 #include <cstdio>
@@ -50,7 +56,9 @@ class QueryLog {
   void Disable();
 
   /// Appends one record (a complete JSON object, no trailing newline —
-  /// Append adds it) and flushes. Dropped silently when disabled.
+  /// Append adds it) and flushes. Dropped silently when disabled. On a
+  /// write or flush failure: one stderr warning, then logging disables
+  /// itself (queries are never failed over an unloggable record).
   void Append(const std::string& json_object);
 
   /// Records appended since process start (survives Disable/Enable).

@@ -307,6 +307,9 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
   std::map<std::string, std::uint64_t> before;
   if (log) before = MetricsRegistry::Global().SnapshotValues();
   auto log_start = std::chrono::steady_clock::now();
+  // One snapshot across every rung: a degraded retry answers against the
+  // same catalog state the full-quality attempt saw.
+  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
   StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
   static constexpr const char* kRungNames[] = {"full", "reduced-precision",
                                                "linear-only"};
@@ -331,7 +334,7 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
       // that genuinely need CAD exhaust immediately instead of blowing up.
       opts.qe.linear_only = true;
     }
-    CalcFEvaluator evaluator(MakeLookup(), opts);
+    CalcFEvaluator evaluator(LookupFor(snapshot), opts);
     StatusOr<CalcFResult> result = evaluator.EvaluateText(text);
     ++v.attempts;
     // One coherent snapshot: workers spawned by a parallel attempt all
@@ -368,7 +371,7 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
                                       log_start)
             .count();
     AppendQueryLogRecord(
-        "governed", text, catalog_.version(), outcome, /*cache_hit=*/false,
+        "governed", text, snapshot->version(), outcome, /*cache_hit=*/false,
         &v, elapsed,
         MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
   }
@@ -378,24 +381,151 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
 ConstraintDatabase::ConstraintDatabase(CalcFOptions options)
     : options_(std::move(options)) {}
 
+ConstraintDatabase::ConstraintDatabase(ConstraintDatabase&& other) noexcept
+    : options_(std::move(other.options_)),
+      catalog_(std::move(other.catalog_)),
+      durability_(other.durability_),
+      store_(std::move(other.store_)) {}
+
+ConstraintDatabase& ConstraintDatabase::operator=(
+    ConstraintDatabase&& other) noexcept {
+  if (this == &other) return *this;
+  options_ = std::move(other.options_);
+  catalog_ = std::move(other.catalog_);
+  durability_ = other.durability_;
+  store_ = std::move(other.store_);
+  return *this;
+}
+
+ConstraintDatabase::~ConstraintDatabase() {
+  // Close-time checkpoint: fold any WAL records into a checkpoint so the
+  // next open recovers without replay. Best effort — on failure the WAL
+  // still holds everything acknowledged, so nothing is lost.
+  if (store_ != nullptr && store_->wal_record_bytes() > 0) {
+    Status st = CheckpointLocked();
+    if (!st.ok()) {
+      CCDB_LOG(WARN) << "close-time checkpoint failed (WAL retains state): "
+                     << st.ToString();
+    }
+  }
+}
+
+StatusOr<ConstraintDatabase> ConstraintDatabase::OpenDurable(
+    const std::string& dir, CalcFOptions options,
+    DurabilityOptions durability) {
+  CCDB_METRIC_COUNT("db.durable_opens", 1);
+  ConstraintDatabase db(std::move(options));
+  db.durability_ = durability;
+  CCDB_ASSIGN_OR_RETURN(db.store_, DurableStore::Open(dir, durability));
+  db.catalog_ = db.store_->TakeCatalog();
+  return db;
+}
+
+Status ConstraintDatabase::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  return CheckpointLocked();
+}
+
+Status ConstraintDatabase::CheckpointLocked() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint requires a durable database (OpenDurable)");
+  }
+  // A fresh stamp exceeds every record logged so far (stamps are reserved
+  // before their append), so replay after this checkpoint skips them all.
+  return store_->WriteCheckpoint(catalog_.Serialize(),
+                                 Catalog::ReserveVersion());
+}
+
 CalcFEvaluator::RelationLookup ConstraintDatabase::MakeLookup() const {
-  const Catalog* catalog = &catalog_;
-  return [catalog](const std::string& name) -> StatusOr<ConstraintRelation> {
-    return catalog->GetRelation(name);
+  return LookupFor(catalog_.Snapshot());
+}
+
+CalcFEvaluator::RelationLookup ConstraintDatabase::LookupFor(
+    std::shared_ptr<const Catalog::View> snapshot) {
+  return [snapshot = std::move(snapshot)](
+             const std::string& name) -> StatusOr<ConstraintRelation> {
+    return snapshot->GetRelation(name);
   };
 }
 
+Status ConstraintDatabase::MutateDurably(
+    WalRecord::Op op, const std::string& payload,
+    const std::function<Status()>& precheck,
+    const std::function<Status()>& apply) {
+  std::lock_guard<std::mutex> lock(mutate_mu_);
+  // Preconditions run under the same lock as the append: a record that
+  // reaches the WAL is guaranteed replayable (no duplicate-name Define, no
+  // Drop of a missing relation can be logged even under racing mutators).
+  CCDB_RETURN_IF_ERROR(precheck());
+  if (store_ != nullptr) {
+    // Write-ahead: reserve the version stamp, log, and only then apply.
+    // If the append fails (injected fault, full disk) the mutation is
+    // rejected — the catalog never holds state the log does not.
+    CCDB_RETURN_IF_ERROR(
+        store_->LogMutation(op, payload, Catalog::ReserveVersion()));
+  }
+  CCDB_RETURN_IF_ERROR(apply());
+  if (store_ != nullptr &&
+      store_->wal_record_bytes() >= durability_.checkpoint_bytes) {
+    Status st = CheckpointLocked();
+    if (!st.ok()) {
+      // The mutation itself is durable (it is in the WAL); a failed
+      // rotation only defers compaction to the next attempt.
+      CCDB_LOG(WARN) << "auto-checkpoint failed (retrying later): "
+                     << st.ToString();
+    }
+  }
+  return Status::Ok();
+}
+
 Status ConstraintDatabase::Define(const std::string& definition) {
-  return catalog_.AddRelationFromText(definition);
+  // Parse BEFORE logging: a record in the WAL must be replayable, so
+  // anything that would fail to apply is rejected up front.
+  CCDB_ASSIGN_OR_RETURN(ParsedRelationDef def, ParseRelationDef(definition));
+  // Log the canonical rendering, not the user's text: replay goes through
+  // the same serializer/parser pair as checkpoints, so the recovered
+  // relation is bit-identical however the definition was spelled.
+  const std::string payload = SerializeRelationDef(def.name, def.relation);
+  std::string name = def.name;
+  ConstraintRelation relation = std::move(def.relation);
+  return MutateDurably(
+      WalRecord::Op::kDefine, payload,
+      [&]() {
+        if (catalog_.HasRelation(name)) {
+          return Status::AlreadyExists("relation " + name +
+                                       " already exists");
+        }
+        return Status::Ok();
+      },
+      [&]() { return catalog_.AddRelation(name, std::move(relation)); });
 }
 
 Status ConstraintDatabase::Register(const std::string& name,
                                     ConstraintRelation relation) {
-  return catalog_.AddRelation(name, std::move(relation));
+  const std::string payload = SerializeRelationDef(name, relation);
+  return MutateDurably(
+      WalRecord::Op::kRegister, payload,
+      [&]() {
+        if (catalog_.HasRelation(name)) {
+          return Status::AlreadyExists("relation " + name +
+                                       " already exists");
+        }
+        return Status::Ok();
+      },
+      [&]() { return catalog_.AddRelation(name, std::move(relation)); });
 }
 
 Status ConstraintDatabase::Drop(const std::string& name) {
-  return catalog_.DropRelation(name);
+  return MutateDurably(
+      WalRecord::Op::kDrop, name,
+      [&]() {
+        if (!catalog_.HasRelation(name)) {
+          return Status::NotFound("relation " + name + " not found");
+        }
+        return Status::Ok();
+      },
+      [&]() { return catalog_.DropRelation(name); });
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
@@ -412,6 +542,10 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
   if (log) before = MetricsRegistry::Global().SnapshotValues();
   auto log_start = std::chrono::steady_clock::now();
   bool hit = false;
+  // One catalog snapshot for the whole query: the memo key's version and
+  // every relation the evaluator instantiates come from the same immutable
+  // catalog state, even under concurrent mutators.
+  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
   StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
     // Pure memo on the whole pipeline: a hit returns exactly the result a
     // re-evaluation would produce (same text, same catalog state, same
@@ -422,14 +556,14 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
                            MemoCachesEnabled();
     std::string key;
     if (use_cache) {
-      key = QueryCacheKey(text, catalog_.version());
+      key = QueryCacheKey(text, snapshot->version());
       CalcFResult cached;
       if (QueryResultCache().Lookup(key, &cached)) {
         hit = true;
         return cached;
       }
     }
-    CalcFEvaluator evaluator(MakeLookup(), options_);
+    CalcFEvaluator evaluator(LookupFor(snapshot), options_);
     CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
     if (use_cache) QueryResultCache().Insert(key, result);
     return result;
@@ -441,7 +575,7 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
                                       log_start)
             .count();
     AppendQueryLogRecord(
-        "query", text, catalog_.version(), outcome, hit, /*verdict=*/nullptr,
+        "query", text, snapshot->version(), outcome, hit, /*verdict=*/nullptr,
         elapsed,
         MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
   }
@@ -509,7 +643,8 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
   ProfileSink sink;
   CalcFOptions opts = options_;
   opts.qe.profile = &sink;
-  CalcFEvaluator evaluator(MakeLookup(), opts);
+  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
+  CalcFEvaluator evaluator(LookupFor(snapshot), opts);
   StatusOr<CalcFResult> outcome = evaluator.EvaluateText(text);
   if (!outcome.ok()) {
     double elapsed =
@@ -517,7 +652,7 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
             .count();
     if (log) {
       AppendQueryLogRecord(
-          "explain_analyze", text, catalog_.version(), outcome,
+          "explain_analyze", text, snapshot->version(), outcome,
           /*cache_hit=*/false, /*verdict=*/nullptr, elapsed,
           MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()));
     }
@@ -567,7 +702,7 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
   }
   if (log) {
     StatusOr<CalcFResult> logged = out.result;
-    AppendQueryLogRecord("explain_analyze", text, catalog_.version(), logged,
+    AppendQueryLogRecord("explain_analyze", text, snapshot->version(), logged,
                          /*cache_hit=*/false, /*verdict=*/nullptr,
                          profile.total_seconds, profile.metric_deltas,
                          profile.ToJson());
@@ -606,8 +741,15 @@ StatusOr<std::vector<std::vector<Rational>>> ConstraintDatabase::Solve(
 
 Status ConstraintDatabase::Load(const std::string& path) {
   CCDB_ASSIGN_OR_RETURN(Catalog loaded, Catalog::LoadFromFile(path));
-  catalog_ = std::move(loaded);
-  return Status::Ok();
+  // A wholesale load is one logical mutation: the WAL record carries the
+  // full serialization so replay reproduces exactly this catalog state.
+  return MutateDurably(
+      WalRecord::Op::kLoad, loaded.Serialize(),
+      []() { return Status::Ok(); },
+      [&]() {
+        catalog_ = std::move(loaded);
+        return Status::Ok();
+      });
 }
 
 }  // namespace ccdb

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "numeric/numerical_eval.h"
 #include "query/calcf.h"
 #include "storage/catalog.h"
+#include "storage/wal.h"
 
 namespace ccdb {
 
@@ -162,6 +166,36 @@ struct QueryVerdict {
 class ConstraintDatabase {
  public:
   explicit ConstraintDatabase(CalcFOptions options = {});
+  ConstraintDatabase(ConstraintDatabase&& other) noexcept;
+  ConstraintDatabase& operator=(ConstraintDatabase&& other) noexcept;
+  /// A durable database checkpoints any unflushed WAL records on close
+  /// (best effort — a failure is logged; the WAL still holds everything).
+  ~ConstraintDatabase();
+
+  /// Opens a crash-safe durable database rooted at directory `dir`
+  /// (created if needed), recovering whatever a previous process left
+  /// there: the newest valid checkpoint plus a WAL replay, tolerating a
+  /// torn WAL tail, rejecting mid-log corruption with a Status naming the
+  /// offset. After recovery every catalog mutation is logged write-ahead
+  /// (fsync policy from `durability`, default CCDB_WAL_FSYNC) before it is
+  /// applied, and the WAL is folded into an atomic checkpoint when it
+  /// exceeds `durability.checkpoint_bytes`, on Checkpoint(), and on close.
+  /// DESIGN.md §13.
+  static StatusOr<ConstraintDatabase> OpenDurable(
+      const std::string& dir, CalcFOptions options = {},
+      DurabilityOptions durability = DurabilityOptions::FromEnv());
+
+  /// True when this database was opened with OpenDurable.
+  bool durable() const { return store_ != nullptr; }
+  /// What recovery found when this durable database was opened (null for
+  /// an in-memory database).
+  const RecoveryInfo* recovery_info() const {
+    return store_ == nullptr ? nullptr : &store_->recovery_info();
+  }
+  /// Forces a checkpoint now: catalog serialized, fsynced, atomically
+  /// renamed into place, WAL rotated. kInvalidArgument when the database
+  /// is not durable.
+  Status Checkpoint();
 
   /// Defines a relation from "Name(cols...) := quantifier-free formula".
   Status Define(const std::string& definition);
@@ -241,13 +275,37 @@ class ConstraintDatabase {
 
  private:
   CalcFEvaluator::RelationLookup MakeLookup() const;
+  /// A relation lookup pinned to one catalog snapshot: every relation a
+  /// query instantiates comes from the same catalog version, even while
+  /// writers mutate concurrently.
+  static CalcFEvaluator::RelationLookup LookupFor(
+      std::shared_ptr<const Catalog::View> snapshot);
   /// Query() body; `cache_hit`, when non-null, reports whether the answer
   /// came from the whole-query memo (Explain's cached-plan reporting).
   StatusOr<CalcFResult> QueryImpl(const std::string& text,
                                   bool* cache_hit) const;
+  /// The write-ahead path shared by every mutator: with `mutate_mu_` held,
+  /// runs `precheck` (the mutation's precondition — anything that would
+  /// make the logged record fail to replay must be rejected here, before
+  /// the append), logs (op, payload) to the WAL — when durable — then runs
+  /// `apply`, then checkpoints if the WAL crossed the byte threshold. The
+  /// WAL append happens strictly before `apply`; an append failure means
+  /// the mutation is not applied.
+  Status MutateDurably(WalRecord::Op op, const std::string& payload,
+                       const std::function<Status()>& precheck,
+                       const std::function<Status()>& apply);
+  /// Checkpoint body; caller holds `mutate_mu_`.
+  Status CheckpointLocked();
 
   CalcFOptions options_;
   Catalog catalog_;
+  /// Serializes mutators (Define/Register/Drop/Load/Checkpoint) so the
+  /// WAL order matches the apply order. Readers never take this — they
+  /// read catalog snapshots.
+  std::mutex mutate_mu_;
+  DurabilityOptions durability_;
+  /// Non-null iff the database was opened with OpenDurable.
+  std::unique_ptr<DurableStore> store_;
 };
 
 }  // namespace ccdb

@@ -9,6 +9,7 @@
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "query/parser.h"
+#include "storage/wal.h"
 
 namespace ccdb {
 
@@ -87,33 +88,112 @@ namespace {
 // Process-global version source shared by every Catalog instance: a fresh
 // stamp per mutation means no two catalog states can ever share a version,
 // including a catalog replaced wholesale by Deserialize/LoadFromFile.
-std::uint64_t NextCatalogVersion() {
+// Recovery raises the counter past every stamp found on disk
+// (EnsureVersionAtLeast), so the guarantee extends across crashes.
+std::atomic<std::uint64_t>& CatalogVersionCounter() {
   static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return counter;
 }
+
+std::uint64_t NextCatalogVersion() {
+  return CatalogVersionCounter().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Deserialize guard: a "line" this long is hostile input (the biggest
+// legitimate definitions are a few KB), and feeding it to the parser would
+// only burn memory before failing anyway.
+constexpr std::size_t kMaxCatalogLineBytes = 1u << 20;
 
 }  // namespace
 
-Catalog::Catalog() : version_(NextCatalogVersion()) {}
+std::uint64_t Catalog::ReserveVersion() { return NextCatalogVersion(); }
 
-void Catalog::BumpVersion() { version_ = NextCatalogVersion(); }
+void Catalog::EnsureVersionAtLeast(std::uint64_t version) {
+  std::atomic<std::uint64_t>& counter = CatalogVersionCounter();
+  std::uint64_t current = counter.load(std::memory_order_relaxed);
+  while (current < version &&
+         !counter.compare_exchange_weak(current, version,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+Catalog::Catalog() {
+  // Even an empty catalog has a unique version (two fresh catalogs must
+  // not alias each other in the whole-query memo).
+  auto initial = std::make_shared<View>();
+  initial->version_ = NextCatalogVersion();
+  view_ = std::move(initial);
+}
+
+Catalog::Catalog(const Catalog& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  view_ = other.view_;
+}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  std::shared_ptr<const View> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    theirs = other.view_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  view_ = std::move(theirs);
+  return *this;
+}
+
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  view_ = std::move(other.view_);
+  other.view_ = std::make_shared<View>();
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this == &other) return *this;
+  std::shared_ptr<const View> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    theirs = std::move(other.view_);
+    other.view_ = std::make_shared<View>();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  view_ = std::move(theirs);
+  return *this;
+}
+
+std::shared_ptr<const Catalog::View> Catalog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+void Catalog::RefreshVersion() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<View>(*view_);
+  next->version_ = NextCatalogVersion();
+  view_ = std::move(next);
+}
+
+std::uint64_t Catalog::version() const { return Snapshot()->version(); }
 
 Status Catalog::AddRelation(const std::string& name,
                             ConstraintRelation relation) {
   CCDB_METRIC_COUNT("catalog.relations_added", 1);
-  if (relations_.count(name) != 0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (view_->relations_.count(name) != 0) {
     return Status::AlreadyExists("relation " + name + " already exists");
   }
   // Simulated mid-ingest failure: must not leak a half-built entry into
-  // `relations_` (the emplace below is the single commit point).
+  // the published view (the swap below is the single commit point).
   CCDB_FAILPOINT("catalog.add");
+  auto next = std::make_shared<View>(*view_);
   Entry entry;
   for (const GeneralizedTuple& tuple : relation.tuples()) {
     entry.boxes.push_back(TupleBox::Of(tuple, relation.arity()));
   }
   entry.relation = std::move(relation);
-  relations_.emplace(name, std::move(entry));
-  BumpVersion();
+  next->relations_.emplace(name, std::move(entry));
+  next->version_ = NextCatalogVersion();
+  view_ = std::move(next);
   return Status::Ok();
 }
 
@@ -123,18 +203,42 @@ Status Catalog::AddRelationFromText(const std::string& definition) {
 }
 
 Status Catalog::DropRelation(const std::string& name) {
-  if (relations_.erase(name) == 0) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (view_->relations_.count(name) == 0) {
     return Status::NotFound("relation " + name + " not found");
   }
-  BumpVersion();
+  auto next = std::make_shared<View>(*view_);
+  next->relations_.erase(name);
+  next->version_ = NextCatalogVersion();
+  view_ = std::move(next);
   return Status::Ok();
 }
 
 bool Catalog::HasRelation(const std::string& name) const {
-  return relations_.count(name) != 0;
+  return Snapshot()->HasRelation(name);
 }
 
 StatusOr<ConstraintRelation> Catalog::GetRelation(
+    const std::string& name) const {
+  return Snapshot()->GetRelation(name);
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  return Snapshot()->RelationNames();
+}
+
+StatusOr<bool> Catalog::Contains(const std::string& name,
+                                 const std::vector<Rational>& point) const {
+  return Snapshot()->Contains(name, point);
+}
+
+std::string Catalog::Serialize() const { return Snapshot()->Serialize(); }
+
+bool Catalog::View::HasRelation(const std::string& name) const {
+  return relations_.count(name) != 0;
+}
+
+StatusOr<ConstraintRelation> Catalog::View::GetRelation(
     const std::string& name) const {
   CCDB_METRIC_COUNT("catalog.lookups", 1);
   auto it = relations_.find(name);
@@ -145,15 +249,15 @@ StatusOr<ConstraintRelation> Catalog::GetRelation(
   return it->second.relation;
 }
 
-std::vector<std::string> Catalog::RelationNames() const {
+std::vector<std::string> Catalog::View::RelationNames() const {
   std::vector<std::string> names;
   names.reserve(relations_.size());
   for (const auto& [name, entry] : relations_) names.push_back(name);
   return names;
 }
 
-StatusOr<bool> Catalog::Contains(const std::string& name,
-                                 const std::vector<Rational>& point) const {
+StatusOr<bool> Catalog::View::Contains(
+    const std::string& name, const std::vector<Rational>& point) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound("relation " + name + " not found");
@@ -175,40 +279,45 @@ StatusOr<bool> Catalog::Contains(const std::string& name,
   return false;
 }
 
-std::string Catalog::Serialize() const {
+std::string SerializeRelationDef(const std::string& name,
+                                 const ConstraintRelation& rel) {
+  std::ostringstream out;
+  std::vector<std::string> columns;
+  for (int v = 0; v < rel.arity(); ++v) {
+    columns.push_back("x" + std::to_string(v));
+  }
+  out << name << "(";
+  for (int v = 0; v < rel.arity(); ++v) {
+    if (v > 0) out << ", ";
+    out << columns[v];
+  }
+  out << ") := ";
+  if (rel.tuples().empty()) {
+    out << "false";
+  } else {
+    for (std::size_t t = 0; t < rel.tuples().size(); ++t) {
+      if (t > 0) out << " or ";
+      const GeneralizedTuple& tuple = rel.tuples()[t];
+      out << "(";
+      if (tuple.atoms.empty()) {
+        out << "0 = 0";
+      }
+      for (std::size_t a = 0; a < tuple.atoms.size(); ++a) {
+        if (a > 0) out << " and ";
+        out << tuple.atoms[a].poly.ToString(columns) << " "
+            << RelOpToString(tuple.atoms[a].op) << " 0";
+      }
+      out << ")";
+    }
+  }
+  return out.str();
+}
+
+std::string Catalog::View::Serialize() const {
   std::ostringstream out;
   out << "# ccdb catalog v1\n";
   for (const auto& [name, entry] : relations_) {
-    const ConstraintRelation& rel = entry.relation;
-    std::vector<std::string> columns;
-    for (int v = 0; v < rel.arity(); ++v) {
-      columns.push_back("x" + std::to_string(v));
-    }
-    out << name << "(";
-    for (int v = 0; v < rel.arity(); ++v) {
-      if (v > 0) out << ", ";
-      out << columns[v];
-    }
-    out << ") := ";
-    if (rel.tuples().empty()) {
-      out << "false";
-    } else {
-      for (std::size_t t = 0; t < rel.tuples().size(); ++t) {
-        if (t > 0) out << " or ";
-        const GeneralizedTuple& tuple = rel.tuples()[t];
-        out << "(";
-        if (tuple.atoms.empty()) {
-          out << "0 = 0";
-        }
-        for (std::size_t a = 0; a < tuple.atoms.size(); ++a) {
-          if (a > 0) out << " and ";
-          out << tuple.atoms[a].poly.ToString(columns) << " "
-              << RelOpToString(tuple.atoms[a].op) << " 0";
-        }
-        out << ")";
-      }
-    }
-    out << "\n";
+    out << SerializeRelationDef(name, entry.relation) << "\n";
   }
   return out.str();
 }
@@ -220,11 +329,19 @@ StatusOr<Catalog> Catalog::Deserialize(const std::string& text) {
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
-    std::size_t start = line.find_first_not_of(" \t");
+    if (line.size() > kMaxCatalogLineBytes) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + ": definition exceeds " +
+          std::to_string(kMaxCatalogLineBytes) + " bytes");
+    }
+    std::size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos) continue;
     if (line[start] == '#') continue;
     // Empty relations serialize as "... := false", which the definition
-    // parser handles through the 'false' keyword.
+    // parser handles through the 'false' keyword. Duplicate relation
+    // names surface as kAlreadyExists from AddRelation; any other
+    // garbage as the parser's kInvalidArgument — always a clean Status
+    // carrying the line number.
     Status added = catalog.AddRelationFromText(line);
     if (!added.ok()) {
       return Status(added.code(), "line " + std::to_string(line_number) +
@@ -235,10 +352,9 @@ StatusOr<Catalog> Catalog::Deserialize(const std::string& text) {
 }
 
 Status Catalog::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out << Serialize();
-  return out ? Status::Ok() : Status::Internal("write to " + path + " failed");
+  // Atomic replace (tmp + fsync + rename): a crash at any point leaves
+  // either the old file or the new one, never a torn mix.
+  return AtomicWriteFile(path, Serialize(), "save");
 }
 
 StatusOr<Catalog> Catalog::LoadFromFile(const std::string& path) {

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,15 +28,61 @@ struct TupleBox {
   bool MayContain(const std::vector<Rational>& point) const;
 };
 
-/// A named collection of constraint relations with text persistence.
+/// A named collection of constraint relations with text persistence and
+/// copy-on-write snapshot isolation.
 ///
 /// The on-disk format is line-oriented relation definitions in the query
 /// language's own syntax ("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0"), one
 /// relation per line, '#' comments allowed — human-readable and re-parsed
 /// through the regular parser on load.
+///
+/// Concurrency model (MVCC): the catalog's state lives in an immutable
+/// View published through a shared_ptr. Readers take Snapshot() — or call
+/// the delegating read methods, each of which reads one snapshot — and see
+/// one consistent catalog version for as long as they hold the pointer,
+/// while writers copy the current View, mutate the copy, stamp it with a
+/// fresh version, and swap it in. A long-running query therefore never
+/// observes a half-applied mutation, at any thread count.
 class Catalog {
+ private:
+  struct Entry {
+    ConstraintRelation relation;
+    std::vector<TupleBox> boxes;
+  };
+
  public:
+  /// One immutable catalog version. Obtained from Snapshot(); safe to read
+  /// from any number of threads with no further synchronization.
+  class View {
+   public:
+    bool HasRelation(const std::string& name) const;
+    StatusOr<ConstraintRelation> GetRelation(const std::string& name) const;
+    std::vector<std::string> RelationNames() const;
+    /// Point membership with bounding-box pre-filtering.
+    StatusOr<bool> Contains(const std::string& name,
+                            const std::vector<Rational>& point) const;
+    /// Serializes every relation into the line format.
+    std::string Serialize() const;
+    std::uint64_t version() const { return version_; }
+    std::size_t size() const { return relations_.size(); }
+
+   private:
+    friend class Catalog;
+    std::map<std::string, Entry> relations_;
+    std::uint64_t version_ = 0;
+  };
+
   Catalog();
+  /// Copying shares the current snapshot (cheap — both sides are
+  /// copy-on-write, so they diverge only at the next mutation).
+  Catalog(const Catalog& other);
+  Catalog& operator=(const Catalog& other);
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
+
+  /// The current catalog version, pinned. In-flight queries hold one of
+  /// these so writers never mutate state under them.
+  std::shared_ptr<const View> Snapshot() const;
 
   Status AddRelation(const std::string& name, ConstraintRelation relation);
   /// Parses and adds "Name(cols...) := formula".
@@ -50,9 +98,14 @@ class Catalog {
 
   /// Serializes every relation into the line format.
   std::string Serialize() const;
-  /// Loads relations from the line format (replacing the catalog).
+  /// Loads relations from the line format (replacing the catalog). Hostile
+  /// input — truncated lines, duplicate relation names, garbage bytes,
+  /// over-long lines — comes back as a clean Status naming the line,
+  /// never a crash.
   static StatusOr<Catalog> Deserialize(const std::string& text);
 
+  /// Atomic save: writes `path.tmp`, fsyncs, then renames over `path` —
+  /// a crash mid-save leaves the previous file intact.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<Catalog> LoadFromFile(const std::string& path);
 
@@ -62,18 +115,33 @@ class Catalog {
   /// even across distinct Catalog instances, ever share a version. Memo
   /// caches keyed on (query, version) are therefore invalidated by any
   /// mutation and can never alias a dropped-and-redefined relation.
-  std::uint64_t version() const { return version_; }
+  std::uint64_t version() const;
+
+  /// Draws a fresh stamp from the process-global version counter without
+  /// mutating any catalog. The WAL reserves the stamp it logs with a
+  /// record this way, so stamps are monotone in log order.
+  static std::uint64_t ReserveVersion();
+  /// Raises the process-global counter so every future stamp exceeds
+  /// `version`. Recovery calls this with the largest stamp found in the
+  /// checkpoint/WAL, keeping versions monotone across a crash — a memo
+  /// cache can never alias a pre-crash catalog state.
+  static void EnsureVersionAtLeast(std::uint64_t version);
+  /// Re-stamps the current state with a fresh version (contents
+  /// unchanged). Recovery calls this last: a catalog rebuilt from a
+  /// checkpoint drew its stamps before EnsureVersionAtLeast raised the
+  /// counter, so without a refresh its version could still collide with a
+  /// pre-crash state.
+  void RefreshVersion();
 
  private:
-  struct Entry {
-    ConstraintRelation relation;
-    std::vector<TupleBox> boxes;
-  };
-  void BumpVersion();
-
-  std::map<std::string, Entry> relations_;
-  std::uint64_t version_ = 0;
+  mutable std::mutex mu_;
+  std::shared_ptr<const View> view_;
 };
+
+/// Renders one relation as the "Name(cols...) := ..." definition line used
+/// by the catalog text format and by WAL records.
+std::string SerializeRelationDef(const std::string& name,
+                                 const ConstraintRelation& relation);
 
 }  // namespace ccdb
 

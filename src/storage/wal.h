@@ -1,0 +1,226 @@
+#ifndef CCDB_STORAGE_WAL_H_
+#define CCDB_STORAGE_WAL_H_
+
+/// Crash-safe durability for the catalog: write-ahead log + atomic
+/// checkpoints + recovery (DESIGN.md §13).
+///
+/// On-disk layout of a durable directory:
+///
+///   <dir>/wal.log              append-only mutation log since the last
+///                              checkpoint
+///   <dir>/ckpt-<stamp>.ccdb    catalog checkpoint (atomically renamed
+///                              into place; at most the newest matters)
+///   <dir>/ckpt-<stamp>.tmp     in-flight checkpoint (ignored and cleaned
+///                              by recovery)
+///
+/// WAL format: an 8-byte magic header ("CCDBWAL\x01") followed by
+/// length-prefixed, CRC32-checksummed records:
+///
+///   u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+///   payload = u8 schema_version (=1) | u8 op | u64 stamp (LE) | data
+///
+/// `stamp` is a catalog version reserved at append time, strictly
+/// increasing in file order; `data` is the textual mutation (a definition
+/// line for Define/Register, a relation name for Drop, a full catalog
+/// serialization for Load) — replayed through the regular parser.
+///
+/// Torn-tail contract (ReadWal): a record that runs past EOF, an
+/// incomplete header, or a checksum failure on the final record is a torn
+/// tail — the log is valid up to that offset and recovery truncates the
+/// rest (a crash mid-append is expected, not an error). A checksum or
+/// framing failure with further bytes after it cannot come from a torn
+/// append and is rejected as mid-log corruption, with a Status naming the
+/// exact byte offset.
+///
+/// Checkpoint protocol (DurableStore::WriteCheckpoint): serialize the
+/// catalog to ckpt-<stamp>.tmp, fsync, rename into place, fsync the
+/// directory, then reset the WAL and delete older checkpoints. Every
+/// boundary is a fault-injection site (see below); a crash anywhere
+/// leaves either the old checkpoint + full WAL or the new checkpoint
+/// (+ a WAL whose records are skipped by the stamp check), never a state
+/// that loses an acknowledged mutation.
+///
+/// Fault-injection sites (consulted in EVERY build — see failpoint.h):
+///   wal.append.pre / wal.append.write / wal.append.post / wal.fsync.pre
+///   ckpt.write / ckpt.fsync.pre / ckpt.rename.pre / ckpt.rename.post
+///   save.write / save.fsync.pre / save.rename.pre / save.rename.post
+///     (Catalog::SaveToFile via AtomicWriteFile)
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "storage/catalog.h"
+
+namespace ccdb {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) of `n` bytes.
+std::uint32_t Crc32(const void* data, std::size_t n);
+
+/// When WAL appends reach the disk.
+enum class WalFsyncPolicy {
+  kAlways,  // fdatasync after every append (default): an acked mutation
+            // survives even power loss
+  kBatch,   // fsync when ~64KiB of appends accumulate, and at checkpoint/
+            // close: bounded loss window under power loss, none under
+            // process crash
+  kOff,     // never fsync the WAL (checkpoints still fsync): fastest;
+            // process-crash-safe only
+};
+
+/// Parses "always" | "batch" | "off" (the CCDB_WAL_FSYNC values).
+StatusOr<WalFsyncPolicy> ParseWalFsyncPolicy(const std::string& name);
+
+struct DurabilityOptions {
+  WalFsyncPolicy fsync = WalFsyncPolicy::kAlways;
+  /// Auto-checkpoint when the WAL carries at least this many record bytes
+  /// (0 = checkpoint after every mutation).
+  std::uint64_t checkpoint_bytes = 1u << 20;
+
+  /// Reads CCDB_WAL_FSYNC and CCDB_WAL_CHECKPOINT_BYTES (malformed values
+  /// are ignored with a log line — startup must not crash on a bad env).
+  static DurabilityOptions FromEnv();
+};
+
+/// One logged catalog mutation.
+struct WalRecord {
+  enum class Op : std::uint8_t {
+    kDefine = 1,    // payload: "Name(cols...) := formula"
+    kRegister = 2,  // payload: same line format (rendered from the relation)
+    kDrop = 3,      // payload: relation name
+    kLoad = 4,      // payload: full catalog serialization
+  };
+  Op op = Op::kDefine;
+  /// Version stamp reserved at append time; strictly increasing in file
+  /// order. Recovery uses it to skip records already covered by the
+  /// checkpoint and to re-anchor the process-global version counter.
+  std::uint64_t stamp = 0;
+  std::string payload;
+};
+
+/// Encodes one record as its on-disk frame (exposed for tests).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// What ReadWal found.
+struct WalReplay {
+  std::vector<WalRecord> records;
+  /// File prefix covered by intact records (the torn tail, if any, starts
+  /// here); the writer reopens the log truncated to this offset.
+  std::uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+  std::uint64_t max_stamp = 0;
+};
+
+/// Reads every intact record of a WAL file. Torn tails are tolerated (see
+/// the contract above); mid-log corruption is an error naming the offset;
+/// a missing file is kNotFound.
+StatusOr<WalReplay> ReadWal(const std::string& path);
+
+/// Append-side of the WAL. Not thread-safe — the owning database
+/// serializes mutations.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path`, truncating it to `resume_at`
+  /// bytes first — recovery passes WalReplay::valid_bytes to drop a torn
+  /// tail. A fresh or fully-truncated file gets the magic header.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   WalFsyncPolicy policy,
+                                                   std::uint64_t resume_at);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record under the fsync policy. On a failed (short)
+  /// write the log is truncated back to the previous record boundary, so
+  /// an error here never leaves a torn middle behind.
+  Status Append(const WalRecord& record);
+  /// Forces everything appended so far to disk.
+  Status Sync();
+  /// Truncates back to just the header (checkpoint rotation).
+  Status Reset();
+
+  /// Record bytes currently in the log (excluding the header).
+  std::uint64_t record_bytes() const { return bytes_ - kHeaderBytes; }
+
+  static constexpr std::uint64_t kHeaderBytes = 8;
+
+ private:
+  WalWriter(int fd, std::string path, WalFsyncPolicy policy,
+            std::uint64_t bytes);
+
+  int fd_;
+  std::string path_;
+  WalFsyncPolicy policy_;
+  std::uint64_t bytes_;
+  std::uint64_t unsynced_ = 0;
+};
+
+/// What recovery found in a durable directory.
+struct RecoveryInfo {
+  /// Checkpoint file recovery loaded ("" when none existed).
+  std::string checkpoint_file;
+  std::uint64_t checkpoint_stamp = 0;
+  /// WAL records replayed on top of the checkpoint / skipped because the
+  /// checkpoint already covered them.
+  std::size_t replayed_records = 0;
+  std::size_t skipped_records = 0;
+  bool torn_tail = false;
+  /// Bytes dropped from the WAL tail.
+  std::uint64_t torn_bytes = 0;
+};
+
+/// The durable half of a catalog: owns the directory, the WAL writer, and
+/// the checkpoint protocol. Created by Open(), which runs recovery;
+/// ConstraintDatabase::OpenDurable wires it under the public facade.
+/// Not thread-safe — the owning database serializes mutations.
+class DurableStore {
+ public:
+  /// Recovers `dir` (creating it if needed): loads the newest valid
+  /// checkpoint, replays the WAL on top (skipping records the checkpoint
+  /// covers, truncating a torn tail), re-anchors the process-global
+  /// catalog version counter past every recovered stamp, and opens the
+  /// WAL for appending.
+  static StatusOr<std::unique_ptr<DurableStore>> Open(
+      const std::string& dir, const DurabilityOptions& options);
+
+  /// Moves the recovered catalog out (call exactly once, right after
+  /// Open).
+  Catalog TakeCatalog();
+
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  const DurabilityOptions& options() const { return options_; }
+  std::uint64_t wal_record_bytes() const { return wal_->record_bytes(); }
+
+  /// Appends one mutation record (write-ahead: call BEFORE applying to
+  /// the in-memory catalog; an error here means the mutation must not be
+  /// applied).
+  Status LogMutation(WalRecord::Op op, std::string payload,
+                     std::uint64_t stamp);
+
+  /// Writes checkpoint `serialized` (a catalog serialization) at `stamp`
+  /// using the atomic protocol, then resets the WAL and prunes older
+  /// checkpoints.
+  Status WriteCheckpoint(const std::string& serialized, std::uint64_t stamp);
+
+ private:
+  DurableStore(std::string dir, DurabilityOptions options);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  Catalog recovered_;
+  RecoveryInfo recovery_;
+};
+
+/// Writes `content` to `path` atomically: `path.tmp` + fsync + rename +
+/// directory fsync. `site_ns` prefixes the fault-injection sites
+/// ("<ns>.write", "<ns>.fsync.pre", "<ns>.rename.pre", "<ns>.rename.post").
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       const char* site_ns);
+
+}  // namespace ccdb
+
+#endif  // CCDB_STORAGE_WAL_H_

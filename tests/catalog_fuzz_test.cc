@@ -1,0 +1,150 @@
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "storage/catalog.h"
+
+namespace ccdb {
+namespace {
+
+// Seeded-PRNG fuzzing of Catalog::Deserialize: every input — random bytes,
+// truncations, duplicated lines, over-long lines, mutated valid catalogs —
+// must come back as a clean Status, never a crash, abort, or hang. The
+// durable store replays WAL payloads and checkpoint files through this
+// entry point, so after a crash it can legitimately see anything.
+
+constexpr std::uint64_t kSeed = 0xca7a109ull;
+
+void ExpectDeserializeSurvives(const std::string& input) {
+  auto catalog = Catalog::Deserialize(input);
+  if (catalog.ok()) {
+    // A successful parse must round-trip: serialize and re-parse to the
+    // same text. This pins the "valid catalog" half of the contract.
+    std::string text = catalog.value().Serialize();
+    auto again = Catalog::Deserialize(text);
+    ASSERT_TRUE(again.ok()) << "round-trip rejected its own serialization: "
+                            << again.status().ToString();
+    EXPECT_EQ(again.value().Serialize(), text);
+  }
+}
+
+std::string ValidCatalogText() {
+  Catalog catalog;
+  EXPECT_TRUE(
+      catalog.AddRelationFromText("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0")
+          .ok());
+  EXPECT_TRUE(catalog.AddRelationFromText("Line(x, y) := x + y <= 3").ok());
+  EXPECT_TRUE(catalog.AddRelationFromText("Box(x) := x <= 5 and x >= 0").ok());
+  return catalog.Serialize();
+}
+
+TEST(CatalogFuzzTest, RandomBytes) {
+  std::mt19937_64 rng(kSeed);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> length(0, 400);
+  for (int round = 0; round < 500; ++round) {
+    std::string input;
+    int n = length(rng);
+    input.reserve(n);
+    for (int i = 0; i < n; ++i) input.push_back(static_cast<char>(byte(rng)));
+    ExpectDeserializeSurvives(input);
+  }
+}
+
+TEST(CatalogFuzzTest, TruncationsOfAValidCatalog) {
+  const std::string valid = ValidCatalogText();
+  for (std::size_t cut = 0; cut <= valid.size(); ++cut) {
+    ExpectDeserializeSurvives(valid.substr(0, cut));
+  }
+}
+
+TEST(CatalogFuzzTest, MutatedValidCatalogs) {
+  const std::string valid = ValidCatalogText();
+  std::mt19937_64 rng(kSeed + 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> mutations(1, 6);
+  for (int round = 0; round < 1000; ++round) {
+    std::string input = valid;
+    int edits = mutations(rng);
+    for (int e = 0; e < edits && !input.empty(); ++e) {
+      std::uniform_int_distribution<std::size_t> at(0, input.size() - 1);
+      switch (rng() % 4) {
+        case 0:  // flip a byte
+          input[at(rng)] = static_cast<char>(byte(rng));
+          break;
+        case 1:  // delete a byte
+          input.erase(at(rng), 1);
+          break;
+        case 2:  // duplicate a chunk (may duplicate a relation line)
+          input.insert(at(rng), input.substr(at(rng), 24));
+          break;
+        default:  // splice a newline, splitting a definition mid-token
+          input.insert(at(rng), 1, '\n');
+          break;
+      }
+    }
+    ExpectDeserializeSurvives(input);
+  }
+}
+
+TEST(CatalogFuzzTest, DuplicateRelationLinesAreRejected) {
+  const std::string dup =
+      "S(x) := x <= 1\n"
+      "S(x) := x <= 2\n";
+  auto catalog = Catalog::Deserialize(dup);
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_NE(catalog.status().ToString().find("line 2"), std::string::npos)
+      << catalog.status().ToString();
+}
+
+TEST(CatalogFuzzTest, OverLongLineIsRejectedNotBuffered) {
+  // A line past the per-line cap must be rejected with a clean error, not
+  // fed to the parser or allowed to balloon memory.
+  std::string input = "S(x) := x ";
+  input.append(2 * 1024 * 1024, ' ');
+  input += "<= 1\n";
+  auto catalog = Catalog::Deserialize(input);
+  ASSERT_FALSE(catalog.ok());
+  EXPECT_EQ(catalog.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogFuzzTest, CommentAndBlankSoup) {
+  std::mt19937_64 rng(kSeed + 2);
+  std::uniform_int_distribution<int> byte(32, 126);
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    for (int line = 0; line < 20; ++line) {
+      switch (rng() % 3) {
+        case 0:
+          input += "#";
+          for (int i = 0; i < 10; ++i)
+            input.push_back(static_cast<char>(byte(rng)));
+          break;
+        case 1:
+          input += "   \t ";
+          break;
+        default:
+          input += "R" + std::to_string(line) + "(x) := x <= " +
+                   std::to_string(line);
+          break;
+      }
+      input += '\n';
+    }
+    ExpectDeserializeSurvives(input);
+  }
+}
+
+TEST(CatalogFuzzTest, ValidCatalogRoundTripsExactly) {
+  const std::string valid = ValidCatalogText();
+  auto catalog = Catalog::Deserialize(valid);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  EXPECT_EQ(catalog.value().Serialize(), valid);
+  EXPECT_EQ(catalog.value().RelationNames().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ccdb

@@ -1,8 +1,11 @@
 #include "storage/catalog.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
+
+#include "base/failpoint.h"
 
 namespace ccdb {
 namespace {
@@ -118,6 +121,35 @@ TEST(CatalogTest, FileRoundTrip) {
   EXPECT_TRUE(loaded->HasRelation("P"));
   std::remove(path.c_str());
   EXPECT_FALSE(Catalog::LoadFromFile("/tmp/ccdb_does_not_exist.txt").ok());
+}
+
+TEST(CatalogTest, FailedSaveLeavesPreviousFileIntact) {
+  // SaveToFile is atomic (tmp + fsync + rename): a write failure mid-save
+  // must leave the previous file byte-identical and no .tmp behind.
+  Catalog first;
+  ASSERT_TRUE(first.AddRelationFromText("P(x) := x^2 - 2 <= 0").ok());
+  std::string path = testing::TempDir() + "/ccdb_catalog_atomic_save.txt";
+  std::string tmp_path = path + ".tmp";
+  std::remove(path.c_str());
+  std::remove(tmp_path.c_str());
+  ASSERT_TRUE(first.SaveToFile(path).ok());
+  const std::string before = first.Serialize();
+
+  Catalog second;
+  ASSERT_TRUE(second.AddRelationFromText("Q(x) := x <= 9").ok());
+  FailpointRegistry::Global().ClearAll();
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("save.write=short-write@1").ok());
+  Status st = second.SaveToFile(path);
+  FailpointRegistry::Global().ClearAll();
+  EXPECT_FALSE(st.ok());
+
+  auto reloaded = Catalog::LoadFromFile(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->Serialize(), before);
+  std::ifstream tmp_probe(tmp_path);
+  EXPECT_FALSE(tmp_probe.good()) << "failed save left " << tmp_path;
+  std::remove(path.c_str());
 }
 
 TEST(CatalogTest, DeserializeErrorsCarryLineNumbers) {

@@ -119,6 +119,38 @@ TEST_F(QueryLogTest, LoggingIsObservationOnly) {
   EXPECT_EQ(ReadLines(path).size(), 1u);
 }
 
+TEST_F(QueryLogTest, EnableOnUnopenablePathFailsCleanly) {
+  std::string path = testing::TempDir() + "/no_such_dir_ccdb/sub/q.jsonl";
+  Status st = QueryLog::Global().Enable(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(QueryLog::Global().enabled());
+  // The engine keeps answering with the log unopenable.
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.Define("S(x) := x <= 1").ok());
+  EXPECT_TRUE(db.Query("S(x) and x >= 0").ok());
+}
+
+TEST_F(QueryLogTest, WriteFailureDisablesLoggingWithoutFailingQueries) {
+  // /dev/full accepts the open but fails every flush with ENOSPC — the
+  // canonical disk-full stand-in. The first failed record must emit one
+  // warning and self-disable; queries are never failed over it.
+  ASSERT_TRUE(QueryLog::Global().Enable("/dev/full").ok());
+  ASSERT_TRUE(QueryLog::Global().enabled());
+
+  std::uint64_t before = QueryLog::Global().records_written();
+  QueryLog::Global().Append("{\"probe\":\"disk-full\"}");
+  EXPECT_FALSE(QueryLog::Global().enabled())
+      << "write failure must disable the log";
+  EXPECT_EQ(QueryLog::Global().records_written(), before);
+
+  // Further appends are silent no-ops, and the facade still answers.
+  QueryLog::Global().Append("{\"probe\":\"after-disable\"}");
+  EXPECT_EQ(QueryLog::Global().records_written(), before);
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.Define("S(x) := x <= 1").ok());
+  EXPECT_TRUE(db.Query("S(x) and x >= 0").ok());
+}
+
 TEST_F(QueryLogTest, DisableStopsRecording) {
   std::string path = TempLogPath("disable");
   std::remove(path.c_str());
