@@ -1,0 +1,204 @@
+// Arithmetic-substrate microbench: the small-value-optimized BigInt and
+// Rational kernels in isolation, word-sized vs spilled operand mixes, so
+// the inline-representation fast paths (DESIGN.md §14) have a trajectory
+// of their own next to the end-to-end pipeline benches.
+//
+// Cells:
+//   bigint_add_word / bigint_add_spilled     running sums
+//   bigint_mul_word / bigint_mul_spilled     pairwise products
+//   bigint_gcd_word / bigint_gcd_spilled     pairwise gcds
+//   bigint_divmod_boundary                   quotients straddling the word
+//   rational_add_integer                     den == 1: normalization skipped
+//   rational_add_word                        word components: hardware gcd
+//   rational_add_spilled                     limb components: generic path
+//   rational_mul_word / rational_mul_spilled cross-reduction paths
+//
+// Every cell folds its results into a checksum that is printed in the
+// table, so the work cannot be dead-code-eliminated and a representation
+// bug shows up as a checksum diff across commits, not just a timing blip.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace ccdb;
+
+namespace {
+
+// Word-sized operands (never spill on add; products of the 30-bit slice
+// stay inline too).
+std::vector<BigInt> WordOperands(int count, int bits, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::int64_t bound = (1ll << bits) - 1;
+  std::uniform_int_distribution<std::int64_t> dist(-bound, bound);
+  std::vector<BigInt> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) values.emplace_back(dist(rng));
+  return values;
+}
+
+// Spilled operands: `limbs` 32-bit limbs, always beyond the inline word.
+std::vector<BigInt> SpilledOperands(int count, int limbs, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<BigInt> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    BigInt value = BigInt::Pow2(static_cast<std::uint64_t>(limbs) * 32 + 1);
+    for (int l = 0; l < limbs; ++l) {
+      value = value + BigInt(static_cast<std::int64_t>(rng() & 0x7fffffff))
+                          .ShiftLeft(static_cast<std::uint64_t>(l) * 32);
+    }
+    values.push_back(rng() % 2 == 0 ? value : -value);
+  }
+  return values;
+}
+
+std::uint64_t Fold(std::uint64_t checksum, const BigInt& value) {
+  return checksum * 1099511628211ull + value.Hash();
+}
+
+std::uint64_t Fold(std::uint64_t checksum, const Rational& value) {
+  return checksum * 1099511628211ull + value.Hash();
+}
+
+struct CellResult {
+  double seconds;
+  std::uint64_t checksum;
+};
+
+template <typename Body>
+CellResult RunCell(int repeats, const Body& body) {
+  std::uint64_t checksum = 0;
+  double seconds = ccdb_bench::TimeSeconds([&] {
+    for (int r = 0; r < repeats; ++r) checksum = body(checksum);
+  });
+  return {seconds, checksum};
+}
+
+void Report(const char* name, const CellResult& result) {
+  ccdb_bench::Row("%-24s %12.3f ms   checksum %016llx", name,
+                  result.seconds * 1e3,
+                  static_cast<unsigned long long>(result.checksum));
+  ccdb_bench::RecordCell(name, result.seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
+  ccdb_bench::Header(
+      "A1: small-value arithmetic kernels (DESIGN.md §14)",
+      "word-sized operands run on checked hardware arithmetic; limb "
+      "operands pay the generic path — the gap is the point");
+
+  const int kCount = 4096;
+  const std::vector<BigInt> word = WordOperands(kCount, 60, 11);
+  const std::vector<BigInt> word30 = WordOperands(kCount, 30, 12);
+  const std::vector<BigInt> spilled = SpilledOperands(kCount, 4, 13);
+
+  ccdb_bench::Row("%-24s %15s   %s", "cell", "time", "result");
+
+  // Pairwise ops (not running sums): a running word sum would spill after a
+  // few terms and silently measure the limb path under a "word" label.
+  Report("bigint_add_word", RunCell(64, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < word.size(); i += 2) {
+             checksum = Fold(checksum, word[i] + word[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("bigint_add_spilled", RunCell(64, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < spilled.size(); i += 2) {
+             checksum = Fold(checksum, spilled[i] + spilled[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("bigint_mul_word", RunCell(64, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < word30.size(); i += 2) {
+             checksum = Fold(checksum, word30[i] * word30[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("bigint_mul_spilled", RunCell(16, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < spilled.size(); i += 2) {
+             checksum = Fold(checksum, spilled[i] * spilled[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("bigint_gcd_word", RunCell(16, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < word.size(); i += 2) {
+             checksum = Fold(checksum, BigInt::Gcd(word[i], word[i + 1]));
+           }
+           return checksum;
+         }));
+  Report("bigint_gcd_spilled", RunCell(2, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < spilled.size(); i += 2) {
+             checksum = Fold(checksum, BigInt::Gcd(spilled[i], spilled[i + 1]));
+           }
+           return checksum;
+         }));
+  Report("bigint_divmod_boundary", RunCell(16, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < spilled.size(); i += 2) {
+             auto [q, r] = spilled[i].DivMod(word[i].is_zero() ? BigInt(3)
+                                                               : word[i]);
+             checksum = Fold(Fold(checksum, q), r);
+           }
+           return checksum;
+         }));
+
+  // Rational mixes. Integer rationals never touch a gcd at all; word
+  // fractions reduce with the hardware gcd; spilled fractions take the
+  // generic mpq-style path.
+  std::vector<Rational> integers;
+  std::vector<Rational> fractions;
+  std::vector<Rational> wide;
+  for (int i = 0; i < 512; ++i) {
+    integers.emplace_back(word[static_cast<std::size_t>(i)]);
+    fractions.emplace_back(word30[static_cast<std::size_t>(i)],
+                           word30[static_cast<std::size_t>(i) + 512].Abs() +
+                               BigInt(1));
+    wide.emplace_back(spilled[static_cast<std::size_t>(i)],
+                      spilled[static_cast<std::size_t>(i) + 512].Abs() +
+                          BigInt(1));
+  }
+
+  Report("rational_add_integer", RunCell(64, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < integers.size(); i += 2) {
+             checksum = Fold(checksum, integers[i] + integers[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("rational_add_word", RunCell(16, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < fractions.size(); i += 2) {
+             checksum = Fold(checksum, fractions[i] + fractions[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("rational_add_spilled", RunCell(4, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < wide.size(); i += 2) {
+             checksum = Fold(checksum, wide[i] + wide[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("rational_mul_word", RunCell(16, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < fractions.size(); i += 2) {
+             checksum = Fold(checksum, fractions[i] * fractions[i + 1]);
+           }
+           return checksum;
+         }));
+  Report("rational_mul_spilled", RunCell(4, [&](std::uint64_t checksum) {
+           for (std::size_t i = 0; i + 1 < wide.size(); i += 2) {
+             checksum = Fold(checksum, wide[i] * wide[i + 1]);
+           }
+           return checksum;
+         }));
+
+  ccdb_bench::Row("");
+  ccdb_bench::Row(
+      "expected shape: *_word cells sit well under their *_spilled "
+      "counterparts; checksums are commit-stable (a diff means an "
+      "arithmetic change, not noise)");
+  ccdb_bench::WriteRunRecord("arith");
+  return 0;
+}

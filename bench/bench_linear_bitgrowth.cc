@@ -57,8 +57,12 @@ int main(int argc, char** argv) {
         ccdb_bench::RandomLinearRelation(6, bits, 300 + bits);
     std::uint64_t input_bits = data.MaxCoefficientBitLength();
     FpQeStats stats;
-    auto result = EliminateQuantifiersFp(ProjectionQuery(data), 1,
-                                         FpContext{1u << 20}, &stats);
+    StatusOr<ConstraintRelation> result = Status::Internal("unreached");
+    double seconds = ccdb_bench::TimeSeconds([&] {
+      result = EliminateQuantifiersFp(ProjectionQuery(data), 1,
+                                      FpContext{1u << 20}, &stats);
+    });
+    ccdb_bench::RecordCell("projection_b" + std::to_string(bits), seconds);
     ccdb_bench::Row("%-10llu %14llu %14.2f %8s",
                     static_cast<unsigned long long>(input_bits),
                     static_cast<unsigned long long>(stats.max_bits),
@@ -77,8 +81,12 @@ int main(int argc, char** argv) {
         3, bits, 800 + bits, /*bounded=*/false);
     std::uint64_t input_bits = data.MaxCoefficientBitLength();
     FpQeStats stats;
-    auto result = EliminateQuantifiersFp(AlternationQuery(data), 1,
-                                         FpContext{1u << 20}, &stats);
+    StatusOr<ConstraintRelation> result = Status::Internal("unreached");
+    double seconds = ccdb_bench::TimeSeconds([&] {
+      result = EliminateQuantifiersFp(AlternationQuery(data), 1,
+                                      FpContext{1u << 20}, &stats);
+    });
+    ccdb_bench::RecordCell("alternation_b" + std::to_string(bits), seconds);
     ccdb_bench::Row("%-10llu %14llu %14.2f %8s",
                     static_cast<unsigned long long>(input_bits),
                     static_cast<unsigned long long>(stats.max_bits),

@@ -10,18 +10,68 @@ namespace ccdb {
 
 namespace {
 constexpr std::uint64_t kBase = 1ull << 32;
+// Largest magnitude the inline word can hold for a negative value (|INT64_MIN|).
+constexpr std::uint64_t kNegWordMax = 1ull << 63;
+
+std::int64_t Int64FromMagnitude(bool negative, std::uint64_t magnitude) {
+  // Negate in unsigned space so |INT64_MIN| round-trips without UB.
+  if (negative) return -static_cast<std::int64_t>(magnitude - 1) - 1;
+  return static_cast<std::int64_t>(magnitude);
+}
 }  // namespace
 
-BigInt::BigInt(std::int64_t value) : negative_(value < 0) {
-  // Avoid overflow when negating INT64_MIN by working in unsigned space.
-  std::uint64_t magnitude =
-      value < 0 ? ~static_cast<std::uint64_t>(value) + 1
-                : static_cast<std::uint64_t>(value);
-  if (magnitude != 0) {
-    limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
-    std::uint32_t high = static_cast<std::uint32_t>(magnitude >> 32);
-    if (high != 0) limbs_.push_back(high);
+BigInt BigInt::FromMagnitude(bool negative, unsigned __int128 magnitude) {
+  if (magnitude == 0) return BigInt();
+  std::uint64_t word_max = negative ? kNegWordMax
+                                    : static_cast<std::uint64_t>(INT64_MAX);
+  if (magnitude <= word_max) {
+    return BigInt(
+        Int64FromMagnitude(negative, static_cast<std::uint64_t>(magnitude)));
   }
+  BigInt result;
+  result.small_ = false;
+  result.negative_ = negative;
+  while (magnitude != 0) {
+    result.limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  return result;
+}
+
+BigInt BigInt::FromInt128(__int128 value) {
+  bool negative = value < 0;
+  unsigned __int128 magnitude =
+      negative ? ~static_cast<unsigned __int128>(value) + 1
+               : static_cast<unsigned __int128>(value);
+  return FromMagnitude(negative, magnitude);
+}
+
+BigInt BigInt::FromLimbs(bool negative, std::vector<std::uint32_t> limbs) {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+  if (limbs.size() <= 2) {
+    std::uint64_t magnitude = limbs.empty() ? 0 : limbs[0];
+    if (limbs.size() == 2) {
+      magnitude |= static_cast<std::uint64_t>(limbs[1]) << 32;
+    }
+    return FromMagnitude(negative, magnitude);
+  }
+  BigInt result;
+  result.small_ = false;
+  result.negative_ = negative;
+  result.limbs_ = std::move(limbs);
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::MagnitudeLimbs() const {
+  if (!small_) return limbs_;
+  std::vector<std::uint32_t> out;
+  std::uint64_t magnitude = SmallMagnitude();
+  if (magnitude != 0) {
+    out.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+    std::uint32_t high = static_cast<std::uint32_t>(magnitude >> 32);
+    if (high != 0) out.push_back(high);
+  }
+  return out;
 }
 
 StatusOr<BigInt> BigInt::FromString(std::string_view text) {
@@ -35,56 +85,52 @@ StatusOr<BigInt> BigInt::FromString(std::string_view text) {
   if (i == text.size()) {
     return Status::InvalidArgument("integer literal has no digits");
   }
+  // Accumulate up to 18 digits at a time in a hardware word, splicing each
+  // chunk in with one multiply-add; word-sized literals never leave the
+  // inline representation.
   BigInt result;
+  std::uint64_t chunk = 0;
+  int chunk_digits = 0;
   for (; i < text.size(); ++i) {
     char c = text[i];
     if (c < '0' || c > '9') {
       return Status::InvalidArgument("invalid digit in integer literal: " +
                                      std::string(text));
     }
-    result = result * BigInt(10) + BigInt(c - '0');
+    chunk = chunk * 10 + static_cast<std::uint64_t>(c - '0');
+    if (++chunk_digits == 18) {
+      result = result * BigInt(1000000000000000000ll) +
+               BigInt(static_cast<std::int64_t>(chunk));
+      chunk = 0;
+      chunk_digits = 0;
+    }
   }
-  if (negative && !result.is_zero()) result.negative_ = true;
+  if (chunk_digits > 0) {
+    std::int64_t scale = 1;
+    for (int d = 0; d < chunk_digits; ++d) scale *= 10;
+    result = result * BigInt(scale) + BigInt(static_cast<std::int64_t>(chunk));
+  }
+  if (negative) result = -result;
   return result;
 }
 
 BigInt BigInt::Pow2(std::uint64_t exponent) {
+  if (exponent <= 62) return BigInt(std::int64_t{1} << exponent);
   BigInt result;
+  result.small_ = false;
+  result.negative_ = false;
   result.limbs_.assign(exponent / 32 + 1, 0);
   result.limbs_.back() = 1u << (exponent % 32);
   return result;
 }
 
-std::uint64_t BigInt::bit_length() const {
-  if (limbs_.empty()) return 0;
-  std::uint32_t top = limbs_.back();
-  std::uint64_t bits = static_cast<std::uint64_t>(limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
-}
-
-bool BigInt::FitsInt64() const {
-  if (limbs_.size() > 2) return false;
-  if (limbs_.size() < 2) return true;
-  std::uint64_t magnitude =
-      (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (negative_) return magnitude <= (1ull << 63);
-  return magnitude < (1ull << 63);
-}
-
 std::int64_t BigInt::ToInt64() const {
-  CCDB_CHECK(FitsInt64());
-  std::uint64_t magnitude = 0;
-  if (!limbs_.empty()) magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (negative_) return -static_cast<std::int64_t>(magnitude - 1) - 1;
-  return static_cast<std::int64_t>(magnitude);
+  CCDB_CHECK(small_);
+  return value_;
 }
 
 double BigInt::ToDouble() const {
+  if (small_) return static_cast<double>(value_);
   double result = 0.0;
   for (std::size_t i = limbs_.size(); i-- > 0;) {
     result = result * static_cast<double>(kBase) + limbs_[i];
@@ -93,12 +139,19 @@ double BigInt::ToDouble() const {
 }
 
 BigInt BigInt::operator-() const {
-  BigInt result = *this;
-  if (!result.is_zero()) result.negative_ = !result.negative_;
-  return result;
+  if (small_) {
+    if (value_ == INT64_MIN) return FromMagnitude(false, kNegWordMax);
+    return BigInt(-value_);
+  }
+  // Negating +2^63 lands back on INT64_MIN, so the flip must re-canonicalize.
+  return FromLimbs(!negative_, limbs_);
 }
 
 BigInt BigInt::Abs() const {
+  if (small_) {
+    if (value_ == INT64_MIN) return FromMagnitude(false, kNegWordMax);
+    return BigInt(value_ < 0 ? -value_ : value_);
+  }
   BigInt result = *this;
   result.negative_ = false;
   return result;
@@ -114,6 +167,14 @@ int BigInt::CompareMagnitude(const std::vector<std::uint32_t>& a,
 }
 
 int BigInt::Compare(const BigInt& other) const {
+  if (small_ && other.small_) {
+    if (value_ == other.value_) return 0;
+    return value_ < other.value_ ? -1 : 1;
+  }
+  // Mixed: by canonical form the limb value's magnitude exceeds every
+  // inline value's, so its sign decides.
+  if (!small_ && other.small_) return negative_ ? -1 : 1;
+  if (small_ && !other.small_) return other.negative_ ? 1 : -1;
   if (negative_ != other.negative_) return negative_ ? -1 : 1;
   int mag = CompareMagnitude(limbs_, other.limbs_);
   return negative_ ? -mag : mag;
@@ -290,48 +351,62 @@ BigInt::DivModMagnitude(const std::vector<std::uint32_t>& a,
   return {q, r};
 }
 
-void BigInt::Normalize() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) negative_ = false;
-}
-
 BigInt BigInt::operator+(const BigInt& other) const {
-  BigInt result;
-  if (negative_ == other.negative_) {
-    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
-    result.negative_ = negative_;
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp >= 0) {
-      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
-      result.negative_ = negative_;
-    } else {
-      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
-      result.negative_ = other.negative_;
+  if (small_ && other.small_) {
+    std::int64_t sum;
+    if (!__builtin_add_overflow(value_, other.value_, &sum)) {
+      return BigInt(sum);
     }
+    return FromInt128(static_cast<__int128>(value_) + other.value_);
   }
-  result.Normalize();
-  return result;
+  bool a_neg = is_negative();
+  bool b_neg = other.is_negative();
+  std::vector<std::uint32_t> a = MagnitudeLimbs();
+  std::vector<std::uint32_t> b = other.MagnitudeLimbs();
+  if (a_neg == b_neg) return FromLimbs(a_neg, AddMagnitude(a, b));
+  int cmp = CompareMagnitude(a, b);
+  if (cmp >= 0) return FromLimbs(a_neg, SubMagnitude(a, b));
+  return FromLimbs(b_neg, SubMagnitude(b, a));
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+BigInt BigInt::operator-(const BigInt& other) const {
+  if (small_ && other.small_) {
+    std::int64_t diff;
+    if (!__builtin_sub_overflow(value_, other.value_, &diff)) {
+      return BigInt(diff);
+    }
+    return FromInt128(static_cast<__int128>(value_) - other.value_);
+  }
+  return *this + (-other);
+}
 
 BigInt BigInt::operator*(const BigInt& other) const {
-  BigInt result;
-  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
-  result.negative_ = !result.limbs_.empty() && (negative_ != other.negative_);
-  return result;
+  if (small_ && other.small_) {
+    std::int64_t product;
+    if (!__builtin_mul_overflow(value_, other.value_, &product)) {
+      return BigInt(product);
+    }
+    return FromInt128(static_cast<__int128>(value_) * other.value_);
+  }
+  bool negative = is_negative() != other.is_negative();
+  return FromLimbs(negative, MulMagnitude(MagnitudeLimbs(),
+                                          other.MagnitudeLimbs()));
 }
 
 std::pair<BigInt, BigInt> BigInt::DivMod(const BigInt& divisor) const {
-  auto [qm, rm] = DivModMagnitude(limbs_, divisor.limbs_);
-  BigInt quotient, remainder;
-  quotient.limbs_ = std::move(qm);
-  quotient.negative_ = !quotient.limbs_.empty() &&
-                       (negative_ != divisor.negative_);
-  remainder.limbs_ = std::move(rm);
-  remainder.negative_ = !remainder.limbs_.empty() && negative_;
-  return {std::move(quotient), std::move(remainder)};
+  if (small_ && divisor.small_) {
+    CCDB_CHECK_MSG(divisor.value_ != 0, "division by zero");
+    if (value_ == INT64_MIN && divisor.value_ == -1) {
+      // The lone overflowing hardware quotient: |INT64_MIN| spills.
+      return {FromMagnitude(false, kNegWordMax), BigInt()};
+    }
+    return {BigInt(value_ / divisor.value_), BigInt(value_ % divisor.value_)};
+  }
+  auto [qm, rm] = DivModMagnitude(MagnitudeLimbs(), divisor.MagnitudeLimbs());
+  bool q_negative = is_negative() != divisor.is_negative();
+  bool r_negative = is_negative();
+  return {FromLimbs(q_negative, std::move(qm)),
+          FromLimbs(r_negative, std::move(rm))};
 }
 
 BigInt BigInt::operator/(const BigInt& other) const {
@@ -343,47 +418,48 @@ BigInt BigInt::operator%(const BigInt& other) const {
 }
 
 BigInt BigInt::ShiftLeft(std::uint64_t bits) const {
-  if (is_zero() || bits == 0) {
-    BigInt r = *this;
-    return r;
+  if (is_zero() || bits == 0) return *this;
+  if (small_ && bits <= 62) {
+    // bit_length <= 64 and bits <= 62, so the product has at most 126 bits.
+    return FromInt128(static_cast<__int128>(value_) << bits);
   }
   std::uint64_t limb_shift = bits / 32;
   int bit_shift = static_cast<int>(bits % 32);
-  BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limb_shift, 0);
+  std::vector<std::uint32_t> source = MagnitudeLimbs();
+  std::vector<std::uint32_t> out;
+  out.assign(limb_shift, 0);
   if (bit_shift == 0) {
-    result.limbs_.insert(result.limbs_.end(), limbs_.begin(), limbs_.end());
+    out.insert(out.end(), source.begin(), source.end());
   } else {
     std::uint32_t carry = 0;
-    for (std::uint32_t limb : limbs_) {
-      result.limbs_.push_back((limb << bit_shift) | carry);
+    for (std::uint32_t limb : source) {
+      out.push_back((limb << bit_shift) | carry);
       carry = static_cast<std::uint32_t>(
           static_cast<std::uint64_t>(limb) >> (32 - bit_shift));
     }
-    if (carry != 0) result.limbs_.push_back(carry);
+    if (carry != 0) out.push_back(carry);
   }
-  result.Normalize();
-  return result;
+  return FromLimbs(is_negative(), std::move(out));
 }
 
 BigInt BigInt::ShiftRight(std::uint64_t bits) const {
+  if (small_) {
+    if (bits >= 64) return BigInt();
+    return FromMagnitude(value_ < 0, SmallMagnitude() >> bits);
+  }
   std::uint64_t limb_shift = bits / 32;
   if (limb_shift >= limbs_.size()) return BigInt();
   int bit_shift = static_cast<int>(bits % 32);
-  BigInt result;
-  result.negative_ = negative_;
-  result.limbs_.assign(limbs_.begin() + limb_shift, limbs_.end());
+  std::vector<std::uint32_t> out(limbs_.begin() + limb_shift, limbs_.end());
   if (bit_shift != 0) {
-    for (std::size_t i = 0; i < result.limbs_.size(); ++i) {
-      result.limbs_[i] >>= bit_shift;
-      if (i + 1 < result.limbs_.size()) {
-        result.limbs_[i] |= result.limbs_[i + 1] << (32 - bit_shift);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] >>= bit_shift;
+      if (i + 1 < out.size()) {
+        out[i] |= out[i + 1] << (32 - bit_shift);
       }
     }
   }
-  result.Normalize();
-  return result;
+  return FromLimbs(negative_, std::move(out));
 }
 
 BigInt BigInt::Pow(std::uint32_t exponent) const {
@@ -398,6 +474,16 @@ BigInt BigInt::Pow(std::uint32_t exponent) const {
 }
 
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  if (a.small_ && b.small_) {
+    std::uint64_t x = a.SmallMagnitude();
+    std::uint64_t y = b.SmallMagnitude();
+    while (y != 0) {
+      std::uint64_t r = x % y;
+      x = y;
+      y = r;
+    }
+    return FromMagnitude(false, x);
+  }
   BigInt x = a.Abs();
   BigInt y = b.Abs();
   while (!y.is_zero()) {
@@ -409,7 +495,7 @@ BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
 }
 
 std::string BigInt::ToString() const {
-  if (is_zero()) return "0";
+  if (small_) return std::to_string(value_);
   std::vector<std::uint32_t> digits;  // base 10^9 chunks, little-endian
   std::vector<std::uint32_t> work = limbs_;
   while (!work.empty()) {
@@ -435,6 +521,18 @@ std::string BigInt::ToString() const {
 }
 
 std::size_t BigInt::Hash() const {
+  if (small_) {
+    // Hash the 32-bit limb decomposition so values hash identically to the
+    // limb representation they would have had before the inline fast path.
+    std::size_t h = value_ < 0 ? 0x9e3779b97f4a7c15ull : 0;
+    std::uint64_t magnitude = SmallMagnitude();
+    if (magnitude != 0) {
+      h = h * 1099511628211ull + static_cast<std::uint32_t>(magnitude);
+      std::uint32_t high = static_cast<std::uint32_t>(magnitude >> 32);
+      if (high != 0) h = h * 1099511628211ull + high;
+    }
+    return h;
+  }
   std::size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
   for (std::uint32_t limb : limbs_) {
     h = h * 1099511628211ull + limb;

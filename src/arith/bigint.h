@@ -11,24 +11,36 @@
 
 namespace ccdb {
 
-/// Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs).
+/// Arbitrary-precision signed integer with a small-value-optimized
+/// representation (mppp-style): values that fit in a machine word live in an
+/// inline int64_t and are computed with overflow-checked hardware arithmetic
+/// (__builtin_*_overflow); only results that actually overflow the word spill
+/// to a sign-magnitude vector of 32-bit limbs, and limb results that shrink
+/// back into the word range are normalized back down.
 ///
 /// Implemented from scratch rather than using GMP because the paper's
 /// finite-precision structures Z_k and F_k are defined by *bit length*
 /// (Section 4, Lemmas 4.4/4.5): the reproduction instruments the bit length
 /// of every intermediate integer produced by the quantifier-elimination
-/// algorithm, so the integer type itself must expose it cheaply and the
-/// whole pipeline must route through it.
+/// algorithm, so the integer type itself must expose it cheaply — O(1) in
+/// both representations — and the whole pipeline must route through it.
 ///
-/// Invariant: limbs_ has no trailing zero limbs; zero is represented by an
-/// empty limbs_ with negative_ == false.
+/// Representation invariant (canonical form): a value is inline
+/// (small_ == true) if and only if it fits in int64_t. Consequently every
+/// mathematical value has exactly one representation, so equality, hashing,
+/// and rendering never depend on the path that produced a value — the
+/// byte-identity contract of the whole pipeline rests on this. In the limb
+/// representation limbs_ has no trailing zero limbs, is never empty, and
+/// holds a magnitude strictly greater than INT64_MAX (or, when negative_,
+/// strictly greater than |INT64_MIN|... i.e. >= 2^63 + 1).
 class BigInt {
  public:
   /// Constructs zero.
-  BigInt() : negative_(false) {}
+  BigInt() : small_(true), negative_(false), value_(0) {}
   /// Implicit from machine integers: literals like BigInt(-7) are pervasive
   /// in polynomial construction.
-  BigInt(std::int64_t value);  // NOLINT
+  BigInt(std::int64_t value)  // NOLINT
+      : small_(true), negative_(false), value_(value) {}
 
   BigInt(const BigInt&) = default;
   BigInt(BigInt&&) = default;
@@ -41,21 +53,36 @@ class BigInt {
   /// Returns 2^exponent.
   static BigInt Pow2(std::uint64_t exponent);
 
-  bool is_zero() const { return limbs_.empty(); }
-  bool is_negative() const { return negative_; }
-  bool is_one() const {
-    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
-  }
+  /// Constructs the canonical representation of a double-word value. This is
+  /// the spill constructor the overflow-checked fast paths (and Rational's
+  /// __int128 kernels) funnel through.
+  static BigInt FromInt128(__int128 value);
+
+  bool is_zero() const { return small_ && value_ == 0; }
+  bool is_negative() const { return small_ ? value_ < 0 : negative_; }
+  bool is_one() const { return small_ && value_ == 1; }
 
   /// Returns -1, 0, or +1.
-  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+  int sign() const {
+    if (small_) return value_ == 0 ? 0 : (value_ < 0 ? -1 : 1);
+    return negative_ ? -1 : 1;
+  }
 
   /// Number of bits in the magnitude; 0 for zero. This is the measure the
-  /// paper's Z_k structures bound.
-  std::uint64_t bit_length() const;
+  /// paper's Z_k structures bound; O(1) in both representations.
+  std::uint64_t bit_length() const {
+    if (small_) {
+      if (value_ == 0) return 0;
+      return 64u - static_cast<std::uint64_t>(
+                       __builtin_clzll(SmallMagnitude()));
+    }
+    return static_cast<std::uint64_t>(limbs_.size() - 1) * 32 + 32u -
+           static_cast<std::uint64_t>(__builtin_clz(limbs_.back()));
+  }
 
-  /// True iff the value fits in int64_t.
-  bool FitsInt64() const;
+  /// True iff the value fits in int64_t. By the canonical-form invariant
+  /// this is exactly "is inline".
+  bool FitsInt64() const { return small_; }
   /// Value as int64_t; requires FitsInt64().
   std::int64_t ToInt64() const;
 
@@ -96,6 +123,8 @@ class BigInt {
   static BigInt Gcd(const BigInt& a, const BigInt& b);
 
   bool operator==(const BigInt& other) const {
+    if (small_ != other.small_) return false;  // canonical form
+    if (small_) return value_ == other.value_;
     return negative_ == other.negative_ && limbs_ == other.limbs_;
   }
   bool operator!=(const BigInt& other) const { return !(*this == other); }
@@ -108,12 +137,17 @@ class BigInt {
   int Compare(const BigInt& other) const;
 
   /// True iff the value is even (zero is even).
-  bool IsEven() const { return limbs_.empty() || (limbs_[0] & 1u) == 0; }
+  bool IsEven() const {
+    return small_ ? (value_ & 1) == 0 : (limbs_[0] & 1u) == 0;
+  }
 
   /// Base-10 rendering.
   std::string ToString() const;
 
-  /// Hash suitable for unordered containers.
+  /// Hash suitable for unordered containers. Representation-independent by
+  /// the canonical-form invariant, and limb-compatible with the pre-inline
+  /// implementation (the inline path hashes the value's 32-bit limb
+  /// decomposition).
   std::size_t Hash() const;
 
  private:
@@ -131,10 +165,24 @@ class BigInt {
   DivModMagnitude(const std::vector<std::uint32_t>& a,
                   const std::vector<std::uint32_t>& b);
 
-  void Normalize();
+  // Canonicalizing constructors: trim trailing zero limbs / demote values
+  // that shrank back into the word range.
+  static BigInt FromMagnitude(bool negative, unsigned __int128 magnitude);
+  static BigInt FromLimbs(bool negative, std::vector<std::uint32_t> limbs);
 
-  bool negative_;
-  std::vector<std::uint32_t> limbs_;  // little-endian, base 2^32
+  // |value_|; requires small_. Well-defined for INT64_MIN.
+  std::uint64_t SmallMagnitude() const {
+    return value_ < 0 ? ~static_cast<std::uint64_t>(value_) + 1
+                      : static_cast<std::uint64_t>(value_);
+  }
+  // The magnitude as limbs regardless of representation (allocates for the
+  // inline case; only used on spill paths that are about to do limb work).
+  std::vector<std::uint32_t> MagnitudeLimbs() const;
+
+  bool small_;
+  bool negative_;                     // sign of the limb representation
+  std::int64_t value_;                // inline payload, valid iff small_
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32, iff !small_
 };
 
 /// Stream output in base 10.

@@ -8,6 +8,45 @@
 
 namespace ccdb {
 
+namespace {
+
+// All four components inline? Then the whole operation runs in hardware
+// words / __int128 with at most one gcd, never touching limb vectors.
+inline bool WordSized(const Rational& a, const Rational& b) {
+  return a.numerator().FitsInt64() && a.denominator().FitsInt64() &&
+         b.numerator().FitsInt64() && b.denominator().FitsInt64();
+}
+
+inline std::uint64_t GcdU64(std::uint64_t x, std::uint64_t y) {
+  while (y != 0) {
+    std::uint64_t r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+inline unsigned __int128 GcdU128(unsigned __int128 x, unsigned __int128 y) {
+  while (y != 0) {
+    unsigned __int128 r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+inline unsigned __int128 Abs128(__int128 v) {
+  return v < 0 ? ~static_cast<unsigned __int128>(v) + 1
+               : static_cast<unsigned __int128>(v);
+}
+
+inline std::uint64_t AbsU64(std::int64_t v) {
+  return v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+               : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
 Rational::Rational(BigInt numerator, BigInt denominator)
     : num_(std::move(numerator)), den_(std::move(denominator)) {
   CCDB_CHECK_MSG(!den_.is_zero(), "rational with zero denominator");
@@ -15,6 +54,28 @@ Rational::Rational(BigInt numerator, BigInt denominator)
 }
 
 void Rational::Canonicalize() {
+  if (num_.FitsInt64() && den_.FitsInt64()) {
+    // Word path: one hardware gcd, no limb traffic.
+    std::int64_t n = num_.ToInt64();
+    std::int64_t d = den_.ToInt64();
+    bool negative = (n < 0) != (d < 0);
+    std::uint64_t n_mag = AbsU64(n);
+    std::uint64_t d_mag = AbsU64(d);
+    if (n_mag == 0) {
+      num_ = BigInt();
+      den_ = BigInt(1);
+      return;
+    }
+    std::uint64_t g = GcdU64(n_mag, d_mag);
+    if (g != 1) {
+      n_mag /= g;
+      d_mag /= g;
+    }
+    num_ = BigInt::FromInt128(
+        negative ? -static_cast<__int128>(n_mag) : static_cast<__int128>(n_mag));
+    den_ = BigInt::FromInt128(static_cast<__int128>(d_mag));
+    return;
+  }
   if (den_.is_negative()) {
     num_ = -num_;
     den_ = -den_;
@@ -89,31 +150,138 @@ Rational Rational::Inverse() const {
 }
 
 Rational Rational::operator+(const Rational& other) const {
-  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+  if (WordSized(*this, other)) {
+    // a/b + c/d in __int128: products of int64s never overflow 128 bits and
+    // the lone sum is overflow-checked; one gcd reduces to canonical form.
+    __int128 a = num_.ToInt64(), b = den_.ToInt64();
+    __int128 c = other.num_.ToInt64(), d = other.den_.ToInt64();
+    __int128 n;
+    if (!__builtin_add_overflow(a * d, c * b, &n)) {
+      if (n == 0) return Rational();
+      __int128 den = b * d;
+      unsigned __int128 g = GcdU128(Abs128(n), static_cast<unsigned __int128>(den));
+      if (g != 1) {
+        n /= static_cast<__int128>(g);
+        den /= static_cast<__int128>(g);
+      }
+      return Rational(BigInt::FromInt128(n), BigInt::FromInt128(den),
+                      AlreadyCanonical{});
+    }
+  }
+  // Knuth 4.5.1: reduce by g = gcd(b, d) first so the cross products stay
+  // near the output's size instead of the naive b*d blowup. When g == 1 the
+  // result a*d + c*b over b*d is already canonical.
+  BigInt g = BigInt::Gcd(den_, other.den_);
+  if (g.is_one()) {
+    return Rational(num_ * other.den_ + other.num_ * den_,
+                    den_ * other.den_, AlreadyCanonical{});
+  }
+  BigInt b_red = den_ / g;
+  BigInt d_red = other.den_ / g;
+  BigInt t = num_ * d_red + other.num_ * b_red;
+  if (t.is_zero()) return Rational();
+  BigInt g2 = BigInt::Gcd(t, g);
+  return Rational(t / g2, b_red * (other.den_ / g2), AlreadyCanonical{});
 }
 
 Rational Rational::operator-(const Rational& other) const {
-  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+  if (WordSized(*this, other)) {
+    __int128 a = num_.ToInt64(), b = den_.ToInt64();
+    __int128 c = other.num_.ToInt64(), d = other.den_.ToInt64();
+    __int128 n;
+    if (!__builtin_sub_overflow(a * d, c * b, &n)) {
+      if (n == 0) return Rational();
+      __int128 den = b * d;
+      unsigned __int128 g = GcdU128(Abs128(n), static_cast<unsigned __int128>(den));
+      if (g != 1) {
+        n /= static_cast<__int128>(g);
+        den /= static_cast<__int128>(g);
+      }
+      return Rational(BigInt::FromInt128(n), BigInt::FromInt128(den),
+                      AlreadyCanonical{});
+    }
+  }
+  return *this + (-other);
 }
 
 Rational Rational::operator*(const Rational& other) const {
-  return Rational(num_ * other.num_, den_ * other.den_);
+  if (WordSized(*this, other)) {
+    // Cross-reduce with word gcds (gcd(a,d), gcd(c,b)); since both inputs
+    // are canonical the cross-reduced product is canonical with no 128-bit
+    // gcd at all.
+    std::int64_t a = num_.ToInt64(), b = den_.ToInt64();
+    std::int64_t c = other.num_.ToInt64(), d = other.den_.ToInt64();
+    if (a == 0 || c == 0) return Rational();
+    std::uint64_t g1 = GcdU64(AbsU64(a), AbsU64(d));
+    std::uint64_t g2 = GcdU64(AbsU64(c), AbsU64(b));
+    bool negative = (a < 0) != (c < 0);
+    unsigned __int128 n_mag =
+        static_cast<unsigned __int128>(AbsU64(a) / g1) * (AbsU64(c) / g2);
+    unsigned __int128 d_mag =
+        static_cast<unsigned __int128>(AbsU64(b) / g2) * (AbsU64(d) / g1);
+    __int128 n = negative ? -static_cast<__int128>(n_mag)
+                          : static_cast<__int128>(n_mag);
+    return Rational(BigInt::FromInt128(n),
+                    BigInt::FromInt128(static_cast<__int128>(d_mag)),
+                    AlreadyCanonical{});
+  }
+  if (is_zero() || other.is_zero()) return Rational();
+  BigInt g1 = BigInt::Gcd(num_, other.den_);
+  BigInt g2 = BigInt::Gcd(other.num_, den_);
+  return Rational((num_ / g1) * (other.num_ / g2),
+                  (den_ / g2) * (other.den_ / g1), AlreadyCanonical{});
 }
 
 Rational Rational::operator/(const Rational& other) const {
   CCDB_CHECK_MSG(!other.is_zero(), "division by zero rational");
-  return Rational(num_ * other.den_, den_ * other.num_);
+  if (WordSized(*this, other)) {
+    std::int64_t a = num_.ToInt64(), b = den_.ToInt64();
+    std::int64_t c = other.num_.ToInt64(), d = other.den_.ToInt64();
+    if (a == 0) return Rational();
+    std::uint64_t g1 = GcdU64(AbsU64(a), AbsU64(c));
+    std::uint64_t g2 = GcdU64(AbsU64(d), AbsU64(b));
+    bool negative = (a < 0) != (c < 0);
+    unsigned __int128 n_mag =
+        static_cast<unsigned __int128>(AbsU64(a) / g1) * (AbsU64(d) / g2);
+    unsigned __int128 d_mag =
+        static_cast<unsigned __int128>(AbsU64(b) / g2) * (AbsU64(c) / g1);
+    __int128 n = negative ? -static_cast<__int128>(n_mag)
+                          : static_cast<__int128>(n_mag);
+    return Rational(BigInt::FromInt128(n),
+                    BigInt::FromInt128(static_cast<__int128>(d_mag)),
+                    AlreadyCanonical{});
+  }
+  if (is_zero()) return Rational();
+  BigInt g1 = BigInt::Gcd(num_, other.num_);
+  BigInt g2 = BigInt::Gcd(other.den_, den_);
+  Rational result((num_ / g1) * (other.den_ / g2),
+                  (den_ / g2) * (other.num_ / g1), AlreadyCanonical{});
+  if (result.den_.is_negative()) {
+    result.num_ = -result.num_;
+    result.den_ = -result.den_;
+  }
+  return result;
 }
 
 Rational Rational::Pow(std::int32_t exponent) const {
   if (exponent < 0) {
     return Inverse().Pow(-exponent);
   }
+  // Powers of a canonical fraction are canonical (a^k, b^k stay coprime).
   return Rational(num_.Pow(static_cast<std::uint32_t>(exponent)),
-                  den_.Pow(static_cast<std::uint32_t>(exponent)));
+                  den_.Pow(static_cast<std::uint32_t>(exponent)),
+                  AlreadyCanonical{});
 }
 
 int Rational::Compare(const Rational& other) const {
+  if (WordSized(*this, other)) {
+    __int128 lhs = static_cast<__int128>(num_.ToInt64()) *
+                   other.den_.ToInt64();
+    __int128 rhs = static_cast<__int128>(other.num_.ToInt64()) *
+                   den_.ToInt64();
+    if (lhs == rhs) return 0;
+    return lhs < rhs ? -1 : 1;
+  }
   // Cross-multiply; denominators are positive.
   return (num_ * other.den_).Compare(other.num_ * den_);
 }

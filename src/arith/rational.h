@@ -95,6 +95,13 @@ class Rational {
   }
 
  private:
+  // Tag for the trusted constructor: the caller guarantees den > 0 and
+  // gcd(|num|, den) == 1, so Canonicalize is skipped. Every fast path that
+  // reduces with word/__int128 gcds funnels through this.
+  struct AlreadyCanonical {};
+  Rational(BigInt numerator, BigInt denominator, AlreadyCanonical)
+      : num_(std::move(numerator)), den_(std::move(denominator)) {}
+
   void Canonicalize();
 
   BigInt num_;

@@ -1,0 +1,517 @@
+// Seeded randomized differential suite for the small-value-optimized
+// arithmetic kernels: every BigInt/Rational operation is checked against a
+// naive always-limb reference implementation (RefInt below — the
+// pre-inline sign-magnitude/32-bit-limb algorithms, with none of the
+// word fast paths), with operand generators clustered at the inline/spill
+// boundaries (0, ±1, ±2^31±1, ±2^32, ±2^63±1, INT64_MIN) and a round-trip
+// property through string parsing. CCDB_PROPERTY_ITERS widens the sweeps.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arith/bigint.h"
+#include "arith/rational.h"
+#include "property_env.h"
+
+namespace ccdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RefInt: naive always-limb reference. Deliberately has no inline word, no
+// overflow-checked hardware ops, and no demotion — every value lives in a
+// vector of 32-bit limbs, so a bug in the spill/normalize machinery of
+// BigInt cannot also hide here.
+// ---------------------------------------------------------------------------
+struct RefInt {
+  bool negative = false;
+  std::vector<std::uint32_t> limbs;  // little-endian base 2^32, trimmed
+
+  void Trim() {
+    while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+    if (limbs.empty()) negative = false;
+  }
+
+  static RefInt FromInt64(std::int64_t value) {
+    RefInt out;
+    out.negative = value < 0;
+    std::uint64_t magnitude = value < 0
+                                  ? ~static_cast<std::uint64_t>(value) + 1
+                                  : static_cast<std::uint64_t>(value);
+    if (magnitude != 0) {
+      out.limbs.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+      std::uint32_t high = static_cast<std::uint32_t>(magnitude >> 32);
+      if (high != 0) out.limbs.push_back(high);
+    }
+    return out;
+  }
+
+  static RefInt Pow2(std::uint64_t exponent) {
+    RefInt out;
+    out.limbs.assign(exponent / 32 + 1, 0);
+    out.limbs.back() = 1u << (exponent % 32);
+    return out;
+  }
+
+  bool IsZero() const { return limbs.empty(); }
+
+  std::uint64_t BitLength() const {
+    if (limbs.empty()) return 0;
+    std::uint32_t top = limbs.back();
+    std::uint64_t bits = static_cast<std::uint64_t>(limbs.size() - 1) * 32;
+    while (top != 0) {
+      ++bits;
+      top >>= 1;
+    }
+    return bits;
+  }
+
+  bool FitsInt64() const {
+    if (limbs.size() > 2) return false;
+    if (limbs.size() < 2) return true;
+    std::uint64_t magnitude =
+        (static_cast<std::uint64_t>(limbs[1]) << 32) | limbs[0];
+    if (negative) return magnitude <= (1ull << 63);
+    return magnitude < (1ull << 63);
+  }
+
+  std::int64_t ToInt64() const {
+    std::uint64_t magnitude = limbs.empty() ? 0 : limbs[0];
+    if (limbs.size() == 2) {
+      magnitude |= static_cast<std::uint64_t>(limbs[1]) << 32;
+    }
+    if (negative) return -static_cast<std::int64_t>(magnitude - 1) - 1;
+    return static_cast<std::int64_t>(magnitude);
+  }
+
+  static int CompareMagnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (std::size_t i = a.size(); i-- > 0;) {
+      if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+  }
+
+  int Compare(const RefInt& other) const {
+    if (negative != other.negative) return negative ? -1 : 1;
+    int mag = CompareMagnitude(limbs, other.limbs);
+    return negative ? -mag : mag;
+  }
+
+  static std::vector<std::uint32_t> AddMag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b) {
+    const auto& hi = a.size() >= b.size() ? a : b;
+    const auto& lo = a.size() >= b.size() ? b : a;
+    std::vector<std::uint32_t> out;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < hi.size(); ++i) {
+      std::uint64_t sum = carry + hi[i] + (i < lo.size() ? lo[i] : 0u);
+      out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+      carry = sum >> 32;
+    }
+    if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+    return out;
+  }
+
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> SubMag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b) {
+    std::vector<std::uint32_t> out;
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                          (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(1ll << 32);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      out.push_back(static_cast<std::uint32_t>(diff));
+    }
+    return out;
+  }
+
+  RefInt operator+(const RefInt& other) const {
+    RefInt out;
+    if (negative == other.negative) {
+      out.negative = negative;
+      out.limbs = AddMag(limbs, other.limbs);
+    } else if (CompareMagnitude(limbs, other.limbs) >= 0) {
+      out.negative = negative;
+      out.limbs = SubMag(limbs, other.limbs);
+    } else {
+      out.negative = other.negative;
+      out.limbs = SubMag(other.limbs, limbs);
+    }
+    out.Trim();
+    return out;
+  }
+
+  RefInt Negated() const {
+    RefInt out = *this;
+    if (!out.IsZero()) out.negative = !out.negative;
+    return out;
+  }
+
+  RefInt operator-(const RefInt& other) const { return *this + other.Negated(); }
+
+  RefInt operator*(const RefInt& other) const {
+    RefInt out;
+    if (IsZero() || other.IsZero()) return out;
+    out.negative = negative != other.negative;
+    out.limbs.assign(limbs.size() + other.limbs.size(), 0);
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+      std::uint64_t carry = 0;
+      for (std::size_t j = 0; j < other.limbs.size(); ++j) {
+        std::uint64_t cur =
+            out.limbs[i + j] +
+            static_cast<std::uint64_t>(limbs[i]) * other.limbs[j] + carry;
+        out.limbs[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+        carry = cur >> 32;
+      }
+      out.limbs[i + other.limbs.size()] += static_cast<std::uint32_t>(carry);
+    }
+    out.Trim();
+    return out;
+  }
+
+  // Schoolbook bit-at-a-time long division on magnitudes: slow, but
+  // structurally nothing like Knuth algorithm D, so the two cannot share a
+  // bug. Truncated (C++) semantics.
+  std::pair<RefInt, RefInt> DivMod(const RefInt& divisor) const {
+    RefInt quotient, remainder;
+    std::uint64_t bits = BitLength();
+    for (std::uint64_t i = bits; i-- > 0;) {
+      // remainder = remainder*2 + bit i of |this|.
+      remainder = remainder + remainder;
+      std::uint32_t bit = (limbs[i / 32] >> (i % 32)) & 1u;
+      if (bit != 0) remainder = remainder + FromInt64(1);
+      RefInt divisor_mag = divisor;
+      divisor_mag.negative = false;
+      if (remainder.Compare(divisor_mag) >= 0) {
+        remainder = remainder - divisor_mag;
+        // set bit i of the quotient.
+        if (quotient.limbs.size() <= i / 32) {
+          quotient.limbs.resize(i / 32 + 1, 0);
+        }
+        quotient.limbs[i / 32] |= 1u << (i % 32);
+      }
+    }
+    quotient.Trim();
+    remainder.Trim();
+    if (!quotient.IsZero()) quotient.negative = negative != divisor.negative;
+    if (!remainder.IsZero()) remainder.negative = negative;
+    return {quotient, remainder};
+  }
+
+  static RefInt Gcd(RefInt a, RefInt b) {
+    a.negative = false;
+    b.negative = false;
+    while (!b.IsZero()) {
+      RefInt r = a.DivMod(b).second;
+      a = b;
+      b = r;
+    }
+    return a;
+  }
+
+  std::string ToString() const {
+    if (limbs.empty()) return "0";
+    std::vector<std::uint32_t> digits;
+    std::vector<std::uint32_t> work = limbs;
+    while (!work.empty()) {
+      std::uint64_t rem = 0;
+      for (std::size_t i = work.size(); i-- > 0;) {
+        std::uint64_t cur = (rem << 32) | work[i];
+        work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+        rem = cur % 1000000000u;
+      }
+      digits.push_back(static_cast<std::uint32_t>(rem));
+      while (!work.empty() && work.back() == 0) work.pop_back();
+    }
+    std::string out;
+    if (negative) out.push_back('-');
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u", digits.back());
+    out += buf;
+    for (std::size_t i = digits.size() - 1; i-- > 0;) {
+      std::snprintf(buf, sizeof(buf), "%09u", digits[i]);
+      out += buf;
+    }
+    return out;
+  }
+};
+
+// One operand: the same mathematical value in both implementations, built
+// without routing through the arithmetic under test (sign + raw limbs).
+struct Operand {
+  BigInt big;
+  RefInt ref;
+};
+
+Operand MakeOperand(bool negative, const std::vector<std::uint32_t>& limbs) {
+  Operand op;
+  op.ref.negative = negative;
+  op.ref.limbs = limbs;
+  op.ref.Trim();
+  // Assemble the BigInt limb-by-limb from 32-bit pieces; only +, *, and the
+  // int64 constructor are involved, and those are cross-checked by every
+  // other assertion in the suite.
+  BigInt magnitude;
+  BigInt base = BigInt(1ll << 32);
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    magnitude = magnitude * base + BigInt(static_cast<std::int64_t>(limbs[i]));
+  }
+  op.big = negative ? -magnitude : magnitude;
+  return op;
+}
+
+Operand MakeOperand(std::int64_t value) {
+  Operand op;
+  op.big = BigInt(value);
+  op.ref = RefInt::FromInt64(value);
+  return op;
+}
+
+// Operand generator clustered at the inline/spill boundaries, with random
+// word-sized and random multi-limb values mixed in.
+class OperandGen {
+ public:
+  explicit OperandGen(std::uint64_t seed) : rng_(seed) {}
+
+  Operand Next() {
+    switch (rng_() % 8) {
+      case 0:
+      case 1: {  // boundary special values
+        static const std::int64_t kSpecials[] = {
+            0, 1, -1, 2, -2,
+            (1ll << 31) - 1, (1ll << 31), (1ll << 31) + 1,
+            -(1ll << 31) + 1, -(1ll << 31), -(1ll << 31) - 1,
+            (1ll << 32) - 1, (1ll << 32), (1ll << 32) + 1,
+            -(1ll << 32), (1ll << 62), -(1ll << 62),
+            INT64_MAX - 1, INT64_MAX, INT64_MIN + 1, INT64_MIN};
+        return MakeOperand(kSpecials[rng_() % (sizeof(kSpecials) /
+                                               sizeof(kSpecials[0]))]);
+      }
+      case 2: {  // straddle the word/limb boundary: ±(2^63 ± d), ±(2^64 ± d)
+        unsigned __int128 base = (rng_() & 1) != 0
+                                     ? static_cast<unsigned __int128>(1) << 63
+                                     : static_cast<unsigned __int128>(1) << 64;
+        unsigned __int128 delta = rng_() % 3;
+        unsigned __int128 magnitude =
+            (rng_() & 1) != 0 ? base + delta : base - delta;
+        std::vector<std::uint32_t> limbs;
+        while (magnitude != 0) {
+          limbs.push_back(
+              static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+          magnitude >>= 32;
+        }
+        return MakeOperand((rng_() & 1) != 0, limbs);
+      }
+      case 3:  // random word-sized
+        return MakeOperand(static_cast<std::int64_t>(rng_()));
+      case 4:  // random small word
+        return MakeOperand(static_cast<std::int64_t>(rng_() % 2001) - 1000);
+      default: {  // random multi-limb (2..5 limbs, genuinely spilled)
+        std::size_t n = 2 + rng_() % 4;
+        std::vector<std::uint32_t> limbs;
+        for (std::size_t i = 0; i < n; ++i) {
+          limbs.push_back(static_cast<std::uint32_t>(rng_()));
+        }
+        return MakeOperand((rng_() & 1) != 0, limbs);
+      }
+    }
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+void ExpectAgree(const BigInt& got, const RefInt& want, const char* what) {
+  EXPECT_EQ(got.ToString(), want.ToString()) << what;
+  EXPECT_EQ(got.bit_length(), want.BitLength()) << what;
+  EXPECT_EQ(got.is_negative(), want.negative) << what;
+  EXPECT_EQ(got.is_zero(), want.IsZero()) << what;
+  EXPECT_EQ(got.FitsInt64(), want.FitsInt64()) << what << " FitsInt64";
+  if (want.FitsInt64()) {
+    EXPECT_EQ(got.ToInt64(), want.ToInt64()) << what << " ToInt64";
+  }
+}
+
+class BigIntDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDifferentialTest, EveryOperationMatchesLimbReference) {
+  OperandGen gen(static_cast<std::uint64_t>(GetParam()));
+  const int iters = 150 * ccdb_test::PropertyIterScale();
+  for (int trial = 0; trial < iters; ++trial) {
+    Operand a = gen.Next();
+    Operand b = gen.Next();
+    SCOPED_TRACE("a=" + a.ref.ToString() + " b=" + b.ref.ToString());
+
+    ExpectAgree(a.big, a.ref, "operand a");
+    ExpectAgree(a.big + b.big, a.ref + b.ref, "add");
+    ExpectAgree(a.big - b.big, a.ref - b.ref, "sub");
+    ExpectAgree(a.big * b.big, a.ref * b.ref, "mul");
+    ExpectAgree(-a.big, a.ref.Negated(), "neg");
+    {
+      RefInt abs = a.ref;
+      abs.negative = false;
+      ExpectAgree(a.big.Abs(), abs, "abs");
+    }
+    if (!b.ref.IsZero()) {
+      auto [q, r] = a.big.DivMod(b.big);
+      auto [rq, rr] = a.ref.DivMod(b.ref);
+      ExpectAgree(q, rq, "quotient");
+      ExpectAgree(r, rr, "remainder");
+      ExpectAgree(a.big / b.big, rq, "operator/");
+      ExpectAgree(a.big % b.big, rr, "operator%");
+    }
+    ExpectAgree(BigInt::Gcd(a.big, b.big), RefInt::Gcd(a.ref, b.ref), "gcd");
+    EXPECT_EQ(a.big.Compare(b.big), a.ref.Compare(b.ref)) << "compare";
+    EXPECT_EQ(a.big == b.big, a.ref.Compare(b.ref) == 0) << "equality";
+    EXPECT_EQ(a.big.IsEven(),
+              a.ref.limbs.empty() || (a.ref.limbs[0] & 1u) == 0)
+        << "even";
+
+    // Round-trip through string parsing.
+    auto reparsed = BigInt::FromString(a.big.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*reparsed, a.big) << "string round trip";
+    EXPECT_EQ(reparsed->Hash(), a.big.Hash()) << "hash round trip";
+
+    // Shifts vs multiplication/division by 2^s in the reference.
+    std::uint64_t shift = static_cast<std::uint64_t>(trial) % 97;
+    ExpectAgree(a.big.ShiftLeft(shift), a.ref * RefInt::Pow2(shift),
+                "shift left");
+    {
+      RefInt magnitude = a.ref;
+      magnitude.negative = false;
+      RefInt shifted = magnitude.DivMod(RefInt::Pow2(shift)).first;
+      if (!shifted.IsZero()) shifted.negative = a.ref.negative;
+      ExpectAgree(a.big.ShiftRight(shift), shifted, "shift right");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntDifferentialTest,
+                         ::testing::Range(1000, 1008));
+
+TEST(BigIntDifferentialTest, Pow2MatchesReference) {
+  for (std::uint64_t e = 0; e <= 200; ++e) {
+    ExpectAgree(BigInt::Pow2(e), RefInt::Pow2(e), "pow2");
+    EXPECT_EQ(BigInt::Pow2(e).bit_length(), e + 1);
+  }
+}
+
+TEST(BigIntDifferentialTest, PowMatchesRepeatedReferenceMultiplication) {
+  OperandGen gen(424242);
+  for (int trial = 0; trial < 40 * ccdb_test::PropertyIterScale(); ++trial) {
+    Operand a = gen.Next();
+    std::uint32_t e = static_cast<std::uint32_t>(trial % 7);
+    RefInt expected = RefInt::FromInt64(1);
+    for (std::uint32_t i = 0; i < e; ++i) expected = expected * a.ref;
+    ExpectAgree(a.big.Pow(e), expected, "pow");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rational differential: expected numerator/denominator computed with the
+// RefInt formulas (naive cross products + reference gcd reduction), so none
+// of Rational's word/__int128 fast paths or gcd-skipping tricks are trusted.
+// ---------------------------------------------------------------------------
+struct RefRational {
+  RefInt num;
+  RefInt den;  // positive
+
+  static RefRational Make(RefInt n, RefInt d) {
+    RefRational out;
+    if (d.negative) {
+      n = n.Negated();
+      d.negative = false;
+    }
+    if (n.IsZero()) {
+      out.num = RefInt();
+      out.den = RefInt::FromInt64(1);
+      return out;
+    }
+    RefInt g = RefInt::Gcd(n, d);
+    bool negative = n.negative;
+    n.negative = false;
+    out.num = n.DivMod(g).first;
+    if (negative) out.num.negative = true;
+    out.den = d.DivMod(g).first;
+    return out;
+  }
+};
+
+void ExpectAgree(const Rational& got, const RefRational& want,
+                 const char* what) {
+  EXPECT_EQ(got.numerator().ToString(), want.num.ToString()) << what;
+  EXPECT_EQ(got.denominator().ToString(), want.den.ToString()) << what;
+  EXPECT_EQ(got.bit_length(),
+            std::max(want.num.BitLength(), want.den.BitLength()))
+      << what << " bit_length";
+}
+
+class RationalDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalDifferentialTest, EveryOperationMatchesLimbReference) {
+  OperandGen gen(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const int iters = 60 * ccdb_test::PropertyIterScale();
+  for (int trial = 0; trial < iters; ++trial) {
+    Operand an = gen.Next();
+    Operand ad = gen.Next();
+    Operand bn = gen.Next();
+    Operand bd = gen.Next();
+    if (ad.ref.IsZero() || bd.ref.IsZero()) continue;
+    Rational a(an.big, ad.big);
+    Rational b(bn.big, bd.big);
+    RefRational ra = RefRational::Make(an.ref, ad.ref);
+    RefRational rb = RefRational::Make(bn.ref, bd.ref);
+    SCOPED_TRACE("a=" + a.ToString() + " b=" + b.ToString());
+
+    // Construction itself (canonicalization) agrees.
+    ExpectAgree(a, ra, "construct");
+
+    // a op b via naive cross products reduced by the reference gcd.
+    RefInt cross_den = ra.den * rb.den;
+    ExpectAgree(a + b,
+                RefRational::Make(ra.num * rb.den + rb.num * ra.den,
+                                  cross_den),
+                "add");
+    ExpectAgree(a - b,
+                RefRational::Make(ra.num * rb.den - rb.num * ra.den,
+                                  cross_den),
+                "sub");
+    ExpectAgree(a * b, RefRational::Make(ra.num * rb.num, cross_den), "mul");
+    if (!b.is_zero()) {
+      ExpectAgree(a / b, RefRational::Make(ra.num * rb.den, ra.den * rb.num),
+                  "div");
+    }
+
+    // Compare via reference cross multiplication.
+    EXPECT_EQ(a.Compare(b),
+              (ra.num * rb.den).Compare(rb.num * ra.den))
+        << "compare";
+
+    // Round-trip through "num/den" string parsing.
+    auto reparsed = Rational::FromString(a.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(*reparsed, a) << "string round trip";
+    EXPECT_EQ(reparsed->Hash(), a.Hash()) << "hash round trip";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalDifferentialTest,
+                         ::testing::Range(2000, 2006));
+
+}  // namespace
+}  // namespace ccdb

@@ -221,6 +221,157 @@ TEST(BigIntTest, IsEven) {
   EXPECT_FALSE(BigInt(-7).IsEven());
 }
 
+// ---------------------------------------------------------------------------
+// Spill/normalize regressions for the inline-word representation: for each
+// checked-overflow site, a case that overflows the word by exactly one bit
+// and one that shrinks a limb result back into the word range. The canonical
+// invariant makes FitsInt64() the representation probe: it must be true
+// exactly when the value fits, however the value was produced.
+// ---------------------------------------------------------------------------
+
+TEST(BigIntSpillTest, AddOverflowsWordByOneBitAndNormalizesBack) {
+  BigInt spilled = BigInt(INT64_MAX) + BigInt(1);  // 2^63
+  EXPECT_FALSE(spilled.FitsInt64());
+  EXPECT_EQ(spilled.ToString(), "9223372036854775808");
+  EXPECT_EQ(spilled.bit_length(), 64u);
+  EXPECT_EQ(spilled, BigInt::Pow2(63));
+
+  BigInt back = spilled + BigInt(-1);  // shrinks back into the word
+  EXPECT_TRUE(back.FitsInt64());
+  EXPECT_EQ(back.ToInt64(), INT64_MAX);
+  EXPECT_EQ(back, BigInt(INT64_MAX));
+  EXPECT_EQ(back.Hash(), BigInt(INT64_MAX).Hash());
+  EXPECT_EQ(back.bit_length(), BigInt(INT64_MAX).bit_length());
+}
+
+TEST(BigIntSpillTest, SubOverflowsWordByOneBitAndNormalizesBack) {
+  BigInt spilled = BigInt(INT64_MIN) - BigInt(1);  // -(2^63 + 1)
+  EXPECT_FALSE(spilled.FitsInt64());
+  EXPECT_EQ(spilled.ToString(), "-9223372036854775809");
+  EXPECT_EQ(spilled.bit_length(), 64u);
+
+  BigInt back = spilled + BigInt(1);
+  EXPECT_TRUE(back.FitsInt64());
+  EXPECT_EQ(back.ToInt64(), INT64_MIN);
+  EXPECT_EQ(back, BigInt(INT64_MIN));
+  EXPECT_EQ(back.Hash(), BigInt(INT64_MIN).Hash());
+}
+
+TEST(BigIntSpillTest, MulOverflowsWordByOneBitAndNormalizesBack) {
+  BigInt spilled = BigInt(1ll << 32) * BigInt(1ll << 31);  // 2^63
+  EXPECT_FALSE(spilled.FitsInt64());
+  EXPECT_EQ(spilled, BigInt::Pow2(63));
+  EXPECT_EQ(spilled.bit_length(), 64u);
+
+  BigInt fits = BigInt(1ll << 32) * BigInt((1ll << 31) - 1);  // 2^63 - 2^32
+  EXPECT_TRUE(fits.FitsInt64());
+  EXPECT_EQ(fits.ToInt64(), ((1ll << 31) - 1) << 32);
+
+  // Divide the spilled product back down: the limb quotient re-inlines.
+  BigInt back = spilled / BigInt(2);
+  EXPECT_TRUE(back.FitsInt64());
+  EXPECT_EQ(back.ToInt64(), 1ll << 62);
+  EXPECT_EQ(back.Hash(), BigInt(1ll << 62).Hash());
+}
+
+TEST(BigIntSpillTest, DivModSpillsOnlyForMinOverMinusOne) {
+  // The lone overflowing hardware quotient: INT64_MIN / -1 = 2^63.
+  auto [q, r] = BigInt(INT64_MIN).DivMod(BigInt(-1));
+  EXPECT_FALSE(q.FitsInt64());
+  EXPECT_EQ(q.ToString(), "9223372036854775808");
+  EXPECT_TRUE(r.is_zero());
+
+  // A limb dividend whose quotient and remainder both re-inline.
+  BigInt dividend = BigInt::Pow2(64) + BigInt(5);
+  auto [q2, r2] = dividend.DivMod(BigInt(4));
+  EXPECT_TRUE(q2.FitsInt64());
+  EXPECT_EQ(q2.ToInt64(), (1ll << 62) + 1);
+  EXPECT_TRUE(r2.FitsInt64());
+  EXPECT_EQ(r2.ToInt64(), 1);
+  EXPECT_EQ(q2.bit_length(), 63u);
+}
+
+TEST(BigIntSpillTest, NegationAtTheWordBoundary) {
+  // Regression from the differential harness: negating the limb value +2^63
+  // must normalize back down to the inline INT64_MIN.
+  BigInt two63 = BigInt::Pow2(63);
+  EXPECT_FALSE(two63.FitsInt64());
+  BigInt negated = -two63;
+  EXPECT_TRUE(negated.FitsInt64());
+  EXPECT_EQ(negated.ToInt64(), INT64_MIN);
+  EXPECT_EQ(negated, BigInt(INT64_MIN));
+  EXPECT_EQ(negated.Hash(), BigInt(INT64_MIN).Hash());
+
+  // And the spill direction: |INT64_MIN| and -INT64_MIN leave the word.
+  EXPECT_FALSE(BigInt(INT64_MIN).Abs().FitsInt64());
+  EXPECT_EQ(BigInt(INT64_MIN).Abs(), two63);
+  EXPECT_FALSE((-BigInt(INT64_MIN)).FitsInt64());
+  EXPECT_EQ(-BigInt(INT64_MIN), two63);
+}
+
+TEST(BigIntSpillTest, GcdAtTheWordBoundary) {
+  // gcd(INT64_MIN, 0) = 2^63 spills out of the word gcd.
+  BigInt g = BigInt::Gcd(BigInt(INT64_MIN), BigInt(0));
+  EXPECT_FALSE(g.FitsInt64());
+  EXPECT_EQ(g, BigInt::Pow2(63));
+
+  // gcd of two limb values that collapses back into the word.
+  BigInt g2 = BigInt::Gcd(BigInt::Pow2(70), BigInt::Pow2(70) + BigInt(1024));
+  EXPECT_TRUE(g2.FitsInt64());
+  EXPECT_EQ(g2.ToInt64(), 1024);
+  EXPECT_EQ(g2.bit_length(), 11u);
+}
+
+TEST(BigIntSpillTest, ShiftsAcrossTheWordBoundary) {
+  EXPECT_TRUE(BigInt(1).ShiftLeft(62).FitsInt64());
+  EXPECT_FALSE(BigInt(1).ShiftLeft(63).FitsInt64());
+  EXPECT_EQ(BigInt(1).ShiftLeft(63), BigInt::Pow2(63));
+  EXPECT_EQ(BigInt(1).ShiftLeft(63).bit_length(), 64u);
+
+  BigInt wide = BigInt::Pow2(64);
+  EXPECT_EQ(wide.ShiftRight(1), BigInt::Pow2(63));
+  EXPECT_FALSE(wide.ShiftRight(1).FitsInt64());
+  BigInt back = wide.ShiftRight(2);
+  EXPECT_TRUE(back.FitsInt64());
+  EXPECT_EQ(back.ToInt64(), 1ll << 62);
+  EXPECT_EQ(back.Hash(), BigInt(1ll << 62).Hash());
+}
+
+TEST(BigIntSpillTest, Pow2AndFromInt128AtTheWordBoundary) {
+  EXPECT_TRUE(BigInt::Pow2(62).FitsInt64());
+  EXPECT_FALSE(BigInt::Pow2(63).FitsInt64());
+  EXPECT_EQ(BigInt::Pow2(62).bit_length(), 63u);
+  EXPECT_EQ(BigInt::Pow2(63).bit_length(), 64u);
+
+  EXPECT_TRUE(BigInt::FromInt128(INT64_MAX).FitsInt64());
+  EXPECT_TRUE(BigInt::FromInt128(static_cast<__int128>(INT64_MIN)).FitsInt64());
+  EXPECT_FALSE(
+      BigInt::FromInt128(static_cast<__int128>(INT64_MAX) + 1).FitsInt64());
+  EXPECT_FALSE(
+      BigInt::FromInt128(static_cast<__int128>(INT64_MIN) - 1).FitsInt64());
+  EXPECT_EQ(BigInt::FromInt128(static_cast<__int128>(INT64_MIN) - 1).ToString(),
+            "-9223372036854775809");
+  EXPECT_EQ(BigInt::FromInt128((static_cast<__int128>(1) << 126) * -1)
+                .bit_length(),
+            127u);
+}
+
+TEST(BigIntSpillTest, RepresentationIndependentEqualityAcrossPaths) {
+  // The same value reached through spill-and-shrink arithmetic, string
+  // parsing, and direct construction must be one value: equal, same hash,
+  // same bit length, same rendering.
+  BigInt via_arith = (BigInt::Pow2(63) + BigInt(7)) - BigInt::Pow2(63);
+  BigInt via_string = *BigInt::FromString("7");
+  BigInt direct(7);
+  EXPECT_EQ(via_arith, direct);
+  EXPECT_EQ(via_string, direct);
+  EXPECT_EQ(via_arith.Hash(), direct.Hash());
+  EXPECT_EQ(via_string.Hash(), direct.Hash());
+  EXPECT_EQ(via_arith.bit_length(), direct.bit_length());
+  EXPECT_TRUE(via_arith.FitsInt64());
+  EXPECT_EQ(via_arith.ToInt64(), 7);
+}
+
 TEST(BigIntTest, StringRoundTripRandom) {
   std::mt19937_64 rng(23);
   for (int i = 0; i < 200; ++i) {

@@ -1,0 +1,24 @@
+#ifndef CCDB_TESTS_PROPERTY_ENV_H_
+#define CCDB_TESTS_PROPERTY_ENV_H_
+
+#include <cstdlib>
+
+namespace ccdb_test {
+
+/// Multiplier for randomized property/differential suite iteration counts,
+/// read from CCDB_PROPERTY_ITERS (default 1). CI's sanitizer legs widen it
+/// so the seeded sweeps cover more of the operand space under
+/// ASan/UBSan/TSan without slowing the default developer run.
+inline int PropertyIterScale() {
+  static const int scale = [] {
+    const char* env = std::getenv("CCDB_PROPERTY_ITERS");
+    if (env == nullptr) return 1;
+    int value = std::atoi(env);
+    return value >= 1 ? value : 1;
+  }();
+  return scale;
+}
+
+}  // namespace ccdb_test
+
+#endif  // CCDB_TESTS_PROPERTY_ENV_H_

@@ -1,8 +1,11 @@
 #include "arith/rational.h"
 
+#include <cstdint>
 #include <random>
 
 #include <gtest/gtest.h>
+
+#include "property_env.h"
 
 namespace ccdb {
 namespace {
@@ -60,12 +63,24 @@ TEST(RationalTest, Arithmetic) {
 TEST(RationalTest, FieldAxiomsRandom) {
   std::mt19937_64 rng(3);
   std::uniform_int_distribution<std::int64_t> dist(-1000, 1000);
+  // Mix small components with word-boundary ones so the sweep crosses the
+  // inline fast paths, the __int128 paths, and the generic limb paths.
+  const std::int64_t boundary[] = {
+      INT64_MAX, INT64_MIN, INT64_MAX - 1, (1ll << 62) + 3, -(1ll << 62),
+      (1ll << 32), (1ll << 31) - 1};
+  std::uniform_int_distribution<int> pick(0, 9);
+  auto random_component = [&]() -> std::int64_t {
+    int c = pick(rng);
+    if (c < 7) return dist(rng);
+    return boundary[static_cast<std::size_t>(rng() % 7)];
+  };
   auto random_rational = [&]() {
     std::int64_t d = 0;
-    while (d == 0) d = dist(rng);
-    return Rational(BigInt(dist(rng)), BigInt(d));
+    while (d == 0) d = random_component();
+    return Rational(BigInt(random_component()), BigInt(d));
   };
-  for (int i = 0; i < 500; ++i) {
+  const int iters = 500 * ccdb_test::PropertyIterScale();
+  for (int i = 0; i < iters; ++i) {
     Rational a = random_rational();
     Rational b = random_rational();
     Rational c = random_rational();
@@ -136,6 +151,64 @@ TEST(RationalTest, BitLength) {
   EXPECT_EQ(Rational(BigInt(255), BigInt(16)).bit_length(), 8u);
   EXPECT_EQ(Rational(BigInt(3), BigInt(1024)).bit_length(), 11u);
   EXPECT_EQ(Rational(0).bit_length(), 1u);  // 0/1: denominator has 1 bit
+
+  // bit_length measures the canonical (reduced) form, in both the inline and
+  // the spilled BigInt representations.
+  EXPECT_EQ(Rational(BigInt(INT64_MIN)).bit_length(), 64u);
+  EXPECT_EQ(Rational(BigInt::Pow2(100) + BigInt(1), BigInt::Pow2(80))
+                .bit_length(),
+            101u);
+  // 2^80 / 2^100 reduces to 1/2^20 before measuring.
+  EXPECT_EQ(Rational(BigInt::Pow2(80), BigInt::Pow2(100)).bit_length(), 21u);
+}
+
+// ---------------------------------------------------------------------------
+// Word-boundary behavior of the small-value fast paths: results must agree
+// with the canonicalizing constructor applied to the naive cross products,
+// and canonical-form invariants (den > 0, reduced) must hold when components
+// spill out of the inline word.
+// ---------------------------------------------------------------------------
+
+TEST(RationalSpillTest, CanonicalizationAtTheWordBoundary) {
+  EXPECT_EQ(Rational(BigInt(INT64_MIN), BigInt(INT64_MIN)), Rational(1));
+
+  // Negative denominator at the boundary: sign moves to the numerator and the
+  // denominator becomes +2^63, which no longer fits in the word.
+  Rational r(BigInt(1), BigInt(INT64_MIN));
+  EXPECT_EQ(r.numerator(), BigInt(-1));
+  EXPECT_EQ(r.denominator(), BigInt::Pow2(63));
+  EXPECT_FALSE(r.denominator().is_negative());
+  EXPECT_FALSE(r.denominator().FitsInt64());
+  EXPECT_EQ(r.ToString(), "-1/9223372036854775808");
+
+  Rational reduced(BigInt(INT64_MIN), BigInt(1ll << 62));
+  EXPECT_EQ(reduced, Rational(-2));
+}
+
+TEST(RationalSpillTest, FastAndGenericPathsAgreeAtTheBoundary) {
+  // Each operator's word/__int128 fast path must produce the same canonical
+  // value as the canonicalizing constructor applied to the naive formula.
+  const Rational values[] = {
+      Rational(BigInt(INT64_MAX), BigInt(2)),
+      Rational(BigInt(INT64_MIN), BigInt(3)),
+      Rational(BigInt((1ll << 62) + 1), BigInt(INT64_MAX)),
+      Rational(BigInt(-7), BigInt(INT64_MAX - 1)),
+      Rational(BigInt::Pow2(90) + BigInt(1), BigInt::Pow2(40)),
+      Rational(BigInt(5), BigInt(6)),
+  };
+  for (const Rational& a : values) {
+    for (const Rational& b : values) {
+      const BigInt& an = a.numerator();
+      const BigInt& ad = a.denominator();
+      const BigInt& bn = b.numerator();
+      const BigInt& bd = b.denominator();
+      EXPECT_EQ(a + b, Rational(an * bd + bn * ad, ad * bd));
+      EXPECT_EQ(a - b, Rational(an * bd - bn * ad, ad * bd));
+      EXPECT_EQ(a * b, Rational(an * bn, ad * bd));
+      EXPECT_EQ(a / b, Rational(an * bd, ad * bn));
+      EXPECT_EQ(a.Compare(b), (a - b).sign());
+    }
+  }
 }
 
 TEST(RationalTest, ToString) {

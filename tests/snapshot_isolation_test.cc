@@ -1,4 +1,5 @@
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -50,6 +51,12 @@ TEST(SnapshotIsolationTest, ReadersSeeOnlyCompleteVersionsDuringStorm) {
   std::vector<std::string> reader_failures(kReaders);
   std::vector<std::vector<std::pair<std::uint64_t, std::string>>> observed(
       kReaders);
+  // Readers publish how many snapshots they have taken so the writer can
+  // keep the storm alive until everyone has actually gotten one in: the
+  // fixed mutation count alone can finish before the reader threads are
+  // even scheduled (the arithmetic fast paths made the storm ~10x
+  // shorter), which would make the final coverage check vacuous.
+  std::atomic<std::uint64_t> observed_count[kReaders] = {};
 
   std::vector<std::thread> readers;
   readers.reserve(kReaders);
@@ -79,13 +86,28 @@ TEST(SnapshotIsolationTest, ReadersSeeOnlyCompleteVersionsDuringStorm) {
           }
         }
         observed[r].emplace_back(snapshot->version(), snapshot->Serialize());
+        observed_count[r].fetch_add(1, std::memory_order_release);
       }
     });
   }
 
   // Single writer: define/drop churn. After each mutation it records the
-  // new version's exact serialization in the history map.
-  for (int i = 0; i < kMutations; ++i) {
+  // new version's exact serialization in the history map. Past the fixed
+  // mutation count, keep churning until every reader has snapshotted at
+  // least once (bounded by a generous wall-clock cap so a pathologically
+  // starved reader fails the coverage check instead of hanging the test).
+  const auto storm_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  auto all_readers_observed = [&] {
+    for (int r = 0; r < kReaders; ++r) {
+      if (observed_count[r].load(std::memory_order_acquire) == 0) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i < kMutations || (!all_readers_observed() &&
+                                     std::chrono::steady_clock::now() <
+                                         storm_deadline);
+       ++i) {
     const std::string name = "R" + std::to_string(i % 10);
     if (catalog.HasRelation(name)) {
       ASSERT_TRUE(catalog.DropRelation(name).ok());
@@ -96,8 +118,11 @@ TEST(SnapshotIsolationTest, ReadersSeeOnlyCompleteVersionsDuringStorm) {
                       .ok());
     }
     auto snapshot = catalog.Snapshot();
-    std::lock_guard<std::mutex> lock(history_mu);
-    history[snapshot->version()] = snapshot->Serialize();
+    {
+      std::lock_guard<std::mutex> lock(history_mu);
+      history[snapshot->version()] = snapshot->Serialize();
+    }
+    if (i >= kMutations) std::this_thread::yield();
   }
   done.store(true, std::memory_order_release);
   for (auto& t : readers) t.join();
