@@ -1,0 +1,125 @@
+// Experiment E13 — incremental re-fixpoint vs cold recompute.
+//
+// The closed loop a live deductive database runs: materialize the
+// transitive closure of a unit-step chain, then repeatedly Insert one
+// more segment and bring the closure up to date. The incremental path
+// (ConstraintDatabase::Fixpoint resuming from the materialized state,
+// semi-naive deltas seeded from the inserted tuples) needs O(1) small
+// rounds per insert; the cold baseline (EvaluateDatalog from scratch on
+// the same EDB) pays the full ~diameter rounds every time. The gap
+// widens linearly with the diameter — the whole point of keeping
+// per-relation versions and delta state around.
+
+#include "bench_util.h"
+#include "base/metrics.h"
+#include "datalog/datalog.h"
+#include "engine/database.h"
+
+using namespace ccdb;
+
+namespace {
+
+DatalogProgram ClosureProgram() {
+  DatalogProgram program;
+  program.idb_arities["Reach"] = 2;
+  DatalogRule base;
+  base.head = "Reach";
+  base.head_vars = {0, 1};
+  base.body.push_back(DatalogLiteral::Rel("Edge", {0, 1}));
+  program.rules.push_back(base);
+  DatalogRule inductive;
+  inductive.head = "Reach";
+  inductive.head_vars = {0, 1};
+  inductive.body.push_back(DatalogLiteral::Rel("Reach", {0, 2}));
+  inductive.body.push_back(DatalogLiteral::Rel("Edge", {2, 1}));
+  program.rules.push_back(inductive);
+  return program;
+}
+
+std::string SegmentText(int lo, int hi) {
+  return "Edge(x, y) := y - x - 1 = 0 and x >= " + std::to_string(lo) +
+         " and x <= " + std::to_string(hi);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ccdb_bench::InitBenchTracing(argc, argv);
+  ccdb_bench::Header(
+      "E13: incremental re-fixpoint vs cold recompute (closed loop)",
+      "after an Insert, resuming the materialized semi-naive state costs "
+      "O(1) delta rounds; a cold recompute pays ~diameter rounds — the "
+      "speedup grows linearly with the diameter");
+
+  constexpr int kInserts = 6;
+  Counter* resumes =
+      MetricsRegistry::Global().GetCounter("datalog_fixpoint_resumes");
+
+  ccdb_bench::Row("%-10s %12s %14s %14s %10s", "diameter", "cold [ms]",
+                  "recompute[ms]", "increment[ms]", "speedup");
+  for (int diameter : {4, 8, 12, 16}) {
+    ConstraintDatabase db;
+    Status defined = db.Define(SegmentText(0, diameter - 1));
+    CCDB_CHECK_MSG(defined.ok(), defined.ToString().c_str());
+
+    DatalogProgram program = ClosureProgram();
+    DatalogOptions options;
+    options.max_iterations = diameter + kInserts + 8;
+    options.qe.pool = ccdb_bench::Pool();
+
+    // Cold materialization: the one full fixpoint the loop amortizes.
+    double cold = ccdb_bench::TimeSeconds([&] {
+      auto result = db.Fixpoint(program, options);
+      CCDB_CHECK_MSG(result.ok(), result.status().ToString());
+    });
+    ccdb_bench::RecordCell("cold_d" + std::to_string(diameter), cold);
+
+    // Closed loop: Insert one segment, then bring Reach up to date both
+    // ways. The recompute leg runs first so any memo warmth it leaves
+    // behind can only help itself on the next lap, never the resume.
+    double recompute_total = 0.0;
+    double incremental_total = 0.0;
+    std::uint64_t resumes_before = resumes->value();
+    for (int i = 0; i < kInserts; ++i) {
+      int next = diameter - 1 + i;
+      Status inserted = db.Insert(SegmentText(next, next));
+      CCDB_CHECK_MSG(inserted.ok(), inserted.ToString().c_str());
+
+      auto edge = db.Relation("Edge");
+      CCDB_CHECK_MSG(edge.ok(), edge.status().ToString());
+      std::map<std::string, ConstraintRelation> edb;
+      edb.emplace("Edge", *edge);
+      recompute_total += ccdb_bench::TimeSeconds([&] {
+        auto result = EvaluateDatalog(program, edb, options);
+        CCDB_CHECK_MSG(result.ok(), result.status().ToString());
+      });
+
+      incremental_total += ccdb_bench::TimeSeconds([&] {
+        auto result = db.Fixpoint(program, options);
+        CCDB_CHECK_MSG(result.ok(), result.status().ToString());
+      });
+    }
+    // Bench integrity: every lap of the loop must have taken the resume
+    // path — otherwise the "incremental" column would be recompute noise.
+    CCDB_CHECK_MSG(resumes->value() == resumes_before + kInserts,
+                   "incremental path did not resume on every insert");
+
+    ccdb_bench::RecordCell("recompute_d" + std::to_string(diameter),
+                           recompute_total);
+    ccdb_bench::RecordCell("incremental_d" + std::to_string(diameter),
+                           incremental_total);
+    ccdb_bench::Row("%-10d %12.2f %14.2f %14.2f %9.1fx", diameter, cold * 1e3,
+                    recompute_total * 1e3, incremental_total * 1e3,
+                    incremental_total > 0 ? recompute_total / incremental_total
+                                          : 0.0);
+  }
+
+  ccdb_bench::Row("");
+  ccdb_bench::Row(
+      "expected shape: recompute/increment grows ~linearly with the "
+      "diameter (cold pays diameter+1 rounds per insert, the resume pays "
+      "2-3 delta rounds); at the largest diameter the closed loop is >5x "
+      "cheaper incrementally");
+  ccdb_bench::WriteRunRecord("datalog");
+  return 0;
+}

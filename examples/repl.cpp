@@ -23,6 +23,8 @@
 //   .stats                    process-wide metrics snapshot (JSON)
 //   .trace <on|off|path>      span tracing / Chrome trace export
 //   .checkpoint               fold the WAL into a checkpoint (durable mode)
+//   .insert Name(cols) := formula   append tuples to an existing relation
+//   .deps <formula>           relations the query reads, with versions
 //   .list | .show <name> | .drop <name>
 //   .save <path> | .load <path>
 //   .help | .quit
@@ -83,6 +85,11 @@ void PrintHelp() {
       "  .list                   list relations\n"
       "  .show <name>            print a relation's constraints\n"
       "  .drop <name>            remove a relation\n"
+      "  .insert Name(cols) := formula\n"
+      "                          append tuples to an existing relation\n"
+      "                          (only queries reading Name are invalidated)\n"
+      "  .deps <formula>         the query's read-set: each relation it\n"
+      "                          reads, with its current version stamp\n"
       "  .save <path> / .load <path>\n"
       "  .help / .quit\n");
 }
@@ -335,6 +342,26 @@ int main(int argc, char** argv) {
     if (line.rfind(".drop ", 0) == 0) {
       ccdb::Status status = db.Drop(line.substr(6));
       std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".insert ", 0) == 0) {
+      ccdb::Status status = db.Insert(line.substr(8));
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (line.rfind(".deps ", 0) == 0) {
+      auto read_set = db.ReadSet(line.substr(6));
+      if (!read_set.ok()) {
+        std::printf("error: %s\n", read_set.status().ToString().c_str());
+      } else if (read_set->empty()) {
+        std::printf("reads no relations\n");
+      } else {
+        for (const auto& [name, version] : *read_set) {
+          std::printf("  %s  v%llu%s\n", name.c_str(),
+                      static_cast<unsigned long long>(version),
+                      version == 0 ? "  (not defined)" : "");
+        }
+      }
       continue;
     }
     if (line.rfind(".save ", 0) == 0) {

@@ -91,10 +91,35 @@ def check_bench(path):
     return errors
 
 
-# Required keys of every query-log record (base/query_log.h, schema 1).
+# Required keys of every query-log record (base/query_log.h, schema 2).
 QUERY_LOG_KEYS = ("schema_version", "ts_us", "kind", "text_hash",
                   "text_len", "catalog_version", "ok", "cache_hit",
-                  "elapsed_seconds")
+                  "elapsed_seconds", "read_set", "invalidation")
+
+
+def check_read_set(path, lineno, rec):
+    """Schema 2: 'read_set' is the sorted relation names the query reads;
+    'invalidation' is the cache scope a mutation must hit to invalidate the
+    answer ('relations:[...]' matching the read_set, or 'global' when the
+    read-set is unknown, e.g. unparsable text)."""
+    errors = 0
+    rs = rec.get("read_set")
+    if not (isinstance(rs, list)
+            and all(isinstance(name, str) for name in rs)):
+        return fail(path, f"line {lineno}: 'read_set' must be a list of str")
+    if rs != sorted(rs):
+        errors += fail(path, f"line {lineno}: 'read_set' must be sorted")
+    inv = rec.get("invalidation")
+    if inv == "global":
+        return errors
+    if not isinstance(inv, str) or not inv.startswith("relations:["):
+        return errors + fail(
+            path, f"line {lineno}: 'invalidation' must be 'global' or "
+                  f"'relations:[...]', got {inv!r}")
+    if inv != "relations:[" + ",".join(rs) + "]":
+        errors += fail(path, f"line {lineno}: 'invalidation' scope does not "
+                             f"match 'read_set'")
+    return errors
 
 
 def check_query_log(path):
@@ -116,9 +141,10 @@ def check_query_log(path):
                     if key not in rec:
                         errors += fail(path,
                                        f"line {lineno}: missing '{key}'")
-                if rec.get("schema_version") != 1:
+                if rec.get("schema_version") != 2:
                     errors += fail(path, f"line {lineno}: schema_version "
-                                         f"must be 1")
+                                         f"must be 2")
+                errors += check_read_set(path, lineno, rec)
                 h = rec.get("text_hash", "")
                 if not (isinstance(h, str) and len(h) == 16
                         and all(c in "0123456789abcdef" for c in h)):

@@ -36,8 +36,11 @@ namespace ccdb {
 class QueryLog {
  public:
   /// Bumped whenever a record field is added/renamed; every record carries
-  /// it as "schema_version".
-  static constexpr int kSchemaVersion = 1;
+  /// it as "schema_version". History: 1 = initial; 2 = added "read_set"
+  /// (sorted relation names the query reads) and "invalidation" (the cache
+  /// scope a mutation must hit to invalidate it: "relations:[...]" or
+  /// "global").
+  static constexpr int kSchemaVersion = 2;
 
   static QueryLog& Global();
 

@@ -1,6 +1,7 @@
 #ifndef CCDB_DATALOG_DATALOG_H_
 #define CCDB_DATALOG_DATALOG_H_
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,14 +43,34 @@ struct DatalogProgram {
   std::vector<DatalogRule> rules;
 };
 
+/// Process-wide semi-naive toggle: CCDB_SEMINAIVE=0 forces every fixpoint
+/// onto the naive path (full rule bodies each round — the executable spec);
+/// any other value (or unset) keeps semi-naive delta evaluation on. Both
+/// paths produce byte-identical fixpoints — the same contract CCDB_PLAN
+/// carries. SetSeminaiveEnabled overrides the environment (tests).
+bool SeminaiveEnabled();
+void SetSeminaiveEnabled(bool enabled);
+
+/// Process-wide incremental re-fixpoint toggle: CCDB_INCREMENTAL=0 makes
+/// ConstraintDatabase::Fixpoint recompute from scratch on every call; on
+/// (default), materialized fixpoint state is replayed or resumed when the
+/// EDB read-set versions allow it. SetIncrementalEnabled overrides the
+/// environment (tests).
+bool IncrementalEnabled();
+void SetIncrementalEnabled(bool enabled);
+
 struct DatalogOptions {
   /// Hard iteration cap (the paper's PTIME bound is enforced by the finite
   /// precision context; this is the engineering backstop).
   int max_iterations = 64;
   /// When positive, the finite-precision context Z_k: evaluation is
   /// undefined as soon as any materialized integer exceeds k bits
-  /// (Theorem 4.7's setting; guarantees termination in PTIME).
+  /// (Theorem 4.7's setting; guarantees termination in PTIME). Z_k runs
+  /// always evaluate naively: the bit-length verdict must observe every
+  /// intermediate the naive rounds materialize.
   std::uint32_t precision_k = 0;
+  /// Per-call semi-naive override: kAuto follows SeminaiveEnabled().
+  PlanToggle seminaive = PlanToggle::kAuto;
   /// QE options for each rule evaluation. `qe.governor`, when set, is also
   /// charged once per fixpoint round and per derived tuple (stage
   /// "datalog.iteration"), so a budget bounds the whole fixpoint — not just
@@ -74,6 +95,12 @@ struct DatalogStats {
   /// formula id) and the plan is reused across rounds — this counts the
   /// reuses. 0 with the planner or the memo caches off.
   std::uint64_t plan_cache_hits = 0;
+  /// Total tuples presented as per-relation deltas across semi-naive
+  /// rounds (0 on the naive path).
+  std::uint64_t delta_tuples = 0;
+  /// Rule evaluations skipped outright because every relation the body
+  /// mentions had an empty delta (semi-naive only).
+  std::uint64_t rules_skipped = 0;
 
   /// One-line human-readable rendering.
   std::string ToString() const;
@@ -90,6 +117,30 @@ StatusOr<std::map<std::string, ConstraintRelation>> EvaluateDatalog(
     const DatalogProgram& program,
     const std::map<std::string, ConstraintRelation>& edb,
     const DatalogOptions& options = {}, DatalogStats* stats = nullptr);
+
+/// Materialized fixpoint state: the IDB interpretation of a completed
+/// fixpoint plus the per-relation EDB sizes it was computed against. The
+/// sizes anchor a later resume: tuples at indices >= edb_sizes[R] are R's
+/// delta.
+struct DatalogFixpointState {
+  std::map<std::string, ConstraintRelation> idb;
+  std::map<std::string, std::size_t> edb_sizes;
+};
+
+/// Resumes a completed fixpoint after append-only EDB growth instead of
+/// recomputing from scratch: seeds the per-relation deltas with each EDB
+/// relation's suffix beyond state->edb_sizes and runs semi-naive rounds
+/// until a new fixpoint, starting from state->idb. The caller must
+/// guarantee the old tuples are an unchanged prefix of the new relations
+/// (ConstraintDatabase tracks this via per-relation base versions).
+/// Refuses programs with negated literals (the inflationary fixpoint is
+/// not monotone in the EDB under negation) and Z_k runs. On success the
+/// state is advanced in place; on error it is untouched.
+StatusOr<std::map<std::string, ConstraintRelation>> ResumeDatalog(
+    const DatalogProgram& program,
+    const std::map<std::string, ConstraintRelation>& edb,
+    DatalogFixpointState* state, const DatalogOptions& options = {},
+    DatalogStats* stats = nullptr);
 
 }  // namespace ccdb
 

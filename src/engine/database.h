@@ -8,11 +8,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/profile.h"
 #include "base/resource.h"
 #include "base/status.h"
+#include "datalog/datalog.h"
 #include "fp/fp_semantics.h"
 #include "numeric/numerical_eval.h"
 #include "query/calcf.h"
@@ -203,6 +205,14 @@ class ConstraintDatabase {
   /// the closed-form property of Theorem 5.5 makes this sound).
   Status Register(const std::string& name, ConstraintRelation relation);
   Status Drop(const std::string& name);
+  /// Appends the tuples of "Name(cols...) := formula" to the EXISTING
+  /// relation Name (same arity required). Append-only: the old tuples stay
+  /// an unchanged prefix, so the relation's base version is preserved and
+  /// only its change version advances — cached queries that do not read
+  /// Name stay hot, and materialized Datalog fixpoints over Name resume
+  /// incrementally instead of recomputing. Durable databases log the delta
+  /// write-ahead (WAL op Insert).
+  Status Insert(const std::string& definition);
   std::vector<std::string> RelationNames() const { return catalog_.RelationNames(); }
   StatusOr<ConstraintRelation> Relation(const std::string& name) const {
     return catalog_.GetRelation(name);
@@ -211,6 +221,32 @@ class ConstraintDatabase {
   /// Evaluates a CALC_F query under the exact semantics; the result is a
   /// constraint relation in closed form plus scalar/statistics extras.
   StatusOr<CalcFResult> Query(const std::string& text) const;
+
+  /// The read-set of `text`: every relation the query mentions, sorted by
+  /// name, each with the per-relation version the current catalog holds
+  /// (0 = not currently defined). Computed by parsing, not evaluating —
+  /// this is exactly the set the whole-query memo keys on, so an Insert
+  /// into a relation OUTSIDE a query's read-set leaves its cached answer
+  /// valid. The REPL's `.deps`.
+  StatusOr<std::vector<std::pair<std::string, std::uint64_t>>> ReadSet(
+      const std::string& text) const;
+
+  /// Runs a Datalog program with the catalog as EDB (every body relation
+  /// not declared in idb_arities is read from one catalog snapshot).
+  /// With incremental re-fixpoint on (CCDB_INCREMENTAL, ungoverned, memo
+  /// caches enabled), the completed fixpoint is materialized per program
+  /// and keyed on the EDB relations' versions:
+  ///   - unchanged versions      -> the stored interpretation is returned
+  ///                                (metric datalog_fixpoint_hits);
+  ///   - append-only growth      -> semi-naive rounds resume from the
+  ///     (equal base versions)      stored state with the new tuples as
+  ///                                seed deltas (datalog_fixpoint_resumes);
+  ///   - structural change, Z_k, -> recompute from scratch
+  ///     or negated literals        (datalog_fixpoint_recomputes).
+  /// Every path returns the same fixpoint a cold EvaluateDatalog would.
+  StatusOr<std::map<std::string, ConstraintRelation>> Fixpoint(
+      const DatalogProgram& program, const DatalogOptions& options = {},
+      DatalogStats* stats = nullptr) const;
 
   /// Governed query: evaluates `text` under `policy`'s budgets, walking
   /// the graceful-degradation ladder when an attempt exhausts them —
@@ -297,12 +333,30 @@ class ConstraintDatabase {
   /// Checkpoint body; caller holds `mutate_mu_`.
   Status CheckpointLocked();
 
+  /// One materialized Datalog fixpoint: the completed state plus the
+  /// per-relation EDB versions it was computed against.
+  struct FixpointEntry {
+    std::map<std::string, RelationVersion> edb_versions;
+    DatalogFixpointState state;
+  };
+
   CalcFOptions options_;
   Catalog catalog_;
-  /// Serializes mutators (Define/Register/Drop/Load/Checkpoint) so the
-  /// WAL order matches the apply order. Readers never take this — they
+  /// This instance's identity in whole-query memo keys, drawn from the
+  /// process-global version counter at construction. Keys are otherwise
+  /// built from per-relation read-set versions, so without it two
+  /// instances (possibly holding different options) could alias on
+  /// queries with an empty read-set.
+  std::uint64_t db_id_;
+  /// Serializes mutators (Define/Register/Drop/Insert/Load/Checkpoint) so
+  /// the WAL order matches the apply order. Readers never take this — they
   /// read catalog snapshots.
   std::mutex mutate_mu_;
+  /// Materialized fixpoint states, keyed on a deterministic program
+  /// fingerprint. Guarded by fixpoint_mu_ (mutable: Fixpoint is a read in
+  /// the catalog sense).
+  mutable std::mutex fixpoint_mu_;
+  mutable std::map<std::string, FixpointEntry> fixpoint_states_;
   DurabilityOptions durability_;
   /// Non-null iff the database was opened with OpenDurable.
   std::unique_ptr<DurableStore> store_;

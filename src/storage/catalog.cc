@@ -8,6 +8,7 @@
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/trace.h"
+#include "qe/fourier_motzkin.h"
 #include "query/parser.h"
 #include "storage/wal.h"
 
@@ -169,6 +170,14 @@ std::shared_ptr<const Catalog::View> Catalog::Snapshot() const {
 void Catalog::RefreshVersion() {
   std::lock_guard<std::mutex> lock(mu_);
   auto next = std::make_shared<View>(*view_);
+  // Per-relation stamps first, in name order (deterministic draw order),
+  // then the catalog stamp — every stamp in the refreshed view is fresher
+  // than anything drawn before the refresh.
+  for (auto& [name, entry] : next->relations_) {
+    (void)name;
+    entry.version.version = NextCatalogVersion();
+    entry.version.base = entry.version.version;
+  }
   next->version_ = NextCatalogVersion();
   view_ = std::move(next);
 }
@@ -191,10 +200,61 @@ Status Catalog::AddRelation(const std::string& name,
     entry.boxes.push_back(TupleBox::Of(tuple, relation.arity()));
   }
   entry.relation = std::move(relation);
-  next->relations_.emplace(name, std::move(entry));
   next->version_ = NextCatalogVersion();
+  // A (re)definition is a structural change: version and base move
+  // together, so any cache entry keyed on the old stamps — including one
+  // for a previously dropped relation of the same name — misses.
+  entry.version.version = next->version_;
+  entry.version.base = next->version_;
+  next->relations_.emplace(name, std::move(entry));
   view_ = std::move(next);
   return Status::Ok();
+}
+
+Status Catalog::InsertTuples(const std::string& name,
+                             const ConstraintRelation& delta) {
+  CCDB_METRIC_COUNT("catalog.inserts", 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = view_->relations_.find(name);
+  if (it == view_->relations_.end()) {
+    return Status::NotFound("relation " + name + " not found");
+  }
+  if (delta.arity() != it->second.relation.arity()) {
+    return Status::InvalidArgument(
+        "insert arity " + std::to_string(delta.arity()) + " != relation " +
+        name + " arity " + std::to_string(it->second.relation.arity()));
+  }
+  CCDB_FAILPOINT("catalog.insert");
+  auto next = std::make_shared<View>(*view_);
+  Entry& entry = next->relations_.at(name);
+  // Canonicalize the delta and drop syntactic duplicates of existing (or
+  // earlier delta) tuples — exactly the normal form a serialize/parse
+  // round trip produces, so a checkpoint after the insert reloads to the
+  // same tuple vector. The existing prefix is never touched.
+  std::vector<GeneralizedTuple> appended =
+      SimplifyTuples(std::vector<GeneralizedTuple>(delta.tuples()));
+  for (GeneralizedTuple& tuple : appended) {
+    bool duplicate = false;
+    for (const GeneralizedTuple& existing : entry.relation.tuples()) {
+      if (existing == tuple) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    entry.boxes.push_back(TupleBox::Of(tuple, entry.relation.arity()));
+    entry.relation.AddTuple(std::move(tuple));
+    CCDB_METRIC_COUNT("catalog.tuples_inserted", 1);
+  }
+  next->version_ = NextCatalogVersion();
+  entry.version.version = next->version_;  // base unchanged: append-only
+  view_ = std::move(next);
+  return Status::Ok();
+}
+
+Status Catalog::InsertTuplesFromText(const std::string& definition) {
+  CCDB_ASSIGN_OR_RETURN(ParsedRelationDef def, ParseRelationDef(definition));
+  return InsertTuples(def.name, def.relation);
 }
 
 Status Catalog::AddRelationFromText(const std::string& definition) {
@@ -247,6 +307,21 @@ StatusOr<ConstraintRelation> Catalog::View::GetRelation(
     return Status::NotFound("relation " + name + " not found");
   }
   return it->second.relation;
+}
+
+std::optional<RelationVersion> Catalog::View::GetRelationVersion(
+    const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+std::map<std::string, RelationVersion> Catalog::View::RelationVersions() const {
+  std::map<std::string, RelationVersion> versions;
+  for (const auto& [name, entry] : relations_) {
+    versions.emplace(name, entry.version);
+  }
+  return versions;
 }
 
 std::vector<std::string> Catalog::View::RelationNames() const {

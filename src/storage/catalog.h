@@ -28,6 +28,17 @@ struct TupleBox {
   bool MayContain(const std::vector<Rational>& point) const;
 };
 
+/// Version stamps of one named relation (see Catalog::version() for the
+/// stamp source). `version` advances on every change to the relation,
+/// including tuple inserts; `base` advances only on structural changes
+/// (define, drop-and-redefine, load) — so equal `base` plus a grown tuple
+/// count proves the old tuples are an unchanged prefix, the precondition
+/// for resuming a materialized Datalog fixpoint incrementally.
+struct RelationVersion {
+  std::uint64_t version = 0;
+  std::uint64_t base = 0;
+};
+
 /// A named collection of constraint relations with text persistence and
 /// copy-on-write snapshot isolation.
 ///
@@ -48,6 +59,7 @@ class Catalog {
   struct Entry {
     ConstraintRelation relation;
     std::vector<TupleBox> boxes;
+    RelationVersion version;
   };
 
  public:
@@ -64,6 +76,13 @@ class Catalog {
     /// Serializes every relation into the line format.
     std::string Serialize() const;
     std::uint64_t version() const { return version_; }
+    /// Per-relation version stamps; nullopt when the relation is absent.
+    /// Absent relations version as 0 in cache keys, so a later Define —
+    /// which stamps a nonzero version — invalidates.
+    std::optional<RelationVersion> GetRelationVersion(
+        const std::string& name) const;
+    /// All per-relation stamps, keyed by name.
+    std::map<std::string, RelationVersion> RelationVersions() const;
     std::size_t size() const { return relations_.size(); }
 
    private:
@@ -88,6 +107,15 @@ class Catalog {
   /// Parses and adds "Name(cols...) := formula".
   Status AddRelationFromText(const std::string& definition);
   Status DropRelation(const std::string& name);
+  /// Appends `delta`'s tuples to an existing relation of the same arity.
+  /// Append-only: existing tuples and their order are untouched (the
+  /// prefix-stability contract incremental fixpoints rely on); appended
+  /// tuples are canonicalized and syntactic duplicates of existing or
+  /// earlier delta tuples are dropped, matching what a serialize/parse
+  /// round trip would do. Bumps the relation's `version`, not its `base`.
+  Status InsertTuples(const std::string& name, const ConstraintRelation& delta);
+  /// Parses "Name(cols...) := formula" and appends its tuples to Name.
+  Status InsertTuplesFromText(const std::string& definition);
   bool HasRelation(const std::string& name) const;
   StatusOr<ConstraintRelation> GetRelation(const std::string& name) const;
   std::vector<std::string> RelationNames() const;
@@ -126,11 +154,13 @@ class Catalog {
   /// checkpoint/WAL, keeping versions monotone across a crash — a memo
   /// cache can never alias a pre-crash catalog state.
   static void EnsureVersionAtLeast(std::uint64_t version);
-  /// Re-stamps the current state with a fresh version (contents
+  /// Re-stamps the current state — the catalog version AND every
+  /// per-relation stamp, in name order — with fresh versions (contents
   /// unchanged). Recovery calls this last: a catalog rebuilt from a
   /// checkpoint drew its stamps before EnsureVersionAtLeast raised the
-  /// counter, so without a refresh its version could still collide with a
-  /// pre-crash state.
+  /// counter, so without a refresh a version could still collide with a
+  /// pre-crash state. Per-relation stamps therefore stay monotone across
+  /// reopen and crash recovery, and never alias a pre-crash state.
   void RefreshVersion();
 
  private:

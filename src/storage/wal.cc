@@ -301,7 +301,7 @@ StatusOr<WalReplay> ReadWal(const std::string& path) {
     WalRecord record;
     const std::uint8_t op = payload[1];
     if (op < static_cast<std::uint8_t>(WalRecord::Op::kDefine) ||
-        op > static_cast<std::uint8_t>(WalRecord::Op::kLoad)) {
+        op > static_cast<std::uint8_t>(WalRecord::Op::kInsert)) {
       return Status::Internal("WAL " + path + " corrupt: unknown op " +
                               std::to_string(op) + " at offset " +
                               std::to_string(record_start));
@@ -616,6 +616,9 @@ StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
           break;
         case WalRecord::Op::kDrop:
           applied = store->recovered_.DropRelation(record.payload);
+          break;
+        case WalRecord::Op::kInsert:
+          applied = store->recovered_.InsertTuplesFromText(record.payload);
           break;
         case WalRecord::Op::kLoad: {
           StatusOr<Catalog> loaded = Catalog::Deserialize(record.payload);

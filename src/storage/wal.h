@@ -22,7 +22,8 @@
 /// `stamp` is a catalog version reserved at append time, strictly
 /// increasing in file order; `data` is the textual mutation (a definition
 /// line for Define/Register, a relation name for Drop, a full catalog
-/// serialization for Load) — replayed through the regular parser.
+/// serialization for Load, a delta definition line for Insert) — replayed
+/// through the regular parser.
 ///
 /// Torn-tail contract (ReadWal): a record that runs past EOF, an
 /// incomplete header, or a checksum failure on the final record is a torn
@@ -91,6 +92,8 @@ struct WalRecord {
     kRegister = 2,  // payload: same line format (rendered from the relation)
     kDrop = 3,      // payload: relation name
     kLoad = 4,      // payload: full catalog serialization
+    kInsert = 5,    // payload: definition line carrying the DELTA tuples,
+                    // appended to the named relation on replay
   };
   Op op = Op::kDefine;
   /// Version stamp reserved at append time; strictly increasing in file

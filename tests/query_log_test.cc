@@ -1,7 +1,8 @@
 // Structured query-log tests (Observability v2, DESIGN.md §12): the
 // JSONL black-box recorder must capture every facade query — plain,
-// governed, EXPLAIN ANALYZE, and failed — with the schema-1 fields,
-// while never changing an answer (logging is observation only).
+// governed, EXPLAIN ANALYZE, and failed — with the schema-2 fields
+// (including the read-set and its invalidation scope), while never
+// changing an answer (logging is observation only).
 
 #include <gtest/gtest.h>
 
@@ -71,15 +72,27 @@ TEST_F(QueryLogTest, RecordsPlainGovernedAndAnalyzedQueries) {
   std::vector<std::string> lines = ReadLines(path);
   ASSERT_EQ(lines.size(), 4u);
 
-  // Every record is one JSON object with the schema-1 envelope.
+  // Every record is one JSON object with the schema-2 envelope.
   for (const std::string& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
-    EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos) << line;
     EXPECT_NE(line.find("\"text_hash\":\""), std::string::npos) << line;
     EXPECT_NE(line.find("\"catalog_version\":"), std::string::npos) << line;
     EXPECT_NE(line.find("\"elapsed_seconds\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"read_set\":"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"invalidation\":"), std::string::npos) << line;
   }
+  // Parsable queries carry their relation read-set and a per-relation
+  // invalidation scope; the parse failure falls back to "global".
+  EXPECT_NE(lines[0].find("\"read_set\":[\"S\"]"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"invalidation\":\"relations:[S]\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"invalidation\":\"relations:[S]\""),
+            std::string::npos);
+  EXPECT_NE(lines[2].find("\"invalidation\":\"relations:[S]\""),
+            std::string::npos);
+  EXPECT_NE(lines[3].find("\"invalidation\":\"global\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"kind\":\"query\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"governed\""), std::string::npos);
