@@ -20,6 +20,7 @@
 //                             armed (defaults to the last query text)
 //   .plan <formula>           print the query plan without executing
 //   .log [on [path]|off]      structured JSONL query log
+//   .config                   resolved EngineConfig (every CCDB_* knob)
 //   .stats                    process-wide metrics snapshot (JSON)
 //   .trace <on|off|path>      span tracing / Chrome trace export
 //   .checkpoint               fold the WAL into a checkpoint (durable mode)
@@ -42,6 +43,7 @@
 #include <sstream>
 #include <string>
 
+#include "base/config.h"
 #include "base/metrics.h"
 #include "base/query_log.h"
 #include "base/trace.h"
@@ -77,6 +79,8 @@ void PrintHelp() {
       "  .log off | .log         stop logging / show the log status\n"
       "  .deadline <ms>          per-query deadline (0 = off); exhausted\n"
       "                          queries degrade down the policy ladder\n"
+      "  .config                 the resolved engine configuration (every\n"
+      "                          CCDB_* knob) and its fingerprint\n"
       "  .stats                  metrics snapshot as JSON\n"
       "  .trace on|off           toggle span tracing\n"
       "  .trace <path>           write collected spans as Chrome trace JSON\n"
@@ -419,6 +423,10 @@ int main(int argc, char** argv) {
     }
     if (line == ".log" || line.rfind(".log ", 0) == 0) {
       RunLog(line.size() > 4 ? line.substr(5) : "");
+      continue;
+    }
+    if (line == ".config") {
+      std::printf("%s", ccdb::EngineConfig::Process().ToString().c_str());
       continue;
     }
     if (line == ".stats") {

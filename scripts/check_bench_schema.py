@@ -91,14 +91,14 @@ def check_bench(path):
     return errors
 
 
-# Required keys of every query-log record (base/query_log.h, schema 2).
-QUERY_LOG_KEYS = ("schema_version", "ts_us", "kind", "text_hash",
-                  "text_len", "catalog_version", "ok", "cache_hit",
-                  "elapsed_seconds", "read_set", "invalidation")
+# Required keys of every query-log record (base/query_log.h, schema 3).
+QUERY_LOG_KEYS = ("schema_version", "ts_us", "session_id", "config", "kind",
+                  "text_hash", "text_len", "catalog_version", "ok",
+                  "cache_hit", "elapsed_seconds", "read_set", "invalidation")
 
 
 def check_read_set(path, lineno, rec):
-    """Schema 2: 'read_set' is the sorted relation names the query reads;
+    """Schema >= 2: 'read_set' is the sorted relation names the query reads;
     'invalidation' is the cache scope a mutation must hit to invalidate the
     answer ('relations:[...]' matching the read_set, or 'global' when the
     read-set is unknown, e.g. unparsable text)."""
@@ -141,10 +141,19 @@ def check_query_log(path):
                     if key not in rec:
                         errors += fail(path,
                                        f"line {lineno}: missing '{key}'")
-                if rec.get("schema_version") != 2:
+                if rec.get("schema_version") != 3:
                     errors += fail(path, f"line {lineno}: schema_version "
-                                         f"must be 2")
+                                         f"must be 3")
                 errors += check_read_set(path, lineno, rec)
+                sid = rec.get("session_id")
+                if not isinstance(sid, int) or sid < 0:
+                    errors += fail(path, f"line {lineno}: session_id must be "
+                                         f"a non-negative int")
+                cfg = rec.get("config", "")
+                if not (isinstance(cfg, str) and len(cfg) == 16
+                        and all(c in "0123456789abcdef" for c in cfg)):
+                    errors += fail(path, f"line {lineno}: config must be "
+                                         f"16 lowercase hex digits")
                 h = rec.get("text_hash", "")
                 if not (isinstance(h, str) and len(h) == 16
                         and all(c in "0123456789abcdef" for c in h)):

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Configuration hygiene gate: every CCDB_* knob is resolved in exactly one
+# place — EngineConfig::FromEnv (src/base/config.cc). Any other getenv in
+# src/ reintroduces scattered env-sniffing (per-subsystem first-use reads
+# that sessions can't override and tests can't scope), so this gate fails
+# the build when one appears.
+#
+# Allowlist:
+#   src/base/config.cc    — the one resolver (EngineConfig::FromEnv)
+#   src/base/failpoint.cc — CCDB_FAILPOINTS, the fault-injection registry:
+#                           deliberately independent of EngineConfig so a
+#                           failpoint build can arm faults inside config
+#                           resolution itself.
+#
+# Usage: scripts/check_no_getenv.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+allowlist=("src/base/config.cc" "src/base/failpoint.cc")
+
+# Call syntax only ("getenv(" modulo whitespace): prose mentions of the
+# symbol in doc comments are fine.
+offenders="$(grep -rn --include='*.cc' --include='*.h' 'getenv[[:space:]]*(' "$root/src" |
+  { while IFS= read -r line; do
+      rel="${line#"$root"/}"
+      file="${rel%%:*}"
+      allowed=0
+      for ok in "${allowlist[@]}"; do
+        [ "$file" = "$ok" ] && allowed=1 && break
+      done
+      [ "$allowed" = 0 ] && printf '%s\n' "$rel"
+    done; })"
+
+if [ -n "$offenders" ]; then
+  echo "check_no_getenv: getenv outside the allowlisted resolver:" >&2
+  printf '%s\n' "$offenders" >&2
+  echo "Route the knob through EngineConfig (src/base/config.h) instead." >&2
+  exit 1
+fi
+echo "check_no_getenv: ok (getenv confined to: ${allowlist[*]})"

@@ -46,17 +46,12 @@ inline const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+/// The CCDB_LOG_LEVEL knob mapped to a LogLevel. Defined in
+/// base/config.cc — configuration is resolved only there.
+LogLevel ConfiguredMinLogLevel();
+
 inline LogLevel& MinLogLevelSlot() {
-  static LogLevel level = [] {
-    const char* env = std::getenv("CCDB_LOG_LEVEL");
-    if (env == nullptr) return LogLevel::kWarn;
-    if (std::strcmp(env, "DEBUG") == 0) return LogLevel::kDebug;
-    if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
-    if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
-    if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
-    if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
-    return LogLevel::kWarn;
-  }();
+  static LogLevel level = ConfiguredMinLogLevel();
   return level;
 }
 

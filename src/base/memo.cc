@@ -1,24 +1,16 @@
 #include "base/memo.h"
 
 #include <atomic>
-#include <cstdlib>
 
+#include "base/config.h"
 #include "base/failpoint.h"
 
 namespace ccdb {
 
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow EngineConfig::Process(), 0 = forced off, 1 = forced on.
 std::atomic<int> g_memo_override{-1};
-
-bool EnvEnabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("CCDB_QE_CACHE");
-    return env == nullptr || std::string(env) != "0";
-  }();
-  return enabled;
-}
 
 }  // namespace
 
@@ -29,7 +21,22 @@ bool MemoCachesEnabled() {
   if (FailpointRegistry::Global().HasArmed()) return false;
   int forced = g_memo_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  return EnvEnabled();
+  return EngineConfig::Process().qe_cache;
+}
+
+bool MemoCachesEnabledFor(PlanToggle memo) {
+  switch (memo) {
+    case PlanToggle::kOff:
+      return false;
+    case PlanToggle::kOn:
+      // A per-session force still respects the failpoint stand-down: the
+      // pure-memo contract (budget charging and fault injection never
+      // depend on cache temperature) outranks any configuration.
+      return !FailpointRegistry::Global().HasArmed();
+    case PlanToggle::kAuto:
+      break;
+  }
+  return MemoCachesEnabled();
 }
 
 void SetMemoCachesEnabled(bool enabled) {

@@ -24,15 +24,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/config.h"
 #include "base/metrics.h"
 
 namespace ccdb {
 
 /// Whether the memo layers (QE result cache, resultant/PRS cache, query
-/// cache) are enabled. Defaults to the CCDB_QE_CACHE environment variable
-/// (unset or any value but "0" = on); SetMemoCachesEnabled overrides.
+/// cache) are enabled. Defaults to EngineConfig::Process().qe_cache (the
+/// CCDB_QE_CACHE knob); SetMemoCachesEnabled overrides.
 bool MemoCachesEnabled();
 void SetMemoCachesEnabled(bool enabled);
+
+/// Resolves a per-call/per-session memo toggle (QeOptions::memo):
+/// kAuto follows MemoCachesEnabled(); kOff disables the layers for this
+/// evaluation; kOn enables them regardless of the process default (still
+/// standing down while failpoints are armed — the pure-memo contract).
+bool MemoCachesEnabledFor(PlanToggle memo);
 
 /// A bounded, sharded memo table with per-shard FIFO eviction. Thread-safe.
 /// `Hash` must be deterministic; keys and values are stored by value.

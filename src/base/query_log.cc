@@ -1,26 +1,24 @@
 #include "base/query_log.h"
 
-#include <cstdlib>
-
+#include "base/config.h"
 #include "base/metrics.h"
 
 namespace ccdb {
 
-QueryLog::QueryLog() {
-  if (const char* env = std::getenv("CCDB_QUERY_LOG")) {
-    if (env[0] != '\0') {
-      Status status = Enable(env);
+QueryLog& QueryLog::Global() {
+  static QueryLog* log = [] {
+    auto* l = new QueryLog();  // intentionally leaked
+    const std::string& path = EngineConfig::Process().query_log_path;
+    if (!path.empty()) {
+      Status status = l->Enable(path);
       if (!status.ok()) {
         // The log never takes the engine down: warn once, run unlogged.
         std::fprintf(stderr, "ccdb: query log disabled: %s\n",
                      status.ToString().c_str());
       }
     }
-  }
-}
-
-QueryLog& QueryLog::Global() {
-  static QueryLog* log = new QueryLog();  // intentionally leaked
+    return l;
+  }();
   return *log;
 }
 

@@ -32,16 +32,26 @@
 
 namespace ccdb {
 
-/// Process-wide JSONL query log. All methods are thread-safe.
+/// A JSONL query log. All methods are thread-safe. Global() is the
+/// process-wide instance (bound to the CCDB_QUERY_LOG knob); sessions
+/// (engine/session.h) may own a private instance and route their records
+/// there instead.
 class QueryLog {
  public:
   /// Bumped whenever a record field is added/renamed; every record carries
   /// it as "schema_version". History: 1 = initial; 2 = added "read_set"
   /// (sorted relation names the query reads) and "invalidation" (the cache
   /// scope a mutation must hit to invalidate it: "relations:[...]" or
-  /// "global").
-  static constexpr int kSchemaVersion = 2;
+  /// "global"); 3 = added "session_id" (0 = facade default path) and
+  /// "config" (16-hex fingerprint of the resolved EngineConfig the query
+  /// ran under).
+  static constexpr int kSchemaVersion = 3;
 
+  /// A fresh, disabled log. Call Enable(path) to start appending.
+  QueryLog() = default;
+
+  /// The process-wide log, bound at first use to
+  /// EngineConfig::Process().query_log_path (the CCDB_QUERY_LOG knob).
   static QueryLog& Global();
 
   bool enabled() const {
@@ -76,8 +86,6 @@ class QueryLog {
   static std::string HashText(const std::string& text);
 
  private:
-  QueryLog();
-
   mutable std::mutex mu_;
   bool enabled_ = false;
   std::string path_;

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <deque>
 #include <utility>
 
+#include "base/config.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 
@@ -218,10 +218,7 @@ Status ThreadPool::ParallelFor(
 }
 
 int ThreadPool::DefaultThreads() {
-  const char* env = std::getenv("CCDB_THREADS");
-  if (env == nullptr) return 1;
-  int threads = std::atoi(env);
-  return threads < 1 ? 1 : threads;
+  return EngineConfig::Process().threads;
 }
 
 namespace {

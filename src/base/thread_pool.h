@@ -57,14 +57,17 @@ class ThreadPool {
   /// Spawned worker threads (threads() - 1).
   int workers() const { return static_cast<int>(workers_.size()); }
 
-  /// The process-wide shared pool, sized by the CCDB_THREADS environment
-  /// variable at first use (default 1 = serial). Never null.
+  /// The process-wide shared pool, sized by EngineConfig::Process().threads
+  /// (the CCDB_THREADS knob) at first use (default 1 = serial). Never null.
+  /// Legacy default only — sessions (engine/session.h) own their own pools
+  /// sized by their session config.
   static ThreadPool* Shared();
   /// Replaces the shared pool with one of `threads` runners. Not
   /// thread-safe against concurrent users of the previous pool — call
   /// from a quiesced state (e.g. bench/test setup).
   static void ConfigureShared(int threads);
-  /// CCDB_THREADS env value, or 1 when unset/invalid.
+  /// EngineConfig::Process().threads (the CCDB_THREADS knob; 1 when
+  /// unset/invalid).
   static int DefaultThreads();
   /// `pool` when non-null, else Shared(). The pipeline's options structs
   /// carry a nullable ThreadPool*; null means "use the process default".

@@ -1,21 +1,13 @@
 #include "base/trace.h"
 
-#include <cstdlib>
 #include <fstream>
+
+#include "base/config.h"
 
 namespace ccdb {
 
-namespace {
-
-bool EnvTraceRequested() {
-  const char* value = std::getenv("CCDB_TRACE");
-  return value != nullptr && value[0] != '\0' && value[0] != '0';
-}
-
-}  // namespace
-
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
-  enabled_.store(EnvTraceRequested(), std::memory_order_relaxed);
+  enabled_.store(EngineConfig::Process().trace, std::memory_order_relaxed);
   events_.reserve(1024);
 }
 

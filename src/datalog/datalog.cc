@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -39,25 +38,9 @@ DatalogLiteral DatalogLiteral::Constraint(Atom atom) {
 
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow EngineConfig::Process(), 0 = forced off, 1 = forced on.
 std::atomic<int> g_seminaive_override{-1};
 std::atomic<int> g_incremental_override{-1};
-
-bool SeminaiveEnvEnabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("CCDB_SEMINAIVE");
-    return env == nullptr || std::string(env) != "0";
-  }();
-  return enabled;
-}
-
-bool IncrementalEnvEnabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("CCDB_INCREMENTAL");
-    return env == nullptr || std::string(env) != "0";
-  }();
-  return enabled;
-}
 
 // Variable renaming shared by every body formula a rule can take: head
 // variable i -> column i, every other body variable existentially
@@ -310,7 +293,8 @@ Status RunFixpoint(const DatalogProgram& program,
   };
   std::mutex body_cache_mu;
   std::unordered_map<std::uint64_t, BodyMemo> body_cache;
-  const bool use_body_cache = gov == nullptr && MemoCachesEnabled();
+  const bool use_body_cache =
+      gov == nullptr && MemoCachesEnabledFor(options.qe.memo);
 
   // Plan-once-per-fixpoint observability: rule-body plans memoize on the
   // body's interned formula id (plan/planner.h), so later rounds reuse the
@@ -593,7 +577,7 @@ bool ResolveSeminaive(const DatalogOptions& options) {
 bool SeminaiveEnabled() {
   int forced = g_seminaive_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  return SeminaiveEnvEnabled();
+  return EngineConfig::Process().seminaive;
 }
 
 void SetSeminaiveEnabled(bool enabled) {
@@ -603,7 +587,7 @@ void SetSeminaiveEnabled(bool enabled) {
 bool IncrementalEnabled() {
   int forced = g_incremental_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  return IncrementalEnvEnabled();
+  return EngineConfig::Process().incremental;
 }
 
 void SetIncrementalEnabled(bool enabled) {

@@ -71,6 +71,11 @@ struct DatalogOptions {
   std::uint32_t precision_k = 0;
   /// Per-call semi-naive override: kAuto follows SeminaiveEnabled().
   PlanToggle seminaive = PlanToggle::kAuto;
+  /// Per-call/per-session incremental re-fixpoint override (the
+  /// materialized-state layer of ConstraintDatabase::Fixpoint): kAuto
+  /// follows IncrementalEnabled(). Pure memo — every setting returns the
+  /// same fixpoint a cold evaluation would.
+  PlanToggle incremental = PlanToggle::kAuto;
   /// QE options for each rule evaluation. `qe.governor`, when set, is also
   /// charged once per fixpoint round and per derived tuple (stage
   /// "datalog.iteration"), so a budget bounds the whole fixpoint — not just

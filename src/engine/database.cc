@@ -44,8 +44,14 @@ ShardedMemoCache<std::string, CalcFResult>& QueryResultCache() {
 
 std::string QueryCacheKey(
     std::uint64_t db_id, const std::string& text,
-    const std::vector<std::pair<std::string, std::uint64_t>>& read_set) {
+    const std::vector<std::pair<std::string, std::uint64_t>>& read_set,
+    bool plan_resolved) {
   std::string key = std::to_string(db_id);
+  // The resolved planner setting is part of the key: answers are
+  // byte-identical with the planner on and off, but the cached stats carry
+  // the plan summary line, so a plan-off session must not be served a
+  // plan-on session's stats (or vice versa).
+  key += plan_resolved ? "+p" : "-p";
   for (const auto& [name, version] : read_set) {
     key += '\x1e';
     key += name;
@@ -55,6 +61,14 @@ std::string QueryCacheKey(
   key += '\x1f';
   key += text;
   return key;
+}
+
+// The process config's fingerprint, stamped into facade-path query-log
+// records (sessions stamp their own). Computed once.
+const std::string& ProcessConfigFingerprint() {
+  static const std::string* fp =
+      new std::string(EngineConfig::Process().Fingerprint());
+  return *fp;
 }
 
 void CollectRelationNames(const QFormula& formula,
@@ -70,11 +84,12 @@ void CollectRelationNames(const QFormula& formula,
 // The relation names `text` mentions, sorted and deduplicated — the
 // query's read-set, computed by a parse (no evaluation). Memoized on the
 // text alone: the AST, hence the name set, is a pure function of it.
-StatusOr<std::vector<std::string>> RelationsReadBy(const std::string& text) {
+StatusOr<std::vector<std::string>> RelationsReadBy(
+    const std::string& text, PlanToggle memo = PlanToggle::kAuto) {
   static auto* cache = new ShardedMemoCache<std::string, std::vector<std::string>>(
       "read_set_cache", 64);
   std::vector<std::string> names;
-  const bool use_cache = MemoCachesEnabled();
+  const bool use_cache = MemoCachesEnabledFor(memo);
   if (use_cache && cache->Lookup(text, &names)) return names;
   CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
   std::set<std::string> set;
@@ -122,7 +137,9 @@ std::uint64_t Delta(const std::map<std::string, std::uint64_t>& deltas,
 // Call only when the log is enabled; observation only — never affects the
 // result being logged.
 void AppendQueryLogRecord(
-    const char* kind, const std::string& text, std::uint64_t catalog_version,
+    QueryLog& log, std::uint64_t session_id,
+    const std::string& config_fingerprint, const char* kind,
+    const std::string& text, std::uint64_t catalog_version,
     const StatusOr<CalcFResult>& result, bool cache_hit,
     const QueryVerdict* verdict, double elapsed_seconds,
     const std::map<std::string, std::uint64_t>& deltas,
@@ -136,6 +153,8 @@ void AppendQueryLogRecord(
   record.Add("schema_version",
              static_cast<std::uint64_t>(QueryLog::kSchemaVersion))
       .Add("ts_us", ts_us)
+      .Add("session_id", session_id)
+      .Add("config", config_fingerprint)
       .Add("kind", std::string(kind))
       .Add("text_hash", QueryLog::HashText(text))
       .Add("text_len", static_cast<std::uint64_t>(text.size()))
@@ -204,7 +223,7 @@ void AppendQueryLogRecord(
                          Delta(deltas, "resultant_cache_hits"))
                     .Build());
   if (!profile_json.empty()) record.AddRaw("profile", profile_json);
-  QueryLog::Global().Append(record.Build());
+  log.Append(record.Build());
 }
 
 }  // namespace
@@ -378,18 +397,26 @@ std::string QueryVerdict::ToString() const {
 StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
     const std::string& text, const QueryPolicy& policy,
     QueryVerdict* verdict) const {
+  return QueryWithPolicy(text, policy, verdict, ExecContext{});
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
+    const std::string& text, const QueryPolicy& policy, QueryVerdict* verdict,
+    const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.query_with_policy");
   CCDB_METRIC_COUNT("db.governed_queries", 1);
+  const CalcFOptions& base_options = OptionsFor(ctx);
+  QueryLog& qlog = ctx.log != nullptr ? *ctx.log : QueryLog::Global();
   QueryVerdict local;
   QueryVerdict& v = verdict != nullptr ? *verdict : local;
   v = QueryVerdict{};
-  const bool log = QueryLog::Global().enabled();
+  const bool log = qlog.enabled();
   std::map<std::string, std::uint64_t> before;
   if (log) before = MetricsRegistry::Global().SnapshotValues();
   auto log_start = std::chrono::steady_clock::now();
   // One snapshot across every rung: a degraded retry answers against the
   // same catalog state the full-quality attempt saw.
-  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
+  std::shared_ptr<const Catalog::View> snapshot = SnapshotFor(ctx);
   StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
   static constexpr const char* kRungNames[] = {"full", "reduced-precision",
                                                "linear-only"};
@@ -399,7 +426,7 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
     // Each rung gets a fresh governor so degraded attempts receive the
     // full budget, not the exhausted remainder of the previous attempt.
     ResourceGovernor gov(policy.limits, policy.cancel);
-    CalcFOptions opts = options_;
+    CalcFOptions opts = base_options;
     opts.governor = &gov;
     opts.qe.governor = &gov;
     if (rung >= 1) {
@@ -452,14 +479,15 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryWithPolicy(
             .count();
     std::vector<std::pair<std::string, std::uint64_t>> read_set;
     bool have_read_set = false;
-    if (StatusOr<std::vector<std::string>> names = RelationsReadBy(text);
+    if (StatusOr<std::vector<std::string>> names =
+            RelationsReadBy(text, base_options.qe.memo);
         names.ok()) {
       read_set = ResolveReadSet(*names, *snapshot);
       have_read_set = true;
     }
     AppendQueryLogRecord(
-        "governed", text, snapshot->version(), outcome, /*cache_hit=*/false,
-        &v, elapsed,
+        qlog, ctx.session_id, FingerprintFor(ctx), "governed", text,
+        snapshot->version(), outcome, /*cache_hit=*/false, &v, elapsed,
         MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()),
         have_read_set ? &read_set : nullptr);
   }
@@ -534,6 +562,11 @@ Status ConstraintDatabase::CheckpointLocked() {
 
 CalcFEvaluator::RelationLookup ConstraintDatabase::MakeLookup() const {
   return LookupFor(catalog_.Snapshot());
+}
+
+const std::string& ConstraintDatabase::FingerprintFor(const ExecContext& ctx) {
+  return ctx.config_fingerprint != nullptr ? *ctx.config_fingerprint
+                                           : ProcessConfigFingerprint();
 }
 
 CalcFEvaluator::RelationLookup ConstraintDatabase::LookupFor(
@@ -650,37 +683,42 @@ Status ConstraintDatabase::Insert(const std::string& definition) {
 }
 
 StatusOr<CalcFResult> ConstraintDatabase::Query(const std::string& text) const {
-  return QueryImpl(text, nullptr);
+  return QueryImpl(text, nullptr, ExecContext{});
 }
 
-StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
-                                                    bool* cache_hit) const {
+StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(
+    const std::string& text, bool* cache_hit, const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.query");
   CCDB_METRIC_COUNT("db.queries", 1);
   if (cache_hit != nullptr) *cache_hit = false;
-  const bool log = QueryLog::Global().enabled();
+  const CalcFOptions& options = OptionsFor(ctx);
+  QueryLog& qlog = ctx.log != nullptr ? *ctx.log : QueryLog::Global();
+  const bool log = qlog.enabled();
   std::map<std::string, std::uint64_t> before;
   if (log) before = MetricsRegistry::Global().SnapshotValues();
   auto log_start = std::chrono::steady_clock::now();
   bool hit = false;
   // One catalog snapshot for the whole query: the memo key's read-set
   // versions and every relation the evaluator instantiates come from the
-  // same immutable catalog state, even under concurrent mutators.
-  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
+  // same immutable catalog state, even under concurrent mutators. A
+  // pinned-session context supplies its own snapshot — the query then
+  // answers against that pinned version no matter what writers did since.
+  std::shared_ptr<const Catalog::View> snapshot = SnapshotFor(ctx);
   // Pure memo on the whole pipeline: a hit returns exactly the result a
   // re-evaluation would produce (same text, same versions of the relations
   // the query reads, same immutable options). Governed evaluations bypass
   // the cache entirely so budget charging never depends on temperature.
-  const bool use_cache = options_.governor == nullptr &&
-                         options_.qe.governor == nullptr &&
-                         MemoCachesEnabled();
+  const bool use_cache = options.governor == nullptr &&
+                         options.qe.governor == nullptr &&
+                         MemoCachesEnabledFor(options.qe.memo);
   // The query's read-set at this snapshot — the memo key and the log's
   // invalidation scope. Unparsable text has no read-set (the evaluator
   // below reports the parse error) and is never cached.
   std::vector<std::pair<std::string, std::uint64_t>> read_set;
   bool have_read_set = false;
   if (use_cache || log) {
-    if (StatusOr<std::vector<std::string>> names = RelationsReadBy(text);
+    if (StatusOr<std::vector<std::string>> names =
+            RelationsReadBy(text, options.qe.memo);
         names.ok()) {
       read_set = ResolveReadSet(*names, *snapshot);
       have_read_set = true;
@@ -689,14 +727,15 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
   StatusOr<CalcFResult> outcome = [&]() -> StatusOr<CalcFResult> {
     std::string key;
     if (use_cache && have_read_set) {
-      key = QueryCacheKey(db_id_, text, read_set);
+      key = QueryCacheKey(db_id_, text, read_set,
+                          PlannerResolved(options.qe));
       CalcFResult cached;
       if (QueryResultCache().Lookup(key, &cached)) {
         hit = true;
         return cached;
       }
     }
-    CalcFEvaluator evaluator(LookupFor(snapshot), options_);
+    CalcFEvaluator evaluator(LookupFor(snapshot), options);
     CCDB_ASSIGN_OR_RETURN(CalcFResult result, evaluator.EvaluateText(text));
     if (use_cache && have_read_set) QueryResultCache().Insert(key, result);
     return result;
@@ -708,8 +747,8 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
                                       log_start)
             .count();
     AppendQueryLogRecord(
-        "query", text, snapshot->version(), outcome, hit, /*verdict=*/nullptr,
-        elapsed,
+        qlog, ctx.session_id, FingerprintFor(ctx), "query", text,
+        snapshot->version(), outcome, hit, /*verdict=*/nullptr, elapsed,
         MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()),
         have_read_set ? &read_set : nullptr);
   }
@@ -717,6 +756,11 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryImpl(const std::string& text,
 }
 
 StatusOr<std::string> ConstraintDatabase::Plan(const std::string& text) const {
+  return Plan(text, ExecContext{});
+}
+
+StatusOr<std::string> ConstraintDatabase::Plan(const std::string& text,
+                                               const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.plan");
   CCDB_METRIC_COUNT("db.plans", 1);
   CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
@@ -726,19 +770,25 @@ StatusOr<std::string> ConstraintDatabase::Plan(const std::string& text) const {
   int arity = env.next_index;
   CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*parsed, &env));
   CCDB_ASSIGN_OR_RETURN(Formula instantiated,
-                        lowered.InstantiateRelations(MakeLookup()));
-  QueryPlan plan = GetOrBuildPlan(instantiated, arity, options_.qe);
+                        lowered.InstantiateRelations(LookupFor(SnapshotFor(ctx))));
+  QueryPlan plan = GetOrBuildPlan(instantiated, arity, OptionsFor(ctx).qe);
   return plan.ToString(env.NamesByIndex());
 }
 
 StatusOr<ExplainResult> ConstraintDatabase::Explain(
     const std::string& text) const {
+  return Explain(text, ExecContext{});
+}
+
+StatusOr<ExplainResult> ConstraintDatabase::Explain(
+    const std::string& text, const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.explain");
   CCDB_METRIC_COUNT("db.explains", 1);
   ExplainResult explain;
   auto before = MetricsRegistry::Global().SnapshotValues();
   auto start = std::chrono::steady_clock::now();
-  CCDB_ASSIGN_OR_RETURN(explain.result, QueryImpl(text, &explain.from_cache));
+  CCDB_ASSIGN_OR_RETURN(explain.result,
+                        QueryImpl(text, &explain.from_cache, ctx));
   // NUMERICAL EVALUATION (Figure 1, step 3): only meaningful when the
   // answer is a relation; a scalar aggregate is already a value.
   if (!explain.result.has_scalar && explain.result.relation.arity() > 0) {
@@ -763,9 +813,15 @@ StatusOr<ExplainResult> ConstraintDatabase::Explain(
 
 StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
     const std::string& text) const {
+  return ExplainAnalyze(text, ExecContext{});
+}
+
+StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
+    const std::string& text, const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.explain_analyze");
   CCDB_METRIC_COUNT("db.explain_analyzes", 1);
-  const bool log = QueryLog::Global().enabled();
+  QueryLog& qlog = ctx.log != nullptr ? *ctx.log : QueryLog::Global();
+  const bool log = qlog.enabled();
   ExplainAnalyzeResult out;
   auto before = MetricsRegistry::Global().SnapshotValues();
   auto start = std::chrono::steady_clock::now();
@@ -775,13 +831,14 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
   // and surface below as cache temperature. The sink is observation only:
   // the evaluation is byte-identical to Query(text).
   ProfileSink sink;
-  CalcFOptions opts = options_;
+  CalcFOptions opts = OptionsFor(ctx);
   opts.qe.profile = &sink;
-  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
+  std::shared_ptr<const Catalog::View> snapshot = SnapshotFor(ctx);
   std::vector<std::pair<std::string, std::uint64_t>> read_set;
   bool have_read_set = false;
   if (log) {
-    if (StatusOr<std::vector<std::string>> names = RelationsReadBy(text);
+    if (StatusOr<std::vector<std::string>> names =
+            RelationsReadBy(text, opts.qe.memo);
         names.ok()) {
       read_set = ResolveReadSet(*names, *snapshot);
       have_read_set = true;
@@ -795,8 +852,9 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
             .count();
     if (log) {
       AppendQueryLogRecord(
-          "explain_analyze", text, snapshot->version(), outcome,
-          /*cache_hit=*/false, /*verdict=*/nullptr, elapsed,
+          qlog, ctx.session_id, FingerprintFor(ctx), "explain_analyze", text,
+          snapshot->version(), outcome, /*cache_hit=*/false,
+          /*verdict=*/nullptr, elapsed,
           MetricDeltas(before, MetricsRegistry::Global().SnapshotValues()),
           have_read_set ? &read_set : nullptr);
     }
@@ -837,16 +895,17 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
   profile.pool_tasks_inline =
       Delta(profile.metric_deltas, "threadpool.tasks_inline");
   profile.pool_threads = static_cast<std::uint64_t>(
-      ThreadPool::Resolve(options_.qe.pool)->threads());
-  if (options_.qe.governor != nullptr) {
+      ThreadPool::Resolve(opts.qe.pool)->threads());
+  if (opts.qe.governor != nullptr) {
     profile.governed = true;
-    ResourceGovernor::Consumption consumed = options_.qe.governor->Snapshot();
+    ResourceGovernor::Consumption consumed = opts.qe.governor->Snapshot();
     profile.governor_steps = consumed.steps;
     profile.governor_bytes = consumed.bytes;
   }
   if (log) {
     StatusOr<CalcFResult> logged = out.result;
-    AppendQueryLogRecord("explain_analyze", text, snapshot->version(), logged,
+    AppendQueryLogRecord(qlog, ctx.session_id, FingerprintFor(ctx),
+                         "explain_analyze", text, snapshot->version(), logged,
                          /*cache_hit=*/false, /*verdict=*/nullptr,
                          profile.total_seconds, profile.metric_deltas,
                          have_read_set ? &read_set : nullptr,
@@ -858,6 +917,12 @@ StatusOr<ExplainAnalyzeResult> ConstraintDatabase::ExplainAnalyze(
 StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
                                                   std::uint32_t k,
                                                   FpQeStats* stats) const {
+  return QueryFp(text, k, stats, ExecContext{});
+}
+
+StatusOr<CalcFResult> ConstraintDatabase::QueryFp(
+    const std::string& text, std::uint32_t k, FpQeStats* stats,
+    const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.query_fp");
   CCDB_METRIC_COUNT("db.fp_queries", 1);
   CCDB_ASSIGN_OR_RETURN(auto parsed, ParseFormula(text));
@@ -866,8 +931,9 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
   for (const std::string& column : columns) env.Intern(column);
   int arity = env.next_index;
   CCDB_ASSIGN_OR_RETURN(Formula lowered, LowerFormula(*parsed, &env));
-  CCDB_ASSIGN_OR_RETURN(Formula instantiated,
-                        lowered.InstantiateRelations(MakeLookup()));
+  CCDB_ASSIGN_OR_RETURN(
+      Formula instantiated,
+      lowered.InstantiateRelations(LookupFor(SnapshotFor(ctx))));
   CalcFResult result;
   CCDB_ASSIGN_OR_RETURN(
       result.relation,
@@ -878,16 +944,29 @@ StatusOr<CalcFResult> ConstraintDatabase::QueryFp(const std::string& text,
 
 StatusOr<std::vector<std::vector<Rational>>> ConstraintDatabase::Solve(
     const std::string& text, const Rational& epsilon) const {
+  return Solve(text, epsilon, ExecContext{});
+}
+
+StatusOr<std::vector<std::vector<Rational>>> ConstraintDatabase::Solve(
+    const std::string& text, const Rational& epsilon,
+    const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.solve");
   CCDB_METRIC_COUNT("db.solves", 1);
-  CCDB_ASSIGN_OR_RETURN(CalcFResult result, Query(text));
+  CCDB_ASSIGN_OR_RETURN(CalcFResult result, QueryImpl(text, nullptr, ctx));
   return ApproximateSolutions(result.relation, epsilon);
 }
 
 StatusOr<std::vector<std::pair<std::string, std::uint64_t>>>
 ConstraintDatabase::ReadSet(const std::string& text) const {
-  CCDB_ASSIGN_OR_RETURN(std::vector<std::string> names, RelationsReadBy(text));
-  return ResolveReadSet(names, *catalog_.Snapshot());
+  return ReadSet(text, ExecContext{});
+}
+
+StatusOr<std::vector<std::pair<std::string, std::uint64_t>>>
+ConstraintDatabase::ReadSet(const std::string& text,
+                            const ExecContext& ctx) const {
+  CCDB_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        RelationsReadBy(text, OptionsFor(ctx).qe.memo));
+  return ResolveReadSet(names, *SnapshotFor(ctx));
 }
 
 namespace {
@@ -935,11 +1014,19 @@ StatusOr<std::map<std::string, ConstraintRelation>>
 ConstraintDatabase::Fixpoint(const DatalogProgram& program,
                              const DatalogOptions& options,
                              DatalogStats* stats) const {
+  return Fixpoint(program, options, stats, ExecContext{});
+}
+
+StatusOr<std::map<std::string, ConstraintRelation>>
+ConstraintDatabase::Fixpoint(const DatalogProgram& program,
+                             const DatalogOptions& options,
+                             DatalogStats* stats,
+                             const ExecContext& ctx) const {
   CCDB_TRACE_SPAN("db.fixpoint");
   CCDB_METRIC_COUNT("db.fixpoints", 1);
   // One snapshot: the EDB contents and the versions they are keyed under
   // come from the same catalog state.
-  std::shared_ptr<const Catalog::View> snapshot = catalog_.Snapshot();
+  std::shared_ptr<const Catalog::View> snapshot = SnapshotFor(ctx);
   std::map<std::string, ConstraintRelation> edb;
   std::map<std::string, RelationVersion> versions;
   for (const DatalogRule& rule : program.rules) {
@@ -961,8 +1048,14 @@ ConstraintDatabase::Fixpoint(const DatalogProgram& program,
   *s = DatalogStats{};
   // Materialized state is a memo layer: off under a governor (budget
   // charging must not depend on temperature) and with the caches disabled,
-  // exactly like the whole-query memo.
-  const bool use_state = IncrementalEnabled() && MemoCachesEnabled() &&
+  // exactly like the whole-query memo. The incremental toggle resolves
+  // per call (sessions force it from their config); kAuto follows the
+  // process-wide switch.
+  const bool incremental =
+      options.incremental == PlanToggle::kOn ||
+      (options.incremental == PlanToggle::kAuto && IncrementalEnabled());
+  const bool use_state = incremental &&
+                         MemoCachesEnabledFor(options.qe.memo) &&
                          options.qe.governor == nullptr;
   std::string key;
   if (use_state) {

@@ -11,7 +11,9 @@
 #include <utility>
 #include <vector>
 
+#include "base/config.h"
 #include "base/profile.h"
+#include "base/query_log.h"
 #include "base/resource.h"
 #include "base/status.h"
 #include "datalog/datalog.h"
@@ -165,6 +167,8 @@ struct QueryVerdict {
 ///   auto q = db.Query("exists y (S(x, y) and y <= 0)");
 ///   auto points = db.Solve("exists y (S(x, y) and y <= 0)", epsilon);
 ///   auto area = db.Query("SURFACE[x, y](S(x, y) and y <= 9)(z)");
+class Session;
+
 class ConstraintDatabase {
  public:
   explicit ConstraintDatabase(CalcFOptions options = {});
@@ -306,20 +310,87 @@ class ConstraintDatabase {
   Status Save(const std::string& path) const { return catalog_.SaveToFile(path); }
   Status Load(const std::string& path);
 
+  /// Opens a session on this database: an isolated execution context
+  /// carrying its own resolved EngineConfig (planner/memo/seminaive/
+  /// incremental toggles, a private thread pool of `config.threads`
+  /// runners), a unique session id stamped into query-log records, and an
+  /// optional pinned catalog snapshot (Session::PinSnapshot) under which
+  /// every read runs until unpinned — MVCC: writers keep mutating the
+  /// database while the session observes one consistent version. Two
+  /// sessions with different configs coexist in one process; answers are
+  /// byte-identical across configs (the pure-memo and determinism
+  /// contracts). The database must outlive the session.
+  std::unique_ptr<Session> OpenSession(
+      EngineConfig config = EngineConfig::Process());
+
   const Catalog& catalog() const { return catalog_; }
   const CalcFOptions& options() const { return options_; }
 
  private:
+  friend class Session;
+
+  /// Execution context threaded through the read path by the facade and by
+  /// sessions: which options to evaluate under, which snapshot to read,
+  /// which query log to stamp (and with what identity). Default-constructed
+  /// = the facade path: database options, a fresh snapshot per call, the
+  /// global log, session id 0, the process config fingerprint.
+  struct ExecContext {
+    /// Null = the database's own options_.
+    const CalcFOptions* options = nullptr;
+    /// 0 = facade default path (no session).
+    std::uint64_t session_id = 0;
+    /// Null or empty = EngineConfig::Process().Fingerprint().
+    const std::string* config_fingerprint = nullptr;
+    /// Null = QueryLog::Global().
+    QueryLog* log = nullptr;
+    /// Non-null = the pinned catalog snapshot every read of this call uses;
+    /// null = take a fresh snapshot.
+    std::shared_ptr<const Catalog::View> snapshot;
+  };
   CalcFEvaluator::RelationLookup MakeLookup() const;
   /// A relation lookup pinned to one catalog snapshot: every relation a
   /// query instantiates comes from the same catalog version, even while
   /// writers mutate concurrently.
   static CalcFEvaluator::RelationLookup LookupFor(
       std::shared_ptr<const Catalog::View> snapshot);
+  /// The snapshot `ctx` reads: its pinned one, else a fresh Snapshot().
+  std::shared_ptr<const Catalog::View> SnapshotFor(
+      const ExecContext& ctx) const {
+    return ctx.snapshot != nullptr ? ctx.snapshot : catalog_.Snapshot();
+  }
+  const CalcFOptions& OptionsFor(const ExecContext& ctx) const {
+    return ctx.options != nullptr ? *ctx.options : options_;
+  }
+  /// The config fingerprint `ctx` stamps into query-log records: its own,
+  /// else the process config's.
+  static const std::string& FingerprintFor(const ExecContext& ctx);
   /// Query() body; `cache_hit`, when non-null, reports whether the answer
   /// came from the whole-query memo (Explain's cached-plan reporting).
-  StatusOr<CalcFResult> QueryImpl(const std::string& text,
-                                  bool* cache_hit) const;
+  StatusOr<CalcFResult> QueryImpl(const std::string& text, bool* cache_hit,
+                                  const ExecContext& ctx) const;
+  /// Context-taking twins of the public read path, shared by the facade
+  /// (default context) and sessions (their own).
+  StatusOr<CalcFResult> QueryWithPolicy(const std::string& text,
+                                        const QueryPolicy& policy,
+                                        QueryVerdict* verdict,
+                                        const ExecContext& ctx) const;
+  StatusOr<ExplainResult> Explain(const std::string& text,
+                                  const ExecContext& ctx) const;
+  StatusOr<ExplainAnalyzeResult> ExplainAnalyze(const std::string& text,
+                                                const ExecContext& ctx) const;
+  StatusOr<std::string> Plan(const std::string& text,
+                             const ExecContext& ctx) const;
+  StatusOr<CalcFResult> QueryFp(const std::string& text, std::uint32_t k,
+                                FpQeStats* stats,
+                                const ExecContext& ctx) const;
+  StatusOr<std::vector<std::vector<Rational>>> Solve(
+      const std::string& text, const Rational& epsilon,
+      const ExecContext& ctx) const;
+  StatusOr<std::map<std::string, ConstraintRelation>> Fixpoint(
+      const DatalogProgram& program, const DatalogOptions& options,
+      DatalogStats* stats, const ExecContext& ctx) const;
+  StatusOr<std::vector<std::pair<std::string, std::uint64_t>>> ReadSet(
+      const std::string& text, const ExecContext& ctx) const;
   /// The write-ahead path shared by every mutator: with `mutate_mu_` held,
   /// runs `precheck` (the mutation's precondition — anything that would
   /// make the logged record fail to replay must be rejected here, before

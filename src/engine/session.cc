@@ -1,0 +1,150 @@
+#include "engine/session.h"
+
+#include <atomic>
+#include <utility>
+
+#include "base/metrics.h"
+
+namespace ccdb {
+
+namespace {
+
+std::uint64_t NextSessionId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::unique_ptr<Session> ConstraintDatabase::OpenSession(EngineConfig config) {
+  CCDB_METRIC_COUNT("db.sessions_opened", 1);
+  return std::unique_ptr<Session>(new Session(this, std::move(config)));
+}
+
+Session::Session(ConstraintDatabase* db, EngineConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      fingerprint_(config_.Fingerprint()),
+      id_(NextSessionId()),
+      pool_(std::make_unique<ThreadPool>(config_.threads)),
+      options_(db->options()) {
+  // The session config is authoritative for the toggles it carries: kOn /
+  // kOff here outrank the process-wide switches, so two sessions with
+  // opposite settings coexist in one process. (Forced-on memo layers still
+  // stand down under armed failpoints and governors — the pure-memo
+  // contract outranks any configuration.)
+  options_.qe.plan = config_.plan ? PlanToggle::kOn : PlanToggle::kOff;
+  options_.qe.memo = config_.qe_cache ? PlanToggle::kOn : PlanToggle::kOff;
+  options_.qe.pool = pool_.get();
+}
+
+Session::~Session() = default;
+
+void Session::PinSnapshot() {
+  std::shared_ptr<const Catalog::View> snapshot = db_->catalog().Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ = std::move(snapshot);
+}
+
+void Session::Unpin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_ = nullptr;
+}
+
+bool Session::pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_ != nullptr;
+}
+
+std::shared_ptr<const Catalog::View> Session::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_;
+}
+
+void Session::SetQueryLog(QueryLog* log) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_ = log;
+}
+
+ConstraintDatabase::ExecContext Session::Context() const {
+  ConstraintDatabase::ExecContext ctx;
+  ctx.options = &options_;
+  ctx.session_id = id_;
+  ctx.config_fingerprint = &fingerprint_;
+  std::lock_guard<std::mutex> lock(mu_);
+  ctx.log = log_;
+  ctx.snapshot = pinned_;
+  return ctx;
+}
+
+StatusOr<CalcFResult> Session::Query(const std::string& text) const {
+  return db_->QueryImpl(text, nullptr, Context());
+}
+
+StatusOr<CalcFResult> Session::QueryWithPolicy(const std::string& text,
+                                               const QueryPolicy& policy,
+                                               QueryVerdict* verdict) const {
+  return db_->QueryWithPolicy(text, policy, verdict, Context());
+}
+
+StatusOr<ExplainResult> Session::Explain(const std::string& text) const {
+  return db_->Explain(text, Context());
+}
+
+StatusOr<ExplainAnalyzeResult> Session::ExplainAnalyze(
+    const std::string& text) const {
+  return db_->ExplainAnalyze(text, Context());
+}
+
+StatusOr<std::string> Session::Plan(const std::string& text) const {
+  return db_->Plan(text, Context());
+}
+
+StatusOr<CalcFResult> Session::QueryFp(const std::string& text,
+                                       std::uint32_t k,
+                                       FpQeStats* stats) const {
+  return db_->QueryFp(text, k, stats, Context());
+}
+
+StatusOr<std::vector<std::vector<Rational>>> Session::Solve(
+    const std::string& text, const Rational& epsilon) const {
+  return db_->Solve(text, epsilon, Context());
+}
+
+StatusOr<std::map<std::string, ConstraintRelation>> Session::Fixpoint(
+    const DatalogProgram& program, const DatalogOptions& options,
+    DatalogStats* stats) const {
+  DatalogOptions merged = options;
+  merged.seminaive =
+      config_.seminaive ? PlanToggle::kOn : PlanToggle::kOff;
+  merged.incremental =
+      config_.incremental ? PlanToggle::kOn : PlanToggle::kOff;
+  merged.qe.plan = options_.qe.plan;
+  merged.qe.memo = options_.qe.memo;
+  // The session pool drives the per-rule fan-out unless the caller brought
+  // a pool of their own.
+  if (merged.qe.pool == nullptr) merged.qe.pool = pool_.get();
+  return db_->Fixpoint(program, merged, stats, Context());
+}
+
+StatusOr<std::vector<std::pair<std::string, std::uint64_t>>> Session::ReadSet(
+    const std::string& text) const {
+  return db_->ReadSet(text, Context());
+}
+
+Status Session::Define(const std::string& definition) {
+  return db_->Define(definition);
+}
+
+Status Session::Register(const std::string& name,
+                         ConstraintRelation relation) {
+  return db_->Register(name, std::move(relation));
+}
+
+Status Session::Drop(const std::string& name) { return db_->Drop(name); }
+
+Status Session::Insert(const std::string& definition) {
+  return db_->Insert(definition);
+}
+
+}  // namespace ccdb

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstdlib>
 #include <functional>
 #include <map>
 #include <numeric>
@@ -22,16 +21,8 @@ namespace ccdb {
 
 namespace {
 
-// -1 = follow the environment, 0 = forced off, 1 = forced on.
+// -1 = follow EngineConfig::Process(), 0 = forced off, 1 = forced on.
 std::atomic<int> g_plan_override{-1};
-
-bool EnvEnabled() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("CCDB_PLAN");
-    return env == nullptr || std::string(env) != "0";
-  }();
-  return enabled;
-}
 
 std::uint64_t MaxBits(const std::vector<GeneralizedTuple>& tuples) {
   std::uint64_t bits = 0;
@@ -412,7 +403,7 @@ StatusOr<ExecResult> ExecNode(const PlanNode& node, int num_free_vars,
 bool PlannerEnabled() {
   int forced = g_plan_override.load(std::memory_order_relaxed);
   if (forced >= 0) return forced != 0;
-  return EnvEnabled();
+  return EngineConfig::Process().plan;
 }
 
 void SetPlannerEnabled(bool enabled) {
@@ -607,7 +598,7 @@ QueryPlan PlanQuery(const Formula& formula, int num_free_vars,
 QueryPlan GetOrBuildPlan(const Formula& formula, int num_free_vars,
                          const QeOptions& options) {
   const bool use_cache =
-      options.governor == nullptr && MemoCachesEnabled();
+      options.governor == nullptr && MemoCachesEnabledFor(options.memo);
   PlanCacheKey key{formula.id(), num_free_vars, PlanOptionBits(options)};
   if (use_cache) {
     PlanCacheValue cached;

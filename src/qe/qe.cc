@@ -643,7 +643,7 @@ StatusOr<ConstraintRelation> EliminateQuantifiers(const Formula& formula,
   // cache temperature. (The failpoint above fires either way.) The cache
   // is a pure memo over the interned formula id — a hit is byte-identical
   // to recomputation.
-  const bool use_cache = gov == nullptr && MemoCachesEnabled();
+  const bool use_cache = gov == nullptr && MemoCachesEnabledFor(options.memo);
   QeCacheKey key;
   if (use_cache) {
     key = MakeQeCacheKey(formula, num_free_vars, options);

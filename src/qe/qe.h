@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/config.h"
 #include "base/resource.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
@@ -49,12 +50,11 @@ struct QeStats {
   std::string ToJson() const;
 };
 
-/// Three-way planner toggle carried by QeOptions: kAuto follows the
-/// process-wide switch (CCDB_PLAN environment variable / SetPlannerEnabled
-/// in plan/planner.h), kOn/kOff force it per call. The executor forces
-/// kOff on its per-block sub-eliminations so plan execution reuses the
-/// monolithic primitives verbatim.
-enum class PlanToggle { kAuto, kOn, kOff };
+/// PlanToggle (base/config.h) is the three-way switch carried by the
+/// option structs below: kAuto follows the process-wide switch (itself
+/// defaulted from EngineConfig), kOn/kOff force the feature per call. The
+/// executor forces plan=kOff on its per-block sub-eliminations so plan
+/// execution reuses the monolithic primitives verbatim.
 
 /// Options for quantifier elimination.
 struct QeOptions {
@@ -89,6 +89,13 @@ struct QeOptions {
   /// the process-wide CCDB_PLAN switch (default on); kOff is the
   /// monolithic fallback path.
   PlanToggle plan = PlanToggle::kAuto;
+  /// Memo layers (QE result cache, resultant/PRS cache, whole-query cache)
+  /// for this evaluation: kAuto follows the process-wide switch
+  /// (MemoCachesEnabled, the CCDB_QE_CACHE knob), kOn/kOff force it per
+  /// call/session. Pure-memo contract holds at every setting: answers are
+  /// byte-identical on and off, and even kOn stands down while failpoints
+  /// are armed or a governor charges budget.
+  PlanToggle memo = PlanToggle::kAuto;
   /// Resource budget charged at every hot-loop head of the elimination
   /// (driver rounds, CAD projection/base/lifting, root isolation,
   /// Fourier-Motzkin tuples). Null = unlimited. Borrowed, not owned.

@@ -1,7 +1,6 @@
 #include "qe/qe_cache.h"
 
-#include <cstdlib>
-
+#include "base/config.h"
 #include "plan/planner.h"
 
 namespace ccdb {
@@ -21,16 +20,9 @@ QeCacheKey MakeQeCacheKey(const Formula& formula, int num_free_vars,
 }
 
 ShardedMemoCache<QeCacheKey, QeCacheValue, QeCacheKeyHash>& QeResultCache() {
-  static auto* cache = [] {
-    std::size_t capacity = 4096;
-    if (const char* env = std::getenv("CCDB_QE_CACHE_CAPACITY")) {
-      char* end = nullptr;
-      unsigned long parsed = std::strtoul(env, &end, 10);
-      if (end != env && parsed > 0) capacity = parsed;
-    }
-    return new ShardedMemoCache<QeCacheKey, QeCacheValue, QeCacheKeyHash>(
-        "qe_cache", capacity);
-  }();
+  static auto* cache =
+      new ShardedMemoCache<QeCacheKey, QeCacheValue, QeCacheKeyHash>(
+          "qe_cache", EngineConfig::Process().qe_cache_capacity);
   return *cache;
 }
 

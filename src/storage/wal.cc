@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/config.h"
 #include "base/failpoint.h"
 #include "base/logging.h"
 #include "base/metrics.h"
@@ -202,27 +203,13 @@ StatusOr<WalFsyncPolicy> ParseWalFsyncPolicy(const std::string& name) {
 }
 
 DurabilityOptions DurabilityOptions::FromEnv() {
+  // Knob parsing (including the unknown-policy diagnostic) lives in
+  // base/config.cc; this just maps the resolved strings onto the enum.
+  const EngineConfig& config = EngineConfig::Process();
   DurabilityOptions options;
-  if (const char* env = std::getenv("CCDB_WAL_FSYNC")) {
-    StatusOr<WalFsyncPolicy> parsed = ParseWalFsyncPolicy(env);
-    if (parsed.ok()) {
-      options.fsync = parsed.value();
-    } else {
-      CCDB_LOG(ERROR) << "CCDB_WAL_FSYNC ignored: "
-                      << parsed.status().ToString();
-    }
-  }
-  if (const char* env = std::getenv("CCDB_WAL_CHECKPOINT_BYTES")) {
-    char* end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (errno == 0 && end != env && *end == '\0') {
-      options.checkpoint_bytes = static_cast<std::uint64_t>(v);
-    } else {
-      CCDB_LOG(ERROR) << "CCDB_WAL_CHECKPOINT_BYTES ignored: \"" << env
-                      << "\" is not a byte count";
-    }
-  }
+  StatusOr<WalFsyncPolicy> parsed = ParseWalFsyncPolicy(config.wal_fsync);
+  if (parsed.ok()) options.fsync = parsed.value();
+  options.checkpoint_bytes = config.wal_checkpoint_bytes;
   return options;
 }
 

@@ -1,8 +1,9 @@
 // Structured query-log tests (Observability v2, DESIGN.md §12): the
 // JSONL black-box recorder must capture every facade query — plain,
-// governed, EXPLAIN ANALYZE, and failed — with the schema-2 fields
-// (including the read-set and its invalidation scope), while never
-// changing an answer (logging is observation only).
+// governed, EXPLAIN ANALYZE, and failed — with the schema-3 fields
+// (read-set and invalidation scope, session id, resolved-config
+// fingerprint), while never changing an answer (logging is observation
+// only).
 
 #include <gtest/gtest.h>
 
@@ -12,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "base/config.h"
 #include "base/query_log.h"
 #include "base/resource.h"
 #include "engine/database.h"
+#include "engine/session.h"
 
 namespace ccdb {
 namespace {
@@ -72,11 +75,17 @@ TEST_F(QueryLogTest, RecordsPlainGovernedAndAnalyzedQueries) {
   std::vector<std::string> lines = ReadLines(path);
   ASSERT_EQ(lines.size(), 4u);
 
-  // Every record is one JSON object with the schema-2 envelope.
+  // Every record is one JSON object with the schema-3 envelope. Facade
+  // (sessionless) records carry session_id 0 and the process config's
+  // 16-hex fingerprint.
+  const std::string process_fp =
+      "\"config\":\"" + EngineConfig::Process().Fingerprint() + "\"";
   for (const std::string& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
-    EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"schema_version\":3"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"session_id\":0"), std::string::npos) << line;
+    EXPECT_NE(line.find(process_fp), std::string::npos) << line;
     EXPECT_NE(line.find("\"text_hash\":\""), std::string::npos) << line;
     EXPECT_NE(line.find("\"catalog_version\":"), std::string::npos) << line;
     EXPECT_NE(line.find("\"elapsed_seconds\":"), std::string::npos) << line;
@@ -109,6 +118,38 @@ TEST_F(QueryLogTest, RecordsPlainGovernedAndAnalyzedQueries) {
   EXPECT_NE(lines[0].find(hash), std::string::npos);
   EXPECT_NE(lines[1].find(hash), std::string::npos);
   EXPECT_NE(lines[2].find(hash), std::string::npos);
+}
+
+TEST_F(QueryLogTest, SessionRecordsCarrySessionIdAndConfigFingerprint) {
+  ConstraintDatabase db;
+  ASSERT_TRUE(db.Define("S(x, y) := 4*x^2 - y - 20*x + 25 <= 0").ok());
+
+  // A session routes its records to a session-owned log, stamped with the
+  // session's id and the fingerprint of ITS resolved config — which
+  // differs from the process fingerprint when the config differs.
+  EngineConfig config = EngineConfig::Process().WithPlan(false).WithThreads(2);
+  std::unique_ptr<Session> session = db.OpenSession(config);
+  std::string path = TempLogPath("session");
+  std::remove(path.c_str());
+  QueryLog session_log;
+  ASSERT_TRUE(session_log.Enable(path).ok());
+  session->SetQueryLog(&session_log);
+
+  ASSERT_TRUE(session->Query("exists y (S(x, y) and y <= 0)").ok());
+  session_log.Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"session_id\":" + std::to_string(session->id())),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"config\":\"" + config.Fingerprint() + "\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_EQ(config.Fingerprint(), session->config_fingerprint());
+  EXPECT_NE(config.Fingerprint(), EngineConfig::Process().Fingerprint());
+  // The global log saw none of it.
+  EXPECT_FALSE(QueryLog::Global().enabled());
 }
 
 TEST_F(QueryLogTest, LoggingIsObservationOnly) {
